@@ -1,0 +1,139 @@
+(* Benchmark entry point.
+
+   Regenerates every table/figure of the paper's evaluation (Chapter 6) plus
+   the DESIGN.md ablations via the Experiments library, then runs Bechamel
+   micro-benchmarks of the engine primitives. Pass figure ids to restrict
+   (e.g. `dune exec bench/main.exe -- fig6.1 fig6.8`), `--quick` for a fast
+   smoke pass, `--micro-only` / `--figures-only` to skip a half. *)
+
+(* Three seeds give meaningful 95% confidence intervals; MPL up to 50 as in
+   the paper's Berkeley DB charts. *)
+let bench_budget = Experiments.full_budget
+
+(* {1 Bechamel micro-benchmarks: one per core primitive} *)
+
+open Bechamel
+open Toolkit
+
+let btree_insert_test =
+  Test.make ~name:"btree/insert-1k"
+    (Staged.stage (fun () ->
+         let t = Btree.create ~fanout:32 () in
+         for i = 0 to 999 do
+           ignore (Btree.insert t (Printf.sprintf "k%06d" i) i)
+         done))
+
+let btree_find_test =
+  let t = Btree.create ~fanout:32 () in
+  for i = 0 to 9999 do
+    ignore (Btree.insert t (Printf.sprintf "k%06d" i) i)
+  done;
+  let i = ref 0 in
+  Test.make ~name:"btree/find"
+    (Staged.stage (fun () ->
+         i := (!i + 7919) mod 10000;
+         ignore (Btree.find t (Printf.sprintf "k%06d" !i))))
+
+let btree_scan_test =
+  let t = Btree.create ~fanout:32 () in
+  for i = 0 to 9999 do
+    ignore (Btree.insert t (Printf.sprintf "k%06d" i) i)
+  done;
+  Test.make ~name:"btree/scan-1k"
+    (Staged.stage (fun () ->
+         let n = ref 0 in
+         Btree.iter_range t ~lo:"k000000" ~hi:"k000999" (fun _ _ -> incr n)))
+
+let mvstore_visible_test =
+  let table = Mvstore.create "bench" in
+  let chain, _ = Mvstore.ensure_chain table "k" in
+  for ts = 1 to 10 do
+    Mvstore.install chain ~value:(Some (string_of_int ts)) ~commit_ts:ts ~creator:ts
+  done;
+  Test.make ~name:"mvstore/visible"
+    (Staged.stage (fun () -> ignore (Mvstore.visible chain ~snapshot:5)))
+
+let lockmgr_test =
+  let sim = Sim.create () in
+  let lm = Lockmgr.create sim in
+  Test.make ~name:"lockmgr/siread+x"
+    (Staged.stage (fun () ->
+         Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.Siread "r";
+         Lockmgr.acquire lm ~owner:2 ~mode:Lockmgr.X "r";
+         Lockmgr.release_all lm 1;
+         Lockmgr.release_all lm 2))
+
+(* Whole-transaction micro-benchmarks: 20 SmallBank transactions on a fresh
+   simulated engine per run (cost includes the simulator itself). *)
+let txn_test isolation name =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let sim = Sim.create () in
+         let config = { (Core.Config.test ()) with Core.Config.record_history = false } in
+         let db = Core.Db.create ~config sim in
+         Smallbank.setup db ~customers:100 ();
+         Sim.spawn sim (fun () ->
+             let st = Random.State.make [| 42 |] in
+             let mix = Smallbank.mix ~customers:100 () in
+             for _ = 1 to 20 do
+               let prog = Driver.pick mix st in
+               ignore (Core.Db.run_retry db isolation (prog.Driver.p_body st))
+             done);
+         Sim.run ~until:1e6 sim))
+
+let micro_tests =
+  Test.make_grouped ~name:"ssi"
+    [
+      btree_insert_test;
+      btree_find_test;
+      btree_scan_test;
+      mvstore_visible_test;
+      lockmgr_test;
+      txn_test Core.Types.Snapshot "engine/20-txns-si";
+      txn_test Core.Types.Serializable "engine/20-txns-ssi";
+      txn_test Core.Types.S2pl "engine/20-txns-s2pl";
+    ]
+
+let run_micro () =
+  print_endline "\n=== Bechamel micro-benchmarks (ns per run) ===";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] micro_tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) results [] in
+  List.iter
+    (fun name ->
+      let est = Hashtbl.find results name in
+      match Analyze.OLS.estimates est with
+      | Some (ns :: _) -> Printf.printf "%-28s %12.0f ns/run\n" name ns
+      | _ -> Printf.printf "%-28s %12s\n" name "n/a")
+    (List.sort compare names)
+
+(* {1 Main} *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let micro_only = List.mem "--micro-only" args in
+  let figures_only = List.mem "--figures-only" args in
+  let requested = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let budget = if quick then Experiments.quick_budget else bench_budget in
+  let ids = if requested <> [] then requested else List.map fst Experiments.all_figures in
+  if not micro_only then begin
+    Printf.printf
+      "Reproducing the evaluation of 'Serializable Isolation for Snapshot Databases'\n\
+       (Cahill, Roehm, Fekete); throughput is commits per simulated second; compare\n\
+       shapes, not absolute numbers. Budget: %d seed(s), %.2fs windows, MPL in {%s}.\n"
+      (List.length budget.Experiments.seeds)
+      budget.Experiments.duration
+      (String.concat ", " (List.map string_of_int budget.Experiments.mpls));
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun id ->
+        let t = Unix.gettimeofday () in
+        Experiments.run_and_print ~budget Fmt.stdout id;
+        Printf.printf "[%s took %.1fs]\n%!" id (Unix.gettimeofday () -. t))
+      ids;
+    Printf.printf "\nAll experiments done in %.1fs.\n%!" (Unix.gettimeofday () -. t0)
+  end;
+  if (not figures_only) && requested = [] then run_micro ()

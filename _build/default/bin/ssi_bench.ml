@@ -1,0 +1,154 @@
+(* Command-line front-end for the reproduction:
+
+   - [list]         enumerate the experiments (paper figures + ablations)
+   - [run IDS..]    run experiments and print their tables
+   - [sdg NAME]     static dependency graph analysis (§2.6/§2.8)
+   - [interleave]   exhaustive interleaving sweeps (§4.7)
+
+   Examples:
+     ssi_bench run fig6.1 fig6.8 --seeds 3 --duration 1.0
+     ssi_bench sdg smallbank
+     ssi_bench interleave --spec write-skew --isolation si *)
+
+open Cmdliner
+
+let list_cmd =
+  let run () =
+    print_endline "Available experiments (see DESIGN.md for the per-figure index):";
+    List.iter
+      (fun (id, title) -> Printf.printf "  %-18s %s\n" id title)
+      Experiments.titles
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments") Term.(const run $ const ())
+
+let ids_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (see list)")
+
+let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Fast smoke budget")
+
+let seeds_arg =
+  Arg.(value & opt int 2 & info [ "seeds" ] ~doc:"Number of random seeds per point")
+
+let duration_arg =
+  Arg.(value & opt float 0.5 & info [ "duration" ] ~doc:"Measured simulated seconds per run")
+
+let mpl_arg =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 5; 10; 20 ]
+    & info [ "mpl" ] ~doc:"Comma-separated multiprogramming levels")
+
+let run_cmd =
+  let run ids quick seeds duration mpls =
+    let budget =
+      if quick then Experiments.quick_budget
+      else
+        {
+          Experiments.seeds = List.init seeds (fun i -> i + 1);
+          duration;
+          warmup = duration /. 4.0;
+          mpls;
+        }
+    in
+    let ids = if ids = [] then List.map fst Experiments.all_figures else ids in
+    List.iter (Experiments.run_and_print ~budget Fmt.stdout) ids
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run experiments and print throughput/abort tables")
+    Term.(const run $ ids_arg $ quick_arg $ seeds_arg $ duration_arg $ mpl_arg)
+
+let sdg_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 string "smallbank"
+      & info [] ~docv:"NAME"
+          ~doc:
+            "Graph: smallbank | smallbank-materialize-wt | smallbank-promote-wt | \
+             smallbank-materialize-bw | smallbank-promote-bw | tpcc | tpccpp")
+  in
+  let run name =
+    let g =
+      match name with
+      | "smallbank" -> Some (Catalog.smallbank ())
+      | "smallbank-materialize-wt" -> Some (Catalog.smallbank_materialize_wt ())
+      | "smallbank-promote-wt" -> Some (Catalog.smallbank_promote_wt ())
+      | "smallbank-materialize-bw" -> Some (Catalog.smallbank_materialize_bw ())
+      | "smallbank-promote-bw" -> Some (Catalog.smallbank_promote_bw ())
+      | "tpcc" -> Some (Catalog.tpcc ())
+      | "tpccpp" -> Some (Catalog.tpccpp ())
+      | _ -> None
+    in
+    match g with
+    | None ->
+        prerr_endline ("unknown graph: " ^ name);
+        exit 1
+    | Some g ->
+        Fmt.pr "Static dependency graph '%s' (rw! = vulnerable anti-dependency):@.%a@." name
+          Sdg.pp g;
+        let ds = Sdg.dangerous_structures g in
+        if ds = [] then
+          Fmt.pr "No dangerous structure: every SI execution is serializable (Theorem 3).@."
+        else begin
+          Fmt.pr "DANGEROUS: pivots %a@." Fmt.(list ~sep:comma string) (Sdg.pivots g);
+          List.iter
+            (fun d ->
+              Fmt.pr "  %s -rw!-> %s -rw!-> %s@." d.Sdg.d_in d.Sdg.d_pivot d.Sdg.d_out)
+            ds
+        end
+  in
+  Cmd.v
+    (Cmd.info "sdg" ~doc:"Analyse a static dependency graph for dangerous structures")
+    Term.(const run $ name_arg)
+
+let interleave_cmd =
+  let spec_arg =
+    Arg.(
+      value
+      & opt string "write-skew"
+      & info [ "spec" ] ~doc:"Transaction set: write-skew | read-only-anomaly | paper-4.7")
+  in
+  let iso_arg =
+    Arg.(value & opt string "si" & info [ "isolation" ] ~doc:"si | ssi | s2pl | rc")
+  in
+  let run spec iso =
+    let spec_txns =
+      match spec with
+      | "write-skew" -> Interleave.write_skew_spec
+      | "read-only-anomaly" -> Interleave.read_only_anomaly_spec
+      | "paper-4.7" -> Interleave.paper_spec
+      | _ ->
+          prerr_endline ("unknown spec: " ^ spec);
+          exit 1
+    in
+    let isolation =
+      match iso with
+      | "si" -> Core.Types.Snapshot
+      | "ssi" -> Core.Types.Serializable
+      | "s2pl" -> Core.Types.S2pl
+      | "rc" -> Core.Types.Read_committed
+      | _ ->
+          prerr_endline ("unknown isolation: " ^ iso);
+          exit 1
+    in
+    let s = Interleave.sweep ~isolation spec_txns in
+    Printf.printf
+      "spec=%s isolation=%s: %d interleavings\n\
+      \  all-committed:    %d\n\
+      \  non-serializable: %d\n\
+      \  unsafe aborts:    %d\n\
+      \  other aborts:     %d\n"
+      spec iso s.Interleave.total s.Interleave.all_committed s.Interleave.non_serializable
+      s.Interleave.unsafe_aborts s.Interleave.other_aborts
+  in
+  Cmd.v
+    (Cmd.info "interleave"
+       ~doc:"Exhaustively execute all interleavings of a transaction set (§4.7)")
+    Term.(const run $ spec_arg $ iso_arg)
+
+let () =
+  let info =
+    Cmd.info "ssi_bench" ~version:"1.0"
+      ~doc:"Reproduction toolkit for 'Serializable Isolation for Snapshot Databases'"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sdg_cmd; interleave_cmd ]))

@@ -1,0 +1,1 @@
+examples/credit_check_demo.ml: Config Core Db List Mvsg Mvstore Option Printf Sim Txn Types

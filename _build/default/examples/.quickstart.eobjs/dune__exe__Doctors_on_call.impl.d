@@ -1,0 +1,1 @@
+examples/doctors_on_call.ml: Config Core Db List Printf Sim Txn Types

@@ -1,0 +1,1 @@
+examples/doctors_on_call.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Core Db Internal List Printf Sim Txn Types

@@ -1,0 +1,1 @@
+examples/read_only_anomaly.ml: Array Config Core Db List Mvsg Printf Sim Txn Types

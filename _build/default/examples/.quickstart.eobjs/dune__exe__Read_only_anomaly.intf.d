@@ -1,0 +1,1 @@
+examples/read_only_anomaly.mli:

@@ -1,0 +1,1 @@
+examples/smallbank_demo.ml: Config Core Db Driver List Printf Smallbank Types

@@ -1,0 +1,1 @@
+lib/benchmarks/sibench.ml: Btree Core Db Driver List Mvstore Printf Random Txn

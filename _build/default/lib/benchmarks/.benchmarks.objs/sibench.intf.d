@@ -1,0 +1,1 @@
+lib/benchmarks/sibench.mli: Core Db Driver Random Txn

@@ -1,0 +1,1 @@
+lib/benchmarks/smallbank.ml: Btree Core Db Driver List Mvstore Printf Random Txn Types

@@ -1,0 +1,1 @@
+lib/benchmarks/smallbank.mli: Core Db Driver Txn

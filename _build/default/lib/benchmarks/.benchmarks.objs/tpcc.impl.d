@@ -1,0 +1,1 @@
+lib/benchmarks/tpcc.ml: Core Db Driver Hashtbl List Mvstore Printf Random String Txn Types

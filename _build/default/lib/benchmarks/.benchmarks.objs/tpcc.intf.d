@@ -1,0 +1,1 @@
+lib/benchmarks/tpcc.mli: Core Db Driver Random Txn

@@ -1,0 +1,29 @@
+(** The sibench microbenchmark (§5.2): a single table of [items] rows; a
+    query scanning every row for the minimum value, and an update
+    incrementing one uniform random row. The SDG has a single rw edge, so no
+    deadlocks or write skew are possible — the benchmark isolates the cost
+    of read-write conflict handling across the three algorithms. *)
+
+open Core
+
+val table : string
+
+val key_of : int -> string
+
+val setup : Db.t -> items:int -> unit -> unit
+
+(** SELECT id FROM sitest ORDER BY value ASC LIMIT 1 (scans all rows). *)
+val query : Txn.t -> (string * int) option
+
+(** UPDATE sitest SET value = value + 1 WHERE id = :random. *)
+val update : items:int -> Random.State.t -> Txn.t -> unit
+
+(** [queries_per_update]: 1 = the mixed workload (§6.3.1); 10 = query-mostly
+    (§6.3.2). *)
+val mix : items:int -> ?queries_per_update:int -> unit -> Driver.program list
+
+(** Sum of all values: equals {!initial_total} plus the number of committed
+    updates — the lost-update probe used in tests. *)
+val total : Db.t -> int
+
+val initial_total : items:int -> int

@@ -1,0 +1,367 @@
+(* In-memory B+tree with leaf chaining.
+
+   This is the ordered-index substrate standing in for Berkeley DB's Btree
+   access method and InnoDB's clustered index. Every operation reports which
+   pages (node ids) it touched and which it structurally modified, so the
+   transaction engine can lock at page granularity and reproduce the paper's
+   Berkeley DB results, where root-page splits conflict with every concurrent
+   reader (§6.1.5).
+
+   Deletion removes the key from its leaf without rebalancing (lazy
+   deletion); the MVCC layer above keeps tombstone version chains in place,
+   so index entries are removed only by garbage collection and underflow is
+   harmless. *)
+
+type 'a leaf = {
+  lid : int;
+  mutable lkeys : string array;
+  mutable lvals : 'a array;
+  mutable lnext : 'a leaf option;
+}
+
+type 'a node = Leaf of 'a leaf | Internal of 'a internal
+
+and 'a internal = {
+  iid : int;
+  mutable ikeys : string array; (* separators, length = #children - 1 *)
+  mutable ichildren : 'a node array;
+}
+
+type 'a t = {
+  mutable root : 'a node;
+  fanout : int; (* max keys per leaf and max children per internal *)
+  mutable next_id : int;
+  mutable size : int;
+}
+
+type access = {
+  path : int list; (* page ids on the descent, root first *)
+  leaves : int list; (* leaf pages visited (scans may visit several) *)
+  modified : int list; (* pages structurally modified by splits *)
+}
+
+let no_access = { path = []; leaves = []; modified = [] }
+
+let node_id = function Leaf l -> l.lid | Internal n -> n.iid
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  id
+
+let create ?(fanout = 64) () =
+  if fanout < 4 then invalid_arg "Btree.create: fanout must be >= 4";
+  let t = { root = Leaf { lid = 0; lkeys = [||]; lvals = [||]; lnext = None }; fanout; next_id = 1; size = 0 } in
+  t
+
+let length t = t.size
+
+let fanout t = t.fanout
+
+let root_id t = node_id t.root
+
+(* Index of the child covering [key]: the number of separators <= key. *)
+let child_index n key =
+  let keys = n.ikeys in
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if keys.(mid) <= key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Position of [key] in a sorted array, or the insertion point.
+   Returns (index, found). *)
+let search_keys keys key =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if keys.(mid) < key then lo := mid + 1 else hi := mid
+  done;
+  let i = !lo in
+  (i, i < Array.length keys && keys.(i) = key)
+
+let array_insert a i x =
+  let n = Array.length a in
+  let b = Array.make (n + 1) x in
+  Array.blit a 0 b 0 i;
+  Array.blit a i b (i + 1) (n - i);
+  b
+
+let array_remove a i =
+  let n = Array.length a in
+  let b = Array.sub a 0 (n - 1) in
+  Array.blit a (i + 1) b i (n - 1 - i);
+  b
+
+let rec descend_to_leaf node key acc =
+  match node with
+  | Leaf l -> (l, List.rev (l.lid :: acc))
+  | Internal n -> descend_to_leaf n.ichildren.(child_index n key) key (n.iid :: acc)
+
+let find_path t key =
+  let leaf, path = descend_to_leaf t.root key [] in
+  let i, found = search_keys leaf.lkeys key in
+  let v = if found then Some leaf.lvals.(i) else None in
+  (v, { path; leaves = [ leaf.lid ]; modified = [] })
+
+let find t key = fst (find_path t key)
+
+let mem t key = find t key <> None
+
+(* Result of inserting into a subtree: possibly a promoted separator and a
+   new right sibling for the parent to absorb, plus modified page ids. *)
+type 'a split = (string * 'a node) option
+
+let split_leaf t l : string * 'a node =
+  let n = Array.length l.lkeys in
+  let mid = (n + 1) / 2 in
+  let right =
+    {
+      lid = fresh_id t;
+      lkeys = Array.sub l.lkeys mid (n - mid);
+      lvals = Array.sub l.lvals mid (n - mid);
+      lnext = l.lnext;
+    }
+  in
+  l.lkeys <- Array.sub l.lkeys 0 mid;
+  l.lvals <- Array.sub l.lvals 0 mid;
+  l.lnext <- Some right;
+  (right.lkeys.(0), Leaf right)
+
+let split_internal t n : string * 'a node =
+  let nk = Array.length n.ikeys in
+  let mid = nk / 2 in
+  let promoted = n.ikeys.(mid) in
+  let right =
+    {
+      iid = fresh_id t;
+      ikeys = Array.sub n.ikeys (mid + 1) (nk - mid - 1);
+      ichildren = Array.sub n.ichildren (mid + 1) (Array.length n.ichildren - mid - 1);
+    }
+  in
+  n.ikeys <- Array.sub n.ikeys 0 mid;
+  n.ichildren <- Array.sub n.ichildren 0 (mid + 1);
+  (promoted, Internal right)
+
+(* [insert_rec] returns (replaced_existing, split, modified_ids). *)
+let rec insert_rec t node key v : bool * 'a split * int list =
+  match node with
+  | Leaf l ->
+      let i, found = search_keys l.lkeys key in
+      if found then begin
+        l.lvals.(i) <- v;
+        (true, None, [])
+      end
+      else begin
+        l.lkeys <- array_insert l.lkeys i key;
+        l.lvals <- array_insert l.lvals i v;
+        if Array.length l.lkeys > t.fanout then begin
+          let sep, right = split_leaf t l in
+          (false, Some (sep, right), [ l.lid; node_id right ])
+        end
+        else (false, None, [])
+      end
+  | Internal n -> (
+      let ci = child_index n key in
+      let replaced, split, modified = insert_rec t n.ichildren.(ci) key v in
+      match split with
+      | None -> (replaced, None, modified)
+      | Some (sep, right) ->
+          n.ikeys <- array_insert n.ikeys ci sep;
+          n.ichildren <- array_insert n.ichildren (ci + 1) right;
+          if Array.length n.ichildren > t.fanout then begin
+            let sep', right' = split_internal t n in
+            (replaced, Some (sep', right'), (n.iid :: node_id right' :: modified))
+          end
+          else (replaced, None, n.iid :: modified))
+
+let insert t key v =
+  let _, path_acc = descend_to_leaf t.root key [] in
+  let replaced, split, modified = insert_rec t t.root key v in
+  if not replaced then t.size <- t.size + 1;
+  let modified =
+    match split with
+    | None -> modified
+    | Some (sep, right) ->
+        (* Root split: the tree grows a level. *)
+        let new_root =
+          Internal { iid = fresh_id t; ikeys = [| sep |]; ichildren = [| t.root; right |] }
+        in
+        let id = node_id new_root in
+        t.root <- new_root;
+        id :: modified
+  in
+  { path = path_acc; leaves = [ List.nth path_acc (List.length path_acc - 1) ]; modified }
+
+let remove t key =
+  let rec go node =
+    match node with
+    | Leaf l ->
+        let i, found = search_keys l.lkeys key in
+        if found then begin
+          l.lkeys <- array_remove l.lkeys i;
+          l.lvals <- array_remove l.lvals i;
+          true
+        end
+        else false
+    | Internal n -> go n.ichildren.(child_index n key)
+  in
+  let removed = go t.root in
+  if removed then t.size <- t.size - 1;
+  removed
+
+let rec leftmost_leaf = function
+  | Leaf l -> l
+  | Internal n -> leftmost_leaf n.ichildren.(0)
+
+let min_key t =
+  let rec first_nonempty l =
+    if Array.length l.lkeys > 0 then Some l.lkeys.(0)
+    else match l.lnext with None -> None | Some l' -> first_nonempty l'
+  in
+  first_nonempty (leftmost_leaf t.root)
+
+let max_key t =
+  let rec go node =
+    match node with
+    | Leaf l -> if Array.length l.lkeys = 0 then None else Some l.lkeys.(Array.length l.lkeys - 1)
+    | Internal n -> go n.ichildren.(Array.length n.ichildren - 1)
+  in
+  (* Lazy deletion can empty a rightmost leaf; fall back to a full scan of
+     the leaf chain in that unlikely case. *)
+  match go t.root with
+  | Some k -> Some k
+  | None ->
+      let best = ref None in
+      let rec walk l =
+        if Array.length l.lkeys > 0 then best := Some l.lkeys.(Array.length l.lkeys - 1);
+        match l.lnext with None -> () | Some l' -> walk l'
+      in
+      walk (leftmost_leaf t.root);
+      !best
+
+(* Least key strictly greater than [key], if any. *)
+let successor t key =
+  let leaf, _ = descend_to_leaf t.root key [] in
+  let rec from_leaf l i =
+    if i < Array.length l.lkeys then
+      if l.lkeys.(i) > key then Some l.lkeys.(i) else from_leaf l (i + 1)
+    else match l.lnext with None -> None | Some l' -> from_leaf l' 0
+  in
+  let i, _ = search_keys leaf.lkeys key in
+  from_leaf leaf i
+
+(* Inclusive range iteration; [f] may not modify the tree. Returns the access
+   footprint (descent path for [lo] plus all leaves visited). *)
+let iter_range_access t ?lo ?hi f =
+  let start_key = match lo with Some k -> k | None -> "" in
+  let leaf, path = descend_to_leaf t.root start_key [] in
+  let leaves = ref [] in
+  let rec walk l i =
+    if i = 0 then leaves := l.lid :: !leaves;
+    if i < Array.length l.lkeys then begin
+      let k = l.lkeys.(i) in
+      let below_hi = match hi with None -> true | Some h -> k <= h in
+      if below_hi then begin
+        let above_lo = match lo with None -> true | Some lo -> k >= lo in
+        if above_lo then f k l.lvals.(i);
+        walk l (i + 1)
+      end
+    end
+    else
+      match l.lnext with
+      | None -> ()
+      | Some l' -> (
+          (* Only continue if the next leaf can contain in-range keys. *)
+          match hi with
+          | Some h when Array.length l'.lkeys > 0 && l'.lkeys.(0) > h -> ()
+          | _ -> walk l' 0)
+  in
+  (* [f] may raise [Exit] to stop the scan early (LIMIT queries); the access
+     footprint then covers only the pages actually visited. *)
+  (try walk leaf 0 with Exit -> ());
+  { path; leaves = List.rev !leaves; modified = [] }
+
+let iter_range t ?lo ?hi f = ignore (iter_range_access t ?lo ?hi f)
+
+let fold_range t ?lo ?hi ~init ~f =
+  let acc = ref init in
+  iter_range t ?lo ?hi (fun k v -> acc := f !acc k v);
+  !acc
+
+let to_list t =
+  List.rev (fold_range t ?lo:None ?hi:None ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+let height t =
+  let rec go node acc = match node with Leaf _ -> acc | Internal n -> go n.ichildren.(0) (acc + 1) in
+  go t.root 1
+
+(* All page ids in the tree, internals before their children (BFS-ish
+   depth-first order). *)
+let all_pages t =
+  let acc = ref [] in
+  let rec go node =
+    acc := node_id node :: !acc;
+    match node with Leaf _ -> () | Internal n -> Array.iter go n.ichildren
+  in
+  go t.root;
+  List.rev !acc
+
+let page_count t =
+  let rec go node acc =
+    match node with
+    | Leaf _ -> acc + 1
+    | Internal n -> Array.fold_left (fun acc c -> go c acc) (acc + 1) n.ichildren
+  in
+  go t.root 0
+
+exception Invariant_violation of string
+
+let check_invariants t =
+  let fail fmt = Fmt.kstr (fun s -> raise (Invariant_violation s)) fmt in
+  let check_sorted keys what =
+    Array.iteri
+      (fun i k -> if i > 0 && keys.(i - 1) >= k then fail "%s keys not strictly sorted" what)
+      keys
+  in
+  let rec depth node = match node with Leaf _ -> 1 | Internal n -> 1 + depth n.ichildren.(0) in
+  let d = depth t.root in
+  let count = ref 0 in
+  let rec go node level ~lo ~hi =
+    match node with
+    | Leaf l ->
+        if level <> d then fail "leaf at level %d, expected %d" level d;
+        if Array.length l.lkeys <> Array.length l.lvals then fail "leaf key/val mismatch";
+        check_sorted l.lkeys "leaf";
+        Array.iter
+          (fun k ->
+            (match lo with Some lo when k < lo -> fail "leaf key below bound" | _ -> ());
+            match hi with Some hi when k >= hi -> fail "leaf key above bound" | _ -> ())
+          l.lkeys;
+        count := !count + Array.length l.lkeys
+    | Internal n ->
+        let nk = Array.length n.ikeys and nc = Array.length n.ichildren in
+        if nc <> nk + 1 then fail "internal child count %d for %d keys" nc nk;
+        if nc > t.fanout then fail "internal overflow";
+        check_sorted n.ikeys "internal";
+        for i = 0 to nc - 1 do
+          let lo' = if i = 0 then lo else Some n.ikeys.(i - 1) in
+          let hi' = if i = nc - 1 then hi else Some n.ikeys.(i) in
+          go n.ichildren.(i) (level + 1) ~lo:lo' ~hi:hi'
+        done
+  in
+  go t.root 1 ~lo:None ~hi:None;
+  if !count <> t.size then fail "size %d but counted %d keys" t.size !count;
+  (* Leaf chain must enumerate exactly the sorted key set. *)
+  let chain = ref [] in
+  let rec walk l =
+    Array.iter (fun k -> chain := k :: !chain) l.lkeys;
+    match l.lnext with None -> () | Some l' -> walk l'
+  in
+  walk (leftmost_leaf t.root);
+  let chain = List.rev !chain in
+  if List.length chain <> t.size then fail "leaf chain length mismatch";
+  ignore (List.fold_left (fun prev k ->
+      (match prev with Some p when p >= k -> fail "leaf chain out of order" | _ -> ());
+      Some k) None chain)

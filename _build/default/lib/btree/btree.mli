@@ -1,0 +1,87 @@
+(** In-memory B+tree with leaf chaining and page-id tracking.
+
+    Ordered-index substrate standing in for Berkeley DB's Btree access method
+    and InnoDB's clustered index. Keys are strings (composite keys are
+    encoded by the caller); values are arbitrary — the MVCC layer stores
+    mutable version chains in them.
+
+    Every page (node) has a stable integer id, and each operation reports its
+    {!access} footprint: the descent path, the leaf pages visited, and any
+    pages structurally modified by splits. The transaction engine uses these
+    ids for page-granularity locking (the Berkeley DB configuration of the
+    paper), where a root-page split conflicts with every concurrent reader.
+
+    Deletion is lazy (no rebalancing): version-chain entries are only removed
+    by garbage collection, so underflowing pages are harmless and simply
+    stay. *)
+
+type 'a t
+
+(** Footprint of one tree operation, as page ids. *)
+type access = {
+  path : int list;  (** descent path, root first *)
+  leaves : int list;  (** leaf pages visited (scans may visit several) *)
+  modified : int list;  (** pages structurally modified by splits *)
+}
+
+val no_access : access
+
+(** [create ~fanout ()] makes an empty tree. [fanout] is the maximum number
+    of keys per leaf and children per internal node (default 64, min 4). *)
+val create : ?fanout:int -> unit -> 'a t
+
+val length : 'a t -> int
+
+val fanout : 'a t -> int
+
+(** Current root page id (changes when the root splits). *)
+val root_id : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+
+(** Like {!find} but also reports the pages read. *)
+val find_path : 'a t -> string -> 'a option * access
+
+val mem : 'a t -> string -> bool
+
+(** Insert or replace. The returned access lists split-modified pages, which
+    is how page-level writers conflict with concurrent readers of internal
+    pages. *)
+val insert : 'a t -> string -> 'a -> access
+
+(** Physically remove a key (used by garbage collection, not by transactions,
+    which write tombstones instead). Returns whether the key was present. *)
+val remove : 'a t -> string -> bool
+
+val min_key : 'a t -> string option
+
+val max_key : 'a t -> string option
+
+(** Least key strictly greater than the argument — the "next key" of
+    next-key/gap locking (Figs 3.6/3.7). *)
+val successor : 'a t -> string -> string option
+
+(** Inclusive range iteration in key order. *)
+val iter_range : 'a t -> ?lo:string -> ?hi:string -> (string -> 'a -> unit) -> unit
+
+(** Like {!iter_range}, reporting the descent path and leaves visited. *)
+val iter_range_access : 'a t -> ?lo:string -> ?hi:string -> (string -> 'a -> unit) -> access
+
+val fold_range :
+  'a t -> ?lo:string -> ?hi:string -> init:'acc -> f:('acc -> string -> 'a -> 'acc) -> 'acc
+
+val to_list : 'a t -> (string * 'a) list
+
+(** Tree height in levels (1 = a single leaf). *)
+val height : 'a t -> int
+
+val page_count : 'a t -> int
+
+(** All page ids, root first. *)
+val all_pages : 'a t -> int list
+
+exception Invariant_violation of string
+
+(** Check structural invariants (sortedness, uniform depth, separator bounds,
+    leaf-chain consistency, size). Raises {!Invariant_violation}. For tests. *)
+val check_invariants : 'a t -> unit

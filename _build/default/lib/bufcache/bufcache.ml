@@ -1,0 +1,157 @@
+(* LRU buffer cache over B+tree pages.
+
+   The paper's substrates (Berkeley DB's memory pool, InnoDB's buffer pool)
+   serve every page access through a fixed-size cache; the large-data TPC-C
+   configurations of §6.4.1 are I/O bound because the working set misses.
+   This module models that: each page touch either hits (free) or misses,
+   paying a disk read through the shared disk resource; evicting a dirty
+   page pays a disk write first.
+
+   The engine uses it when [Config.buffer_pool] is set; otherwise the
+   probabilistic [read_miss] model stands in (see DESIGN.md). *)
+
+type page = string * int (* table, page id *)
+
+type node = {
+  key : page;
+  mutable dirty : bool;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  sim : Sim.t;
+  capacity : int;
+  disk : Resource.t;
+  read_latency : float;
+  write_latency : float;
+  nodes : (page, node) Hashtbl.t;
+  mutable head : node option; (* most recently used *)
+  mutable tail : node option; (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable dirty_writebacks : int;
+}
+
+let create sim ~capacity ~disk ?(read_latency = 0.004) ?(write_latency = 0.004) () =
+  if capacity < 1 then invalid_arg "Bufcache.create: capacity must be >= 1";
+  {
+    sim;
+    capacity;
+    disk;
+    read_latency;
+    write_latency;
+    nodes = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    dirty_writebacks = 0;
+  }
+
+let size t = Hashtbl.length t.nodes
+
+(* Unlink a node from the LRU list. *)
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+(* Evict the least-recently-used page; a dirty victim is written back
+   first (charged to the evicting process, like a foreground flush). *)
+let evict_one t =
+  match t.tail with
+  | None -> ()
+  | Some victim ->
+      unlink t victim;
+      Hashtbl.remove t.nodes victim.key;
+      t.evictions <- t.evictions + 1;
+      if victim.dirty then begin
+        t.dirty_writebacks <- t.dirty_writebacks + 1;
+        Resource.consume t.disk t.write_latency
+      end
+
+(* Touch a page: LRU hit is free; a miss pays a disk read and may evict.
+   [dirty] marks the page as modified (write-back on eviction). Must run in
+   a simulator process. *)
+let touch ?(dirty = false) t ~table ~page =
+  let key = (table, page) in
+  match Hashtbl.find_opt t.nodes key with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      if dirty then n.dirty <- true;
+      if t.head != Some n then begin
+        unlink t n;
+        push_front t n
+      end
+  | None ->
+      t.misses <- t.misses + 1;
+      if Hashtbl.length t.nodes >= t.capacity then evict_one t;
+      Resource.consume t.disk t.read_latency;
+      (* Re-check: another process may have faulted the page in while we
+         waited on the disk. *)
+      (match Hashtbl.find_opt t.nodes key with
+      | Some n ->
+          if dirty then n.dirty <- true;
+          if t.head != Some n then begin
+            unlink t n;
+            push_front t n
+          end
+      | None ->
+          let n = { key; dirty; prev = None; next = None } in
+          Hashtbl.replace t.nodes key n;
+          push_front t n)
+
+let evict_one_nosim t =
+  match t.tail with
+  | None -> ()
+  | Some victim ->
+      unlink t victim;
+      Hashtbl.remove t.nodes victim.key;
+      t.evictions <- t.evictions + 1
+
+(* Warm the cache without simulated I/O (initial load). Fills up to
+   capacity in the order given; later pages are more recently used. *)
+let prewarm t pages =
+  List.iter
+    (fun (table, page) ->
+      let key = (table, page) in
+      if not (Hashtbl.mem t.nodes key) then begin
+        if Hashtbl.length t.nodes >= t.capacity then evict_one_nosim t;
+        let n = { key; dirty = false; prev = None; next = None } in
+        Hashtbl.replace t.nodes key n;
+        push_front t n
+      end)
+    pages
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let evictions t = t.evictions
+
+let dirty_writebacks t = t.dirty_writebacks
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 1.0 else float_of_int t.hits /. float_of_int total
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.dirty_writebacks <- 0
+
+(* LRU order, most recent first (for tests). *)
+let lru_order t =
+  let rec go acc = function None -> List.rev acc | Some n -> go (n.key :: acc) n.next in
+  go [] t.head

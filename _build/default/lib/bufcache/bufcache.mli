@@ -1,0 +1,47 @@
+(** LRU buffer cache over B+tree pages.
+
+    Models the fixed-size page caches of the paper's substrates (Berkeley
+    DB's memory pool, InnoDB's buffer pool): a page touch either hits (free)
+    or misses and pays a disk read through the shared {!Resource}; evicting
+    a dirty page pays a disk write first. Enabled in the engine via
+    [Config.buffer_pool]; see DESIGN.md for the probabilistic fallback. *)
+
+type t
+
+val create :
+  Sim.t ->
+  capacity:int ->
+  disk:Resource.t ->
+  ?read_latency:float ->
+  ?write_latency:float ->
+  unit ->
+  t
+
+(** Pages currently cached. *)
+val size : t -> int
+
+(** Touch a page (simulator process context): hit is free, miss pays a disk
+    read and may evict the LRU page (write-back first if dirty). [dirty]
+    marks the page modified. *)
+val touch : ?dirty:bool -> t -> table:string -> page:int -> unit
+
+(** Fault pages in without simulated I/O (initial load); caps at capacity. *)
+val prewarm : t -> (string * int) list -> unit
+
+(** {1 Statistics} *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val evictions : t -> int
+
+val dirty_writebacks : t -> int
+
+(** Hits / (hits + misses); 1.0 when untouched. *)
+val hit_rate : t -> float
+
+val reset_stats : t -> unit
+
+(** Cached pages, most recently used first (for tests). *)
+val lru_order : t -> (string * int) list

@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Config Internal List Lockmgr Types

@@ -1,0 +1,1 @@
+lib/core/db.ml: Btree Bufcache Config Exec Hashtbl Internal List Lockmgr Mvstore Option Random Resource Sim Types Wal

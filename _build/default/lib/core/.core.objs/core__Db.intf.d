@@ -1,0 +1,1 @@
+lib/core/db.mli: Bufcache Config Internal Lockmgr Mvstore Resource Sim Types Wal

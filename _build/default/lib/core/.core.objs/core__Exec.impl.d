@@ -1,0 +1,1 @@
+lib/core/exec.ml: Btree Config Conflict Hashtbl Internal List Lockmgr Mvstore Option Resource Types Wal

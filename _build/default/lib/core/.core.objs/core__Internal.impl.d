@@ -1,0 +1,1 @@
+lib/core/internal.ml: Btree Bufcache Config Hashtbl List Lockmgr Mvstore Printf Random Resource Sim Types Wal

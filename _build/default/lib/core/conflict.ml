@@ -1,0 +1,170 @@
+(* The heart of Serializable Snapshot Isolation: rw-dependency flagging
+   (markConflict, Figs 3.3/3.9), the dangerous-structure tests, and the
+   machinery for aborting some *other* transaction ("dooming" it).
+
+   A transaction can only be rolled back by its own process, so when the
+   victim of a conflict is a different transaction we set [doomed] on it; it
+   notices at its next operation or commit. If it is blocked in the lock
+   manager we additionally cancel its wait so it notices immediately. *)
+
+open Types
+open Internal
+
+(* Whether [t]'s conflict edges form the dangerous pattern: both edges
+   present, and the outgoing neighbour committed first (no later than the
+   incoming neighbour commits). In basic mode (§3.2) the commit-time
+   refinement is disabled and two edges alone are dangerous. *)
+let is_dangerous config t =
+  ref_is_set t.in_conflict && ref_is_set t.out_conflict
+  &&
+  match config.Config.ssi with
+  | Config.Basic -> true
+  | Config.Precise ->
+      (* Precise mode disregards edges to aborted transactions (their reads
+         and writes no longer exist) and requires the outgoing neighbour to
+         have committed first. *)
+      let live = function
+        | No_conflict -> false
+        | Self_conflict -> true
+        | Conflict_with u -> u.state <> Aborted
+      in
+      let out_committed =
+        match t.out_conflict with
+        | Self_conflict -> true (* conservative: some neighbour may have committed *)
+        | Conflict_with u -> has_committed u
+        | No_conflict -> false
+      in
+      live t.in_conflict && live t.out_conflict && out_committed
+      && ref_commit_time ~if_self:neg_infinity t.out_conflict
+         <= ref_commit_time ~if_self:infinity t.in_conflict
+      &&
+      (* Read-only refinement (extension; see Config.ro_refinement): a cycle
+         through a committed read-only T_in requires a path T_out ->* T_in
+         of wr/ww edges, all of which point at transactions that began after
+         T_out committed — so T_out must have committed before T_in's
+         snapshot. *)
+      (match (config.Config.ro_refinement, t.in_conflict) with
+      | true, Conflict_with tin when known_read_only tin -> (
+          match tin.snapshot with
+          | Some snap ->
+              ref_commit_time ~if_self:neg_infinity t.out_conflict <= float_of_int snap
+          | None -> true)
+      | _ -> true)
+
+(* Abort [victim]. If it is the transaction whose process is running right
+   now ([self]), raise directly; otherwise doom it and break any lock wait. *)
+let claim_victim ~self victim reason =
+  if victim == self then raise (Abort reason)
+  else if victim.state = Active && victim.doomed = None then begin
+    victim.doomed <- Some reason;
+    ignore (Lockmgr.cancel_wait victim.db.locks victim.id (Abort reason))
+  end
+
+let set_out t other =
+  t.out_conflict <-
+    (match t.out_conflict with
+    | No_conflict -> Conflict_with other
+    | Conflict_with u when u == other -> Conflict_with other
+    | _ -> Self_conflict)
+
+let set_in t other =
+  t.in_conflict <-
+    (match t.in_conflict with
+    | No_conflict -> Conflict_with other
+    | Conflict_with u when u == other -> Conflict_with other
+    | _ -> Self_conflict)
+
+(* markConflict(reader, writer): record the rw-dependency reader -> writer.
+   [self] is the transaction running this code (either [reader] or
+   [writer]); it absorbs the abort when it is chosen as victim.
+
+   Follows Fig 3.3 (basic) / Fig 3.9 (precise), plus the §3.7.1 enhancements:
+   conflicts are not recorded against aborted or doomed transactions, and an
+   active transaction whose edges become dangerous aborts immediately rather
+   than at commit. *)
+let mark ~self ~reader ~writer =
+  if reader == writer then ()
+  else if reader.state = Aborted || writer.state = Aborted then ()
+  else if reader.doomed <> None || writer.doomed <> None then ()
+  else begin
+    let config = self.db.config in
+    (* Abort-early (§3.7.1): once the new edge makes a dangerous structure,
+       pick a victim among the two endpoints per §3.7.2 — either breaks the
+       structure, since removing one endpoint removes this rw edge. *)
+    let abort_early_check () =
+      if config.Config.abort_early then begin
+        let reader_dangerous = reader.state = Active && is_dangerous config reader in
+        let writer_dangerous = writer.state = Active && is_dangerous config writer in
+        if reader_dangerous || writer_dangerous then
+          let victim =
+            match config.Config.victim with
+            | Config.Prefer_pivot ->
+                (* the endpoint that is itself the pivot; reader first when
+                   both are (deterministic tie-break) *)
+                if reader_dangerous then reader else writer
+            | Config.Prefer_younger ->
+                let candidates =
+                  List.filter (fun t -> t.state = Active) [ reader; writer ]
+                in
+                List.fold_left (fun a b -> if b.id > a.id then b else a)
+                  (List.hd candidates) candidates
+          in
+          claim_victim ~self victim Unsafe
+      end
+    in
+    match config.Config.ssi with
+    | Config.Basic ->
+        if has_committed writer && ref_is_set writer.out_conflict then
+          claim_victim ~self reader Unsafe
+        else if has_committed reader && ref_is_set reader.in_conflict then
+          claim_victim ~self writer Unsafe
+        else begin
+          set_out reader writer;
+          set_in writer reader;
+          abort_early_check ()
+        end
+    | Config.Precise ->
+        (* Fig 3.9: a committed writer that is a pivot whose outgoing
+           neighbour committed no later than it dooms the reader. The
+           symmetric committed-reader check is unnecessary: the writer (its
+           outgoing neighbour) is still running, so it did not commit first. *)
+        if
+          has_committed writer
+          && ref_is_set writer.out_conflict
+          && ref_commit_time ~if_self:neg_infinity writer.out_conflict <= commit_time writer
+        then claim_victim ~self reader Unsafe
+        else begin
+          set_out reader writer;
+          set_in writer reader;
+          abort_early_check ()
+        end
+  end
+
+(* An rw-dependency whose writer's record is no longer available (only
+   possible for bulk-loaded versions): conservatively record an outgoing
+   self-conflict on the reader. *)
+let mark_unknown_writer ~self reader =
+  if reader.state = Aborted || reader.doomed <> None then ()
+  else if reader.isolation = Serializable then begin
+    reader.out_conflict <- Self_conflict;
+    let config = reader.db.config in
+    if config.Config.abort_early && reader.state = Active && is_dangerous config reader then
+      claim_victim ~self reader Unsafe
+  end
+
+(* Commit-time check of Figs 3.2/3.10: called with the transaction still
+   Active; raises [Abort Unsafe] if committing would complete a dangerous
+   structure. *)
+let check_commit t = if is_dangerous t.db.config t then raise (Abort Unsafe)
+
+(* Fig 3.10 lines 9-12: before suspension, replace references to
+   already-committed transactions with self-references, so a suspended
+   transaction never references anything that commits (and is cleaned up)
+   before it. *)
+let seal_references t =
+  (match t.in_conflict with
+  | Conflict_with u when has_committed u -> t.in_conflict <- Self_conflict
+  | _ -> ());
+  match t.out_conflict with
+  | Conflict_with u when has_committed u -> t.out_conflict <- Self_conflict
+  | _ -> ()

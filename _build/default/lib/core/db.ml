@@ -1,0 +1,182 @@
+open Types
+
+type t = Internal.db
+
+let create ?(config = Config.test ()) sim =
+  let open Internal in
+  let disk = Resource.create sim ~name:"disk" ~capacity:(max 1 config.Config.disk_arms) in
+  let cache =
+    Option.map
+      (fun capacity ->
+        Bufcache.create sim ~capacity ~disk ~read_latency:config.Config.miss_latency
+          ~write_latency:config.Config.miss_latency ())
+      config.Config.buffer_pool
+  in
+  {
+    sim;
+    config;
+    locks = Lockmgr.create ~detection:config.Config.detection sim;
+    wal = Wal.create sim ~mode:config.Config.wal_mode;
+    cpu = Resource.create sim ~name:"cpu" ~capacity:config.Config.n_cpus;
+    disk;
+    cache;
+    io_rng = Random.State.make [| 0xD15C |];
+    lock_mutex =
+      (if config.Config.lock_mutex then
+         Some (Resource.create sim ~name:"lock-mutex" ~capacity:1)
+       else None);
+    tables = Hashtbl.create 16;
+    last_commit_ts = 0;
+    next_txn_id = 0;
+    txn_by_id = Hashtbl.create 1024;
+    active = Hashtbl.create 256;
+    suspended = [];
+    page_stamps = Hashtbl.create 4096;
+    history = [];
+    stats = Internal.new_stats ();
+  }
+
+let sim (t : t) = t.Internal.sim
+
+let config (t : t) = t.Internal.config
+
+let create_table (t : t) name =
+  if Hashtbl.mem t.Internal.tables name then invalid_arg ("Db.create_table: duplicate " ^ name);
+  let table = Mvstore.create ~fanout:t.Internal.config.Config.btree_fanout name in
+  Hashtbl.replace t.Internal.tables name table;
+  table
+
+let table (t : t) name = Hashtbl.find_opt t.Internal.tables name
+
+let table_exn (t : t) name = Internal.table_exn t name
+
+let begin_txn ?(read_only = false) (t : t) isolation =
+  let open Internal in
+  t.next_txn_id <- t.next_txn_id + 1;
+  let txn =
+    {
+      id = t.next_txn_id;
+      isolation;
+      declared_ro = read_only;
+      db = t;
+      start_time = Sim.now t.sim;
+      state = Active;
+      snapshot = None;
+      commit_ts = None;
+      doomed = None;
+      in_conflict = No_conflict;
+      out_conflict = No_conflict;
+      writes = Hashtbl.create 8;
+      write_order = [];
+      siread_count = 0;
+      touched_pages = [];
+      reads_log = [];
+    }
+  in
+  Hashtbl.replace t.txn_by_id txn.id txn;
+  Hashtbl.replace t.active txn.id txn;
+  txn
+
+(* Run [body] in a fresh transaction; commit on success, roll back on any
+   exception. Abort reasons are returned as [Error]. *)
+let run ?read_only (t : t) isolation body =
+  let txn = begin_txn ?read_only t isolation in
+  match body txn with
+  | v ->
+      (try
+         Exec.do_commit txn;
+         Ok v
+       with Abort r -> Error r)
+  | exception Abort r ->
+      Exec.do_rollback txn r;
+      Error r
+  | exception e ->
+      Exec.do_rollback txn User_abort;
+      raise e
+
+(* Like {!run} but retries aborted transactions, as the paper's workload
+   drivers do; counts each attempt's outcome through the stats already, so
+   callers get the final result. *)
+let run_retry ?(max_attempts = 100) ?read_only (t : t) isolation body =
+  let rec go attempt last =
+    if attempt > max_attempts then Error last
+    else
+      match run ?read_only t isolation body with
+      | Ok v -> Ok v
+      | Error User_abort -> Error User_abort (* application rollbacks don't retry *)
+      | Error r -> go (attempt + 1) r
+  in
+  go 1 Deadlock
+
+let stats (t : t) = t.Internal.stats
+
+let history (t : t) = List.rev t.Internal.history
+
+let clear_history (t : t) = t.Internal.history <- []
+
+let last_commit_ts (t : t) = t.Internal.last_commit_ts
+
+let active_count (t : t) = Hashtbl.length t.Internal.active
+
+(* Committed SSI transactions still holding SIREAD locks; the retained list
+   also contains plain committed records awaiting overlap cleanup. *)
+let suspended_count (t : t) =
+  List.length
+    (List.filter (fun s -> s.Internal.siread_count > 0) t.Internal.suspended)
+
+let retained_count (t : t) = List.length t.Internal.suspended
+
+let lock_table_size (t : t) = Lockmgr.lock_table_size t.Internal.locks
+
+let locks (t : t) = t.Internal.locks
+
+let cpu (t : t) = t.Internal.cpu
+
+let wal (t : t) = t.Internal.wal
+
+let cache (t : t) = t.Internal.cache
+
+(* Bulk-load committed rows outside any transaction (initial population of
+   benchmark tables). All rows get one fresh commit timestamp. *)
+let load (t : t) table_name rows =
+  let open Internal in
+  let table = Internal.table_exn t table_name in
+  t.last_commit_ts <- t.last_commit_ts + 1;
+  let ts = t.last_commit_ts in
+  List.iter
+    (fun (key, value) ->
+      let chain, _ = Mvstore.ensure_chain table key in
+      Mvstore.install chain ~value:(Some value) ~commit_ts:ts ~creator:0)
+    rows
+
+(* Fill the buffer pool with as many pages as fit, newest tables last (so
+   the initial load does not count as misses). No-op without a pool. *)
+let prewarm_cache (t : t) =
+  match t.Internal.cache with
+  | None -> ()
+  | Some cache ->
+      Hashtbl.iter
+        (fun name table ->
+          Bufcache.prewarm cache
+            (List.map (fun p -> (name, p)) (Btree.all_pages (Mvstore.index table))))
+        t.Internal.tables;
+      Bufcache.reset_stats cache
+
+(* Reclaim versions no active snapshot can read. *)
+let gc (t : t) =
+  let min_snap =
+    min (Internal.min_active_snapshot t) t.Internal.last_commit_ts
+  in
+  Hashtbl.fold (fun _ tbl acc -> acc + Mvstore.gc tbl ~min_snapshot:min_snap) t.Internal.tables 0
+
+let reset_stats (t : t) =
+  let s = t.Internal.stats in
+  s.Internal.commits <- 0;
+  s.Internal.aborts_deadlock <- 0;
+  s.Internal.aborts_conflict <- 0;
+  s.Internal.aborts_unsafe <- 0;
+  s.Internal.aborts_other <- 0;
+  Lockmgr.reset_stats t.Internal.locks;
+  Wal.reset_stats t.Internal.wal;
+  Resource.reset_stats t.Internal.cpu;
+  match t.Internal.lock_mutex with Some m -> Resource.reset_stats m | None -> ()

@@ -1,0 +1,98 @@
+(** Database handle: tables, transactions, statistics and maintenance.
+
+    A database lives inside a {!Sim.t} simulation. All transactional work
+    must happen in simulator processes ({!Sim.spawn}); creating tables and
+    bulk-loading may happen outside. *)
+
+type t = Internal.db
+
+(** Create a database on a simulated machine. The {!Config.t} selects the
+    substrate profile (row- vs page-granularity, SSI variant, deadlock
+    detection, CPU/disk/WAL models); defaults to {!Config.test}. *)
+val create : ?config:Config.t -> Sim.t -> t
+
+val sim : t -> Sim.t
+
+val config : t -> Config.t
+
+(** Create a new empty table. Raises [Invalid_argument] on duplicates. *)
+val create_table : t -> string -> Mvstore.t
+
+val table : t -> string -> Mvstore.t option
+
+(** Like {!table} but raises {!Types.Abort} with [Internal_error]. *)
+val table_exn : t -> string -> Mvstore.t
+
+(** Start a transaction at the given isolation level. [read_only]
+    transactions reject writes and enable the read-only snapshot refinement
+    ([Config.ro_refinement]). Prefer {!run}, which also handles commit and
+    rollback. *)
+val begin_txn : ?read_only:bool -> t -> Types.isolation -> Internal.txn
+
+(** [run t isolation body] executes [body] in a fresh transaction and
+    commits it; on {!Types.Abort} (or at commit time) the transaction is
+    rolled back and the reason returned as [Error]. Other exceptions roll
+    back and re-raise. Must be called from a simulator process. *)
+val run :
+  ?read_only:bool -> t -> Types.isolation -> (Internal.txn -> 'a) -> ('a, Types.abort_reason) result
+
+(** Like {!run} but retries deadlock/conflict/unsafe aborts (as the paper's
+    workload drivers do), up to [max_attempts]. [User_abort] is not
+    retried. *)
+val run_retry :
+  ?max_attempts:int ->
+  ?read_only:bool ->
+  t ->
+  Types.isolation ->
+  (Internal.txn -> 'a) ->
+  ('a, Types.abort_reason) result
+
+(** Bulk-load committed rows outside any transaction (initial population).
+    All rows receive one fresh commit timestamp. *)
+val load : t -> string -> (string * string) list -> unit
+
+(** {1 Introspection} *)
+
+(** Commit/abort counters since creation (or {!reset_stats}). *)
+val stats : t -> Internal.stats
+
+(** Committed-transaction log, oldest first (only populated when
+    [config.record_history] is set); feed it to {!Mvsg.build}. *)
+val history : t -> Types.committed_record list
+
+val clear_history : t -> unit
+
+val last_commit_ts : t -> int
+
+val active_count : t -> int
+
+(** Committed SSI transactions still suspended with their SIREAD locks
+    (§3.3). *)
+val suspended_count : t -> int
+
+(** All committed transaction records retained for conflict detection
+    (§4.8): cleaned up once no active transaction overlaps them. *)
+val retained_count : t -> int
+
+val lock_table_size : t -> int
+
+val locks : t -> Lockmgr.t
+
+val cpu : t -> Resource.t
+
+val wal : t -> Wal.t
+
+(** The LRU buffer pool, when [config.buffer_pool] is set. *)
+val cache : t -> Bufcache.t option
+
+(** {1 Maintenance} *)
+
+(** Pre-fault loaded pages into the buffer pool (no simulated I/O) and reset
+    its statistics; no-op without a pool. Call after bulk loading. *)
+val prewarm_cache : t -> unit
+
+(** Reclaim versions that no active snapshot can read; returns the number
+    of index entries removed outright. *)
+val gc : t -> int
+
+val reset_stats : t -> unit

@@ -1,0 +1,662 @@
+(* Operation execution for the four concurrency control algorithms.
+
+   Each public operation runs inside [guard], which converts lock-manager
+   deadlock victims into aborts, notices dooming by other transactions, and
+   rolls the transaction back before letting the Abort exception escape.
+   Simulated CPU is charged before each critical section, so the conflict
+   bookkeeping itself runs atomically (the simulator is cooperative). *)
+
+open Types
+open Internal
+
+let check_doom t = match t.doomed with Some r -> raise (Abort r) | None -> ()
+
+(* Roll back an Active transaction: drop buffered writes, release every lock
+   (including SIREAD entries) and forget the transaction. *)
+let rollback_now t reason =
+  if t.state = Active then begin
+    t.state <- Aborted;
+    Lockmgr.release_all t.db.locks t.id;
+    Hashtbl.remove t.db.active t.id;
+    Hashtbl.remove t.db.txn_by_id t.id;
+    count_abort t.db.stats reason
+  end
+
+let reject_ro t =
+  if t.declared_ro then raise (Abort (Internal_error "write in a READ ONLY transaction"))
+
+let guard t f =
+  (match t.doomed with
+  | Some r ->
+      rollback_now t r;
+      raise (Abort r)
+  | None -> ());
+  if t.state <> Active then raise (Abort (Internal_error "transaction is not active"));
+  try f () with
+  | Abort r ->
+      rollback_now t r;
+      raise (Abort r)
+  | Lockmgr.Deadlock_victim ->
+      rollback_now t Deadlock;
+      raise (Abort Deadlock)
+
+(* {1 Lock helpers} *)
+
+(* Charge [n] lock-manager interactions, serialising through the kernel
+   mutex when configured (§4.4). The engine aggregates per-scan charges into
+   one resource use; total mutex occupancy is preserved. *)
+let charge_lock_ops db n =
+  if n > 0 then begin
+    let cost = float_of_int n *. db.config.Config.cost.Config.c_lock in
+    match db.lock_mutex with
+    | Some m -> Resource.consume m cost
+    | None -> charge_cpu db cost
+  end
+
+let acquire t mode resource =
+  charge_lock_ops t.db 1;
+  Lockmgr.acquire t.db.locks ~owner:t.id ~mode resource;
+  check_doom t
+
+(* SIREAD acquisition: never blocks, at most one entry per resource. *)
+let acquire_siread ?(charge = true) t resource =
+  if not (List.mem Lockmgr.Siread (Lockmgr.holds_of t.db.locks ~owner:t.id resource)) then begin
+    if charge then charge_lock_ops t.db 1;
+    Lockmgr.acquire t.db.locks ~owner:t.id ~mode:Lockmgr.Siread resource;
+    t.siread_count <- t.siread_count + 1
+  end
+
+(* Fig 3.4 line 3 / Fig 3.6 line 3: after taking SIREAD, every concurrently
+   held X lock on the resource marks an rw-edge from us to its owner. *)
+let mark_x_holders t resource =
+  List.iter
+    (fun (owner, mode) ->
+      if mode = Lockmgr.X && owner <> t.id then
+        match find_txn t.db owner with
+        | Some writer -> Conflict.mark ~self:t ~reader:t ~writer
+        | None -> ())
+    (Lockmgr.holders t.db.locks resource)
+
+(* Fig 3.5 lines 4-6 / Fig 3.7: after taking X, every SIREAD on the resource
+   whose owner overlaps us (not yet committed, or committed after our read
+   view) marks an rw-edge from the reader to us. *)
+let mark_siread_holders t resource =
+  let snap = snapshot_exn t in
+  List.iter
+    (fun (owner, mode) ->
+      if mode = Lockmgr.Siread && owner <> t.id then
+        match find_txn t.db owner with
+        | Some reader ->
+            if (not (has_committed reader)) || commit_time reader > float_of_int snap then
+              Conflict.mark ~self:t ~reader ~writer:t
+        | None -> ())
+    (Lockmgr.holders t.db.locks resource)
+
+(* Fig 3.4 lines 8-9: versions of the item newer than our snapshot were
+   ignored by this read; each marks an rw-edge from us to its creator.
+   Because committed transactions are retained while any overlapping
+   transaction runs, a creator of a version newer than our snapshot is
+   always findable; if it is somehow gone (bulk-loaded data), we set our
+   outgoing flag conservatively. *)
+let mark_newer_versions t chain snap =
+  List.iter
+    (fun (v : Mvstore.version) ->
+      if v.creator <> t.id then
+        match find_txn t.db v.creator with
+        | Some writer -> Conflict.mark ~self:t ~reader:t ~writer
+        | None -> if v.creator <> 0 then Conflict.mark_unknown_writer ~self:t t)
+    (Mvstore.newer_versions chain ~than:snap)
+
+(* Page-granularity analogue: the Berkeley DB prototype versions whole pages,
+   so a page updated after our snapshot is an ignored newer version of
+   everything on it (the false-positive source of §6.1.5). *)
+let mark_page_stamp t table_name page snap =
+  match Hashtbl.find_opt t.db.page_stamps (table_name, page) with
+  | Some (ts, writer_id) when ts > snap && writer_id <> t.id -> (
+      match find_txn t.db writer_id with
+      | Some writer -> Conflict.mark ~self:t ~reader:t ~writer
+      | None -> ())
+  | _ -> ()
+
+let page_newer_than db table_name page snap =
+  match Hashtbl.find_opt db.page_stamps (table_name, page) with
+  | Some (ts, _) -> ts > snap
+  | None -> false
+
+let is_ssi t = t.isolation = Serializable
+
+let log_read t table_name key version =
+  if t.db.config.Config.record_history then
+    t.reads_log <- { r_table = table_name; r_key = key; r_version = version } :: t.reads_log
+
+let own_write t table_name key = Hashtbl.find_opt t.writes (table_name, key)
+
+let buffer_write t table_name key value =
+  if not (Hashtbl.mem t.writes (table_name, key)) then
+    t.write_order <- (table_name, key) :: t.write_order;
+  Hashtbl.replace t.writes (table_name, key) value
+
+(* {1 Read} *)
+
+(* Page-mode helper: read-lock (S or SIREAD) the leaf pages, as Berkeley DB
+   does (internal pages are only latched during the descent). Version-based
+   conflicts with structural changes to internal pages are caught by the
+   page-stamp checks along the descent path (see [mark_path_stamps]). *)
+let lock_pages_for_read t table_name (access : Btree.access) =
+  let pages = access.Btree.leaves in
+  match t.isolation with
+  | S2pl ->
+      List.iter (fun p -> acquire t Lockmgr.S (page_resource table_name p)) pages
+  | Serializable ->
+      charge_lock_ops t.db (List.length pages);
+      List.iter
+        (fun p ->
+          let r = page_resource table_name p in
+          acquire_siread ~charge:false t r;
+          mark_x_holders t r)
+        pages
+  | Snapshot | Read_committed -> ()
+
+(* A page anywhere on the descent path updated since our snapshot is an
+   ignored newer page version — including root/internal pages modified by
+   splits, the false-positive source of §6.1.5. *)
+let mark_path_stamps t table_name (access : Btree.access) snap =
+  List.iter
+    (fun p -> mark_page_stamp t table_name p snap)
+    (access.Btree.path @ access.Btree.leaves)
+
+let visible_value (v : Mvstore.version option) =
+  match v with Some { value = Some s; _ } -> Some s | _ -> None
+
+let version_ts (v : Mvstore.version option) = match v with Some v -> v.commit_ts | None -> 0
+
+let do_read t table_name key =
+  guard t (fun () ->
+      match own_write t table_name key with
+      | Some v -> v
+      | None -> (
+          let db = t.db in
+          let table = table_exn db table_name in
+          charge_cpu db db.config.Config.cost.Config.c_read;
+          charge_row_io db 1;
+          check_doom t;
+          match t.isolation with
+          | Read_committed ->
+              let chain, access = Mvstore.find_chain_path table key in
+              touch_pages db table_name access;
+              let v = Option.bind chain Mvstore.latest in
+              log_read t table_name key (version_ts v);
+              visible_value v
+          | S2pl ->
+              let chain, access = Mvstore.find_chain_path table key in
+              touch_pages db table_name access;
+              (match db.config.Config.granularity with
+              | Config.Row -> acquire t Lockmgr.S (row_resource table_name key)
+              | Config.Page -> lock_pages_for_read t table_name access);
+              let v = Option.bind chain Mvstore.latest in
+              log_read t table_name key (version_ts v);
+              visible_value v
+          | Snapshot | Serializable ->
+              let snap = ensure_snapshot t in
+              let chain, access = Mvstore.find_chain_path table key in
+              touch_pages db table_name access;
+              if is_ssi t then begin
+                (match db.config.Config.granularity with
+                | Config.Row ->
+                    let r = row_resource table_name key in
+                    acquire_siread t r;
+                    mark_x_holders t r
+                | Config.Page ->
+                    lock_pages_for_read t table_name access;
+                    mark_path_stamps t table_name access snap);
+                match chain with
+                | Some c -> mark_newer_versions t c snap
+                | None -> ()
+              end;
+              let v = Option.bind chain (fun c -> Mvstore.visible c ~snapshot:snap) in
+              log_read t table_name key (version_ts v);
+              visible_value v))
+
+(* {1 Write (update / logical delete of an existing key)} *)
+
+(* Acquire the X lock protecting [key]'s row or page, honouring the SIREAD
+   upgrade optimisation (§3.7.3), then run first-committer-wins and the
+   write-side conflict checks. Returns the chain to buffer against. *)
+let lock_for_write t table_name key ~for_insert =
+  let db = t.db in
+  let table = table_exn db table_name in
+  let config = db.config in
+  (match config.Config.granularity with
+  | Config.Row ->
+      let r = row_resource table_name key in
+      if
+        config.Config.upgrade_siread && is_ssi t
+        && List.mem Lockmgr.Siread (Lockmgr.holds_of db.locks ~owner:t.id r)
+      then begin
+        Lockmgr.release_one db.locks ~owner:t.id ~mode:Lockmgr.Siread r;
+        t.siread_count <- t.siread_count - 1
+      end;
+      acquire t Lockmgr.X r
+  | Config.Page ->
+      let _, access = Mvstore.find_chain_path table key in
+      List.iter
+        (fun p ->
+          let r = page_resource table_name p in
+          if
+            config.Config.upgrade_siread && is_ssi t
+            && List.mem Lockmgr.Siread (Lockmgr.holds_of db.locks ~owner:t.id r)
+          then begin
+            Lockmgr.release_one db.locks ~owner:t.id ~mode:Lockmgr.Siread r;
+            t.siread_count <- t.siread_count - 1
+          end;
+          acquire t Lockmgr.X r)
+        access.Btree.leaves);
+  (* Read view only after the first lock is granted (§4.5): single-statement
+     updates never abort under first-committer-wins. *)
+  let snap = ensure_snapshot t in
+  check_doom t;
+  let chain, access = Mvstore.ensure_chain table key in
+  touch_pages ~dirty:true db table_name access;
+  (* Page-mode structural changes (index entry creation, splits) X-lock the
+     modified pages; a root split therefore conflicts with every reader.
+     The pages are remembered so commit can stamp them with the new
+     version's timestamp. *)
+  (match config.Config.granularity with
+  | Config.Page ->
+      List.iter (fun p -> acquire t Lockmgr.X (page_resource table_name p)) access.Btree.modified;
+      t.touched_pages <-
+        List.map (fun p -> (table_name, p)) access.Btree.modified @ t.touched_pages
+  | Config.Row -> ());
+  (* First-committer-wins (§2.5): a version committed after our read view. *)
+  (match t.isolation with
+  | Snapshot | Serializable ->
+      if Mvstore.has_newer chain ~than:snap then raise (Abort Update_conflict);
+      (match config.Config.granularity with
+      | Config.Page ->
+          List.iter
+            (fun p -> if page_newer_than db table_name p snap then raise (Abort Update_conflict))
+            access.Btree.leaves
+      | Config.Row -> ())
+  | Read_committed | S2pl -> ());
+  if is_ssi t then begin
+    (match config.Config.granularity with
+    | Config.Row -> mark_siread_holders t (row_resource table_name key)
+    | Config.Page ->
+        List.iter
+          (fun p -> mark_siread_holders t (page_resource table_name p))
+          (access.Btree.leaves @ access.Btree.modified))
+  end;
+  ignore for_insert;
+  chain
+
+(* Locking read (SELECT ... FOR UPDATE / the read half of an UPDATE): takes
+   the exclusive lock first, then reads. Under SI/SSI this is the §4.5 fast
+   path — the snapshot is chosen after the lock, so a transaction whose
+   first statement is an update never aborts under first-committer-wins —
+   and it subsumes the SIREAD upgrade of §3.7.3. *)
+let do_read_for_update t table_name key =
+  guard t (fun () ->
+      reject_ro t;
+      let db = t.db in
+      charge_cpu db db.config.Config.cost.Config.c_read;
+      charge_row_io db 1;
+      check_doom t;
+      match own_write t table_name key with
+      | Some v -> v
+      | None ->
+          let chain = lock_for_write t table_name key ~for_insert:false in
+          let v =
+            match t.isolation with
+            | Read_committed | S2pl -> Mvstore.latest chain
+            | Snapshot | Serializable ->
+                (* The FCW check in lock_for_write guarantees the snapshot
+                   version is also the latest committed one. *)
+                Mvstore.visible chain ~snapshot:(snapshot_exn t)
+          in
+          log_read t table_name key (version_ts v);
+          visible_value v)
+
+let do_write t table_name key value =
+  guard t (fun () ->
+      reject_ro t;
+      let db = t.db in
+      charge_cpu db db.config.Config.cost.Config.c_write;
+      charge_row_io db 1;
+      check_doom t;
+      let _chain = lock_for_write t table_name key ~for_insert:false in
+      buffer_write t table_name key (Some value))
+
+(* {1 Insert / Delete with phantom protection (Fig 3.7)} *)
+
+let gap_of_successor table_name = function
+  | Some next_key -> gap_resource table_name next_key
+  | None -> gap_supremum table_name
+
+(* Next key with at least one committed version. Index entries created by
+   still-uncommitted inserts are skipped so that two inserts into the same
+   gap target the same gap lock as the scans protecting it. *)
+let committed_successor table key =
+  let rec go k =
+    match Mvstore.successor table k with
+    | None -> None
+    | Some k' -> (
+        match Mvstore.find_chain table k' with
+        | Some c when c.Mvstore.versions <> [] -> Some k'
+        | _ -> go k')
+  in
+  go key
+
+let lock_gap_for_write t table_name key =
+  let db = t.db in
+  if db.config.Config.gap_locking && db.config.Config.granularity = Config.Row then begin
+    let table = table_exn db table_name in
+    let gap = gap_of_successor table_name (committed_successor table key) in
+    acquire t Lockmgr.X gap;
+    if is_ssi t then mark_siread_holders t gap
+  end
+
+let do_insert t table_name key value =
+  guard t (fun () ->
+      reject_ro t;
+      let db = t.db in
+      charge_cpu db db.config.Config.cost.Config.c_write;
+      check_doom t;
+      (* Gap lock first (before the index entry appears), then the row. *)
+      lock_gap_for_write t table_name key;
+      let chain = lock_for_write t table_name key ~for_insert:true in
+      (* Duplicate detection: a live committed latest version, or our own
+         buffered live write; our own buffered delete makes the key free. *)
+      (match own_write t table_name key with
+      | Some (Some _) -> raise (Abort Duplicate_key)
+      | Some None -> ()
+      | None -> (
+          match Mvstore.latest chain with
+          | Some { value = Some _; _ } -> raise (Abort Duplicate_key)
+          | _ -> ()));
+      buffer_write t table_name key (Some value))
+
+let do_delete t table_name key =
+  guard t (fun () ->
+      reject_ro t;
+      let db = t.db in
+      charge_cpu db db.config.Config.cost.Config.c_write;
+      check_doom t;
+      lock_gap_for_write t table_name key;
+      let chain = lock_for_write t table_name key ~for_insert:false in
+      let existed =
+        match own_write t table_name key with
+        | Some (Some _) -> true
+        | Some None -> false
+        | None -> (
+            match t.isolation with
+            | Read_committed | S2pl -> (
+                match Mvstore.latest chain with Some { value = Some _; _ } -> true | _ -> false)
+            | Snapshot | Serializable -> (
+                match Mvstore.visible chain ~snapshot:(snapshot_exn t) with
+                | Some { value = Some _; _ } -> true
+                | _ -> false))
+      in
+      if existed then buffer_write t table_name key None;
+      existed)
+
+(* {1 Predicate read (range scan) with next-key gap locking (Fig 3.6)} *)
+
+let do_scan ?lo ?hi ?limit t table_name =
+  guard t (fun () ->
+      let db = t.db in
+      let config = db.config in
+      let table = table_exn db table_name in
+      let snap =
+        match t.isolation with
+        | Snapshot | Serializable -> ensure_snapshot t
+        | Read_committed | S2pl -> 0
+      in
+      (* Collect the index entries atomically, then pay costs and run the
+         locking protocol; committed changes racing with the scan are caught
+         by the newer-version checks. With [limit], stop as soon as enough
+         visible rows have been seen (next-key locks then cover only the
+         examined prefix, like a LIMIT scan). *)
+      let visited = ref [] in
+      let visible_seen = ref 0 in
+      let row_visible key chain =
+        match own_write t table_name key with
+        | Some (Some _) -> true
+        | Some None -> false
+        | None -> (
+            match t.isolation with
+            | Read_committed | S2pl -> (
+                match Mvstore.latest chain with Some { value = Some _; _ } -> true | _ -> false)
+            | Snapshot | Serializable -> (
+                match Mvstore.visible chain ~snapshot:snap with
+                | Some { value = Some _; _ } -> true
+                | _ -> false))
+      in
+      let access =
+        Mvstore.scan_chains table ?lo ?hi (fun k c ->
+            visited := (k, c) :: !visited;
+            match limit with
+            | Some n ->
+                if row_visible k c then begin
+                  incr visible_seen;
+                  if !visible_seen >= n then raise Exit
+                end
+            | None -> ())
+      in
+      let visited = List.rev !visited in
+      touch_pages db table_name access;
+      let n = List.length visited in
+      charge_cpu db (float_of_int (max 1 n) *. config.Config.cost.Config.c_scan_row);
+      charge_row_io db n;
+      check_doom t;
+      let gap_lockable = config.Config.gap_locking && config.Config.granularity = Config.Row in
+      (* Pre-charge the lock-manager work for the whole scan. *)
+      (match t.isolation with
+      | S2pl | Serializable ->
+          let per_row = if gap_lockable then 2 else 1 in
+          (match config.Config.granularity with
+          | Config.Row -> charge_lock_ops db ((n * per_row) + if gap_lockable then 1 else 0)
+          | Config.Page -> charge_lock_ops db (List.length access.Btree.leaves))
+      | Snapshot | Read_committed -> ());
+      check_doom t;
+      (match (t.isolation, config.Config.granularity) with
+      | (S2pl | Serializable), Config.Page ->
+          (* Page locks cover both the rows and the gaps (§3.5). *)
+          let pages =
+            List.sort_uniq compare (access.Btree.path @ access.Btree.leaves)
+          in
+          List.iter
+            (fun p ->
+              let r = page_resource table_name p in
+              match t.isolation with
+              | S2pl -> Lockmgr.acquire db.locks ~owner:t.id ~mode:Lockmgr.S r
+              | _ ->
+                  acquire_siread ~charge:false t r;
+                  mark_x_holders t r;
+                  mark_page_stamp t table_name p snap)
+            pages;
+          check_doom t
+      | _ -> ());
+      let results = ref [] in
+      List.iter
+        (fun (key, chain) ->
+          (match (t.isolation, config.Config.granularity) with
+          | S2pl, Config.Row ->
+              Lockmgr.acquire db.locks ~owner:t.id ~mode:Lockmgr.S (row_resource table_name key);
+              check_doom t;
+              if gap_lockable then begin
+                Lockmgr.acquire db.locks ~owner:t.id ~mode:Lockmgr.S (gap_resource table_name key);
+                check_doom t
+              end
+          | Serializable, Config.Row ->
+              let r = row_resource table_name key in
+              acquire_siread ~charge:false t r;
+              mark_x_holders t r;
+              if gap_lockable then begin
+                let g = gap_resource table_name key in
+                acquire_siread ~charge:false t g;
+                mark_x_holders t g
+              end;
+              mark_newer_versions t chain snap
+          | _ -> ());
+          let v =
+            match own_write t table_name key with
+            | Some v -> v
+            | None -> (
+                match t.isolation with
+                | Read_committed | S2pl -> visible_value (Mvstore.latest chain)
+                | Snapshot | Serializable ->
+                    visible_value (Mvstore.visible chain ~snapshot:snap))
+          in
+          (if config.Config.record_history then
+             let ver =
+               match t.isolation with
+               | Read_committed | S2pl -> version_ts (Mvstore.latest chain)
+               | Snapshot | Serializable -> version_ts (Mvstore.visible chain ~snapshot:snap)
+             in
+             log_read t table_name key ver);
+          match v with Some v -> results := (key, v) :: !results | None -> ())
+        visited;
+      (* Terminal gap: protects inserts beyond the last visited key
+         (including into an empty range). Not needed if a LIMIT stopped the
+         scan early — the examined range ends at the last visited row. *)
+      let exhausted = match limit with None -> true | Some n -> !visible_seen < n in
+      if exhausted && gap_lockable && (t.isolation = S2pl || is_ssi t) then begin
+        let terminal =
+          let from = match hi with Some h -> h | None -> "\xff\xff(sup)" in
+          gap_of_successor table_name (committed_successor table from)
+        in
+        match t.isolation with
+        | S2pl ->
+            Lockmgr.acquire db.locks ~owner:t.id ~mode:Lockmgr.S terminal;
+            check_doom t
+        | _ ->
+            acquire_siread ~charge:false t terminal;
+            mark_x_holders t terminal
+      end;
+      (* Buffered inserts of our own that fall inside the range. *)
+      let own_inserts =
+        List.filter_map
+          (fun (tbl, k) ->
+            if
+              tbl = table_name
+              && (match lo with Some lo -> k >= lo | None -> true)
+              && (match hi with Some hi -> k <= hi | None -> true)
+              && not (List.exists (fun (k', _) -> k' = k) visited)
+            then
+              match Hashtbl.find_opt t.writes (tbl, k) with
+              | Some (Some v) -> Some (k, v)
+              | _ -> None
+            else None)
+          t.write_order
+      in
+      let all = List.sort (fun (a, _) (b, _) -> compare a b) (own_inserts @ List.rev !results) in
+      match limit with
+      | None -> all
+      | Some n -> List.filteri (fun i _ -> i < n) all)
+
+(* {1 Commit / rollback} *)
+
+let install_writes t commit_ts =
+  let db = t.db in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (table_name, key) ->
+      if not (Hashtbl.mem seen (table_name, key)) then begin
+        Hashtbl.add seen (table_name, key) ();
+        let table = table_exn db table_name in
+        let chain, _ = Mvstore.ensure_chain table key in
+        let value = Hashtbl.find t.writes (table_name, key) in
+        Mvstore.install chain ~value ~commit_ts ~creator:t.id;
+        if db.config.Config.granularity = Config.Page then begin
+          let _, access = Mvstore.find_chain_path table key in
+          List.iter
+            (fun p -> Hashtbl.replace db.page_stamps (table_name, p) (commit_ts, t.id))
+            access.Btree.leaves
+        end
+      end)
+    (List.rev t.write_order);
+  if db.config.Config.granularity = Config.Page then
+    List.iter
+      (fun (tbl, p) -> Hashtbl.replace db.page_stamps (tbl, p) (commit_ts, t.id))
+      t.touched_pages
+
+let record_history t =
+  let db = t.db in
+  if db.config.Config.record_history then
+    db.history <-
+      {
+        h_id = t.id;
+        h_isolation = t.isolation;
+        h_snapshot = (match t.snapshot with Some s -> s | None -> db.last_commit_ts);
+        h_commit = (match t.commit_ts with Some c -> c | None -> 0);
+        h_reads = List.rev t.reads_log;
+        h_writes = List.rev t.write_order;
+      }
+      :: db.history
+
+(* Release suspended transactions that no active transaction overlaps
+   (§3.3/§4.6.1): safe once every active read view begins at or after their
+   commit. *)
+let cleanup_suspended db =
+  let min_snap = min_active_snapshot db in
+  let keep, drop =
+    List.partition
+      (fun s -> match s.commit_ts with Some c -> c > min_snap | None -> true)
+      db.suspended
+  in
+  db.suspended <- keep;
+  List.iter
+    (fun s ->
+      Lockmgr.release_all db.locks s.id;
+      Hashtbl.remove db.txn_by_id s.id)
+    drop
+
+let do_commit t =
+  guard t (fun () ->
+      let db = t.db in
+      let config = db.config in
+      let n_writes = List.length t.write_order in
+      charge_cpu db
+        (config.Config.cost.Config.c_txn
+        +. (float_of_int n_writes *. config.Config.cost.Config.c_commit_install));
+      check_doom t;
+      (* Fig 3.2 atomic block: dangerous-structure check, then mark committed
+         so later conflicts treat us as such. *)
+      if is_ssi t then Conflict.check_commit t;
+      t.state <- Committing;
+      (* Durability before visibility (§4.4: locks released after the log
+         flush; group commit batches concurrent committers). *)
+      if n_writes > 0 then begin
+        Wal.append db.wal;
+        Wal.commit_flush db.wal
+      end;
+      (* Atomic publication: assign the commit timestamp and install all
+         versions in one step, so snapshots are consistent. Read-only
+         transactions also take a fresh timestamp — overlap tests
+         ("commit(owner) > begin(T)", Fig 3.5) need commits and begins
+         totally ordered. *)
+      let commit_ts = db.last_commit_ts + 1 in
+      db.last_commit_ts <- commit_ts;
+      t.commit_ts <- Some commit_ts;
+      if n_writes > 0 then install_writes t commit_ts;
+      t.state <- Committed;
+      db.stats.commits <- db.stats.commits + 1;
+      record_history t;
+      Hashtbl.remove db.active t.id;
+      (* Retention (§3.3, §4.8): every committed transaction's record (its
+         conflict flags and commit time) must survive while any overlapping
+         transaction is active — even a pure writer can sit inside a cycle
+         through its wr-edges, so a later reader that ignores its version
+         must still find it and set its own outgoing flag. SSI transactions
+         additionally keep their SIREAD locks (suspension); everyone else
+         releases all locks now. *)
+      Conflict.seal_references t;
+      Lockmgr.release_all ~keep_siread:(is_ssi t) db.locks t.id;
+      db.suspended <- db.suspended @ [ t ];
+      cleanup_suspended db)
+
+let do_rollback t reason =
+  if t.state = Active then begin
+    rollback_now t reason;
+    cleanup_suspended t.db
+  end

@@ -1,0 +1,177 @@
+(* Internal shared state of the engine: the database and transaction
+   records, resource-name encodings, and small helpers. The public API lives
+   in Db and Txn; the SSI logic in Conflict; operation execution in Exec. *)
+
+open Types
+
+type txn_state =
+  | Active
+  | Committing (* §3.2: flags checked, "marked committed", flushing the log *)
+  | Committed
+  | Aborted
+
+type conflict_ref =
+  | No_conflict
+  | Conflict_with of txn (* single in/out neighbour (§3.6 precise mode) *)
+  | Self_conflict (* several neighbours; conservative self-reference *)
+
+and txn = {
+  id : int;
+  isolation : isolation;
+  declared_ro : bool; (* BEGIN TRANSACTION READ ONLY *)
+  db : db;
+  start_time : float;
+  mutable state : txn_state;
+  mutable snapshot : int option; (* read view; assigned lazily (§4.5) *)
+  mutable commit_ts : int option;
+  mutable doomed : abort_reason option; (* set by others, noticed at next op *)
+  mutable in_conflict : conflict_ref;
+  mutable out_conflict : conflict_ref;
+  writes : (string * string, string option) Hashtbl.t; (* buffered writes *)
+  mutable write_order : (string * string) list; (* newest first *)
+  mutable siread_count : int; (* distinct resources SIREAD-locked *)
+  mutable touched_pages : (string * int) list; (* pages split by our writes *)
+  mutable reads_log : read_record list; (* only when record_history *)
+}
+
+and db = {
+  sim : Sim.t;
+  config : Config.t;
+  locks : Lockmgr.t;
+  wal : Wal.t;
+  cpu : Resource.t;
+  disk : Resource.t;
+  cache : Bufcache.t option;
+  io_rng : Random.State.t;
+  lock_mutex : Resource.t option;
+  tables : (string, Mvstore.t) Hashtbl.t;
+  mutable last_commit_ts : int;
+  mutable next_txn_id : int;
+  txn_by_id : (int, txn) Hashtbl.t; (* active + committing + suspended *)
+  active : (int, txn) Hashtbl.t;
+  mutable suspended : txn list; (* committed SSI txns, oldest commit first *)
+  page_stamps : (string * int, int * int) Hashtbl.t;
+      (* (table, page) -> (last commit ts, last writer id); page-level FCW *)
+  mutable history : committed_record list; (* newest first *)
+  stats : stats;
+}
+
+and stats = {
+  mutable commits : int;
+  mutable aborts_deadlock : int;
+  mutable aborts_conflict : int;
+  mutable aborts_unsafe : int;
+  mutable aborts_other : int;
+}
+
+let new_stats () =
+  { commits = 0; aborts_deadlock = 0; aborts_conflict = 0; aborts_unsafe = 0; aborts_other = 0 }
+
+let count_abort stats = function
+  | Deadlock -> stats.aborts_deadlock <- stats.aborts_deadlock + 1
+  | Update_conflict -> stats.aborts_conflict <- stats.aborts_conflict + 1
+  | Unsafe -> stats.aborts_unsafe <- stats.aborts_unsafe + 1
+  | Duplicate_key | User_abort | Internal_error _ -> stats.aborts_other <- stats.aborts_other + 1
+
+(* A transaction counts as committed for conflict purposes from the moment
+   its commit-time flag check passed (§3.2: "after the flags have been
+   checked during commit, a transaction can no longer abort due to the
+   conflict flags"). *)
+let has_committed t = match t.state with Committing | Committed -> true | Active | Aborted -> false
+
+(* Commit time for precise-mode comparisons: a Committing transaction's
+   timestamp is not assigned yet but is necessarily later than any assigned
+   one, so it compares as +infinity. *)
+let commit_time t =
+  match t.commit_ts with
+  | Some ts -> float_of_int ts
+  | None -> infinity
+
+(* Commit time of a conflict reference, seen from [self] (§3.6). A
+   self-reference stands for "several neighbours" and must err conservative:
+   as an out-reference it compares as "committed first" (-inf), as an
+   in-reference as "committed last" (+inf); callers pick the direction. *)
+let ref_commit_time ~if_self = function
+  | No_conflict -> nan
+  | Self_conflict -> if_self
+  | Conflict_with t -> commit_time t
+
+let ref_is_set = function No_conflict -> false | Self_conflict | Conflict_with _ -> true
+
+(* {1 Lock resource encodings} *)
+
+let row_resource table key = "r/" ^ table ^ "/" ^ key
+
+let gap_resource table key = "g/" ^ table ^ "/" ^ key
+
+let gap_supremum table = "g/" ^ table ^ "/\xff\xff(sup)"
+
+let page_resource table page = Printf.sprintf "p/%s/%d" table page
+
+(* {1 CPU and lock-manager cost accounting} *)
+
+let charge_cpu db cost = if cost > 0.0 then Resource.consume db.cpu cost
+
+(* One lock-manager interaction: optionally serialised through the global
+   kernel mutex (§4.4), charging its CPU inside the critical section. *)
+let with_lock_mutex db f =
+  match db.lock_mutex with
+  | Some m -> Resource.use m db.config.Config.cost.Config.c_lock f
+  | None ->
+      charge_cpu db db.config.Config.cost.Config.c_lock;
+      f ()
+
+(* Probabilistic buffer-cache model: each of [n] row touches misses with
+   probability [read_miss] and pays a disk read (§6.4.1's I/O-bound
+   configurations). Inactive when a real buffer pool is configured. *)
+let charge_row_io db n =
+  let p = db.config.Config.read_miss in
+  if p > 0.0 && db.cache = None then
+    for _ = 1 to n do
+      if Random.State.float db.io_rng 1.0 < p then
+        Resource.consume db.disk db.config.Config.miss_latency
+    done
+
+(* Real buffer pool: run every page of an access footprint through the LRU
+   cache (descent path clean, leaves optionally dirty). *)
+let touch_pages ?(dirty = false) db table_name (access : Btree.access) =
+  match db.cache with
+  | None -> ()
+  | Some c ->
+      List.iter (fun p -> Bufcache.touch c ~table:table_name ~page:p) access.Btree.path;
+      List.iter
+        (fun p -> Bufcache.touch ~dirty c ~table:table_name ~page:p)
+        (access.Btree.leaves @ access.Btree.modified)
+
+let table_exn db name =
+  match Hashtbl.find_opt db.tables name with
+  | Some t -> t
+  | None -> raise (Abort (Internal_error ("no such table: " ^ name)))
+
+(* Read view: latest commit timestamp at assignment time. Lazy (§4.5): the
+   caller must only invoke this *after* acquiring any lock needed by the
+   transaction's first statement. *)
+let ensure_snapshot t =
+  match t.snapshot with
+  | Some s -> s
+  | None ->
+      let s = t.db.last_commit_ts in
+      t.snapshot <- Some s;
+      s
+
+let snapshot_exn t =
+  match t.snapshot with Some s -> s | None -> ensure_snapshot t
+
+(* Oldest read view among active transactions, used for suspended-transaction
+   cleanup (§3.3) and version GC. Transactions that have not chosen a
+   snapshot yet will see only the present or later, so they do not constrain
+   cleanup. *)
+let min_active_snapshot db =
+  Hashtbl.fold
+    (fun _ t acc -> match t.snapshot with Some s -> min s acc | None -> acc)
+    db.active max_int
+
+let find_txn db id = Hashtbl.find_opt db.txn_by_id id
+
+(* Known read-only: declared so at begin, or committed without writes. *)
+let known_read_only t = t.declared_ro || (has_committed t && t.write_order = [])

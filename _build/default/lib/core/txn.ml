@@ -1,0 +1,68 @@
+(** Transaction operations. All functions must be called from a simulator
+    process; they may block (lock waits, CPU, log flushes) and raise
+    {!Types.Abort} — in which case the transaction has already been rolled
+    back. *)
+
+type t = Internal.txn
+
+let id (t : t) = t.Internal.id
+
+let isolation (t : t) = t.Internal.isolation
+
+let is_active (t : t) = t.Internal.state = Internal.Active
+
+(** Read view (begin timestamp), if already assigned — assignment is lazy per
+    §4.5. *)
+let snapshot (t : t) = t.Internal.snapshot
+
+let commit_ts (t : t) = t.Internal.commit_ts
+
+(** Point read. [None] if the key is absent (or deleted) in this
+    transaction's view. *)
+let read t table key = Exec.do_read t table key
+
+(** Read, raising [Abort (Internal_error _)] if absent — for keys that must
+    exist. *)
+let read_exn t table key =
+  match Exec.do_read t table key with
+  | Some v -> v
+  | None -> raise (Types.Abort (Types.Internal_error ("missing key " ^ table ^ "/" ^ key)))
+
+(** Blind write (update): sets the value of [key]. *)
+let write t table key value = Exec.do_write t table key value
+
+(** Locking read (SELECT ... FOR UPDATE): acquires the exclusive lock before
+    reading, so a following {!write} cannot block or upgrade-deadlock. Under
+    SI/SSI the read view is chosen after the lock (§4.5), so transactions
+    that start with a locking read never abort under first-committer-wins. *)
+let read_for_update t table key = Exec.do_read_for_update t table key
+
+let read_for_update_exn t table key =
+  match read_for_update t table key with
+  | Some v -> v
+  | None -> raise (Types.Abort (Types.Internal_error ("missing key " ^ table ^ "/" ^ key)))
+
+(** Insert a fresh key; aborts with [Duplicate_key] if a live version
+    exists. Takes next-key gap locks for phantom safety (Fig 3.7). *)
+let insert t table key value = Exec.do_insert t table key value
+
+(** Delete a key (writes a tombstone). Returns whether it existed in this
+    transaction's view. *)
+let delete t table key = Exec.do_delete t table key
+
+(** Predicate read: all live (key, value) pairs with [lo <= key <= hi]
+    (inclusive, both optional), in key order, including this transaction's
+    own uncommitted writes. Performs next-key gap locking (Fig 3.6).
+    [limit] stops the scan after that many visible rows (a LIMIT query);
+    gap locks then cover only the examined prefix. *)
+let scan ?lo ?hi ?limit t table = Exec.do_scan ?lo ?hi ?limit t table
+
+(** Read-modify-write helper: read [key], apply [f], write the result. *)
+let update t table key f =
+  let v = read t table key in
+  match f v with Some v' -> write t table key v' | None -> ()
+
+let commit t = Exec.do_commit t
+
+(** Roll back voluntarily. *)
+let abort t = Exec.do_rollback t Types.User_abort

@@ -1,0 +1,691 @@
+(* Reproduction harness: one entry per table/figure of the paper's
+   evaluation (Chapter 6), plus the ablations called out in DESIGN.md.
+
+   Every experiment sweeps MPL for the three concurrency control algorithms
+   (SI, Serializable SI, S2PL), printing throughput with 95% confidence
+   intervals and the abort-rate breakdown (deadlock / FCW conflict / unsafe)
+   that the paper shows as the paired (b) charts. Absolute numbers are
+   simulated-time throughput; the claims under reproduction are the shapes
+   (ordering, gaps, crossovers), recorded in EXPERIMENTS.md. *)
+
+open Core
+
+type budget = {
+  seeds : int list;
+  duration : float;
+  warmup : float;
+  mpls : int list;
+}
+
+let full_budget = { seeds = [ 1; 2; 3 ]; duration = 0.8; warmup = 0.15; mpls = [ 1; 2; 5; 10; 20; 50 ] }
+
+let quick_budget = { seeds = [ 1 ]; duration = 0.25; warmup = 0.05; mpls = [ 1; 5; 20 ] }
+
+let levels =
+  [ ("SI", Types.Snapshot); ("SSI", Types.Serializable); ("S2PL", Types.S2pl) ]
+
+type series = { label : string; points : Driver.summary list }
+
+type figure = {
+  fig_id : string;
+  title : string;
+  expected : string; (* the paper's qualitative result for this figure *)
+  mpls : int list;
+  series : series list;
+}
+
+let sweep ?(levels = levels) ~make_db ~mix (budget : budget) : series list =
+  List.map
+    (fun (label, isolation) ->
+      {
+        label;
+        points =
+          List.map
+            (fun mpl ->
+              Driver.run_seeds ~make_db ~mix ~seeds:budget.seeds
+                {
+                  Driver.default_config with
+                  Driver.isolation;
+                  mpl;
+                  warmup = budget.warmup;
+                  duration = budget.duration;
+                })
+            budget.mpls;
+      })
+    levels
+
+let print_figure fmt f =
+  Fmt.pf fmt "@.=== %s: %s ===@." f.fig_id f.title;
+  Fmt.pf fmt "paper: %s@." f.expected;
+  (* throughput table *)
+  Fmt.pf fmt "@.%-6s" "MPL";
+  List.iter (fun s -> Fmt.pf fmt "%22s" (s.label ^ " tps (±95%)")) f.series;
+  Fmt.pf fmt "@.";
+  List.iteri
+    (fun i mpl ->
+      Fmt.pf fmt "%-6d" mpl;
+      List.iter
+        (fun s ->
+          let p = List.nth s.points i in
+          Fmt.pf fmt "%15.0f ±%5.0f" p.Driver.s_throughput p.Driver.s_ci)
+        f.series;
+      Fmt.pf fmt "@.")
+    f.mpls;
+  (* abort-rate table (the paper's (b) charts), % of commits *)
+  Fmt.pf fmt "@.%-6s" "MPL";
+  List.iter
+    (fun s -> Fmt.pf fmt "  %30s" (s.label ^ " dl/conf/unsafe% (locks)"))
+    f.series;
+  Fmt.pf fmt "@.";
+  List.iteri
+    (fun i mpl ->
+      Fmt.pf fmt "%-6d" mpl;
+      List.iter
+        (fun s ->
+          let p = List.nth s.points i in
+          Fmt.pf fmt "  %6.2f/%6.2f/%6.2f (%5.0f)"
+            (100.0 *. p.Driver.s_deadlock_rate)
+            (100.0 *. p.Driver.s_conflict_rate)
+            (100.0 *. p.Driver.s_unsafe_rate)
+            p.Driver.s_lock_table)
+        f.series;
+      Fmt.pf fmt "@.")
+    f.mpls
+
+(* {1 Berkeley DB / SmallBank experiments (§6.1)} *)
+
+(* The 0.5s periodic deadlock detector makes S2PL results meaningless on
+   sub-second windows; stretch the measurement for the BDB figures. *)
+let bdb_budget (b : budget) =
+  { b with duration = Float.max b.duration 1.5; warmup = Float.max b.warmup 0.25 }
+
+let smallbank_db ?(customers = 20_000) ?(wal_mode = Wal.No_flush) () =
+ fun sim ->
+  let db = Db.create ~config:(Config.bdb ~wal_mode ()) sim in
+  Smallbank.setup db ~customers ();
+  db
+
+let fig6_1 (budget : budget) =
+  let budget = bdb_budget budget in
+  {
+    fig_id = "fig6.1";
+    title = "Berkeley DB SmallBank, no log flush (throughput vs MPL)";
+    expected =
+      "SI and SSI track each other and far exceed S2PL (~10x at MPL 20); S2PL errors are \
+       deadlocks, SSI adds unsafe aborts";
+    mpls = budget.mpls;
+    series =
+      sweep ~make_db:(smallbank_db ()) ~mix:(Smallbank.mix ~customers:20_000 ()) budget;
+  }
+
+let fig6_2 (budget : budget) =
+  let budget = bdb_budget budget in
+  {
+    fig_id = "fig6.2";
+    title = "Berkeley DB SmallBank, log flushed at commit";
+    expected =
+      "I/O-bound: throughput rises with MPL via group commit; levels close until S2PL's \
+       deadlock stalls bite at high MPL";
+    mpls = budget.mpls;
+    series =
+      sweep
+        ~make_db:(smallbank_db ~wal_mode:(Wal.Flush_per_commit 0.01) ())
+        ~mix:(Smallbank.mix ~customers:20_000 ())
+        budget;
+  }
+
+let fig6_3 (budget : budget) =
+  let budget = bdb_budget budget in
+  {
+    fig_id = "fig6.3";
+    title = "Berkeley DB SmallBank, complex transactions (10 ops), log flush";
+    expected = "still I/O-bound; results mirror Fig 6.2 though each txn does 10x the work";
+    mpls = budget.mpls;
+    series =
+      sweep
+        ~make_db:(smallbank_db ~wal_mode:(Wal.Flush_per_commit 0.01) ())
+        ~mix:(Smallbank.mix ~customers:20_000 ~ops_per_txn:10 ())
+        budget;
+  }
+
+let fig6_4 (budget : budget) =
+  let budget = bdb_budget budget in
+  {
+    fig_id = "fig6.4";
+    title = "Berkeley DB SmallBank, 1/10th contention (10x accounts), log flush";
+    expected =
+      "S2PL and SI nearly identical; SSI 10-15% below due to page-level false positives \
+       (higher unsafe rate than true conflicts would justify)";
+    mpls = budget.mpls;
+    series =
+      sweep
+        ~make_db:(smallbank_db ~customers:200_000 ~wal_mode:(Wal.Flush_per_commit 0.01) ())
+        ~mix:(Smallbank.mix ~customers:200_000 ())
+        budget;
+  }
+
+let fig6_5 (budget : budget) =
+  let budget = bdb_budget budget in
+  {
+    fig_id = "fig6.5";
+    title = "Berkeley DB SmallBank, complex transactions + low contention";
+    expected = "like Fig 6.4 with 10x work per txn; SSI overhead stays in the 10-15% band";
+    mpls = budget.mpls;
+    series =
+      sweep
+        ~make_db:(smallbank_db ~customers:200_000 ~wal_mode:(Wal.Flush_per_commit 0.01) ())
+        ~mix:(Smallbank.mix ~customers:200_000 ~ops_per_txn:10 ())
+        budget;
+  }
+
+(* {1 InnoDB / sibench experiments (§6.3)} *)
+
+let sibench_db ?(config = Config.innodb ()) ~items () =
+ fun sim ->
+  let db = Db.create ~config sim in
+  Sibench.setup db ~items ();
+  db
+
+let sibench_fig ~fig_id ~items ~queries_per_update ~expected (budget : budget) =
+  {
+    fig_id;
+    title =
+      Printf.sprintf "InnoDB sibench, %d items, %d quer%s per update" items queries_per_update
+        (if queries_per_update = 1 then "y" else "ies");
+    expected;
+    mpls = budget.mpls;
+    series =
+      sweep
+        ~make_db:(sibench_db ~items ())
+        ~mix:(Sibench.mix ~items ~queries_per_update ())
+        budget;
+  }
+
+let fig6_6 = sibench_fig ~fig_id:"fig6.6" ~items:10 ~queries_per_update:1
+    ~expected:"small table: updates serialise on hot rows; SI and SSI equal, S2PL below \
+               (readers block writers)"
+
+let fig6_7 = sibench_fig ~fig_id:"fig6.7" ~items:100 ~queries_per_update:1
+    ~expected:"SI and SSI still close; S2PL clearly below"
+
+let fig6_8 = sibench_fig ~fig_id:"fig6.8" ~items:1000 ~queries_per_update:1
+    ~expected:"1000-row scans: SSI pays per-row SIREAD costs through the single-threaded \
+               lock manager and falls below SI; S2PL worst"
+
+let fig6_9 = sibench_fig ~fig_id:"fig6.9" ~items:10 ~queries_per_update:10
+    ~expected:"query-mostly, 10 items: all levels closer; S2PL still pays read locking"
+
+let fig6_10 = sibench_fig ~fig_id:"fig6.10" ~items:100 ~queries_per_update:10
+    ~expected:"query-mostly, 100 items: SI ahead; SSI between SI and S2PL"
+
+let fig6_11 = sibench_fig ~fig_id:"fig6.11" ~items:1000 ~queries_per_update:10
+    ~expected:"query-mostly, 1000 items: lock-manager traffic dominates; SI >> SSI > S2PL"
+
+(* {1 InnoDB / TPC-C++ experiments (§6.4)} *)
+
+let tpcc_db ?(read_miss = 0.0) ~scale () =
+ fun sim ->
+  let config = { (Config.innodb ()) with Config.read_miss } in
+  let db = Db.create ~config sim in
+  Tpcc.setup db ~scale ();
+  db
+
+let tpcc_fig ~fig_id ~title ~expected ~scale ?(read_miss = 0.0) ?(skip_ytd = false)
+    ?(stock_level = false) (budget : budget) =
+  let mix = if stock_level then Tpcc.stock_level_mix scale else Tpcc.mix ~skip_ytd scale in
+  {
+    fig_id;
+    title;
+    expected;
+    mpls = budget.mpls;
+    series = sweep ~make_db:(tpcc_db ~read_miss ~scale ()) ~mix budget;
+  }
+
+let fig6_12 (budget : budget) =
+  tpcc_fig ~fig_id:"fig6.12" ~title:"TPC-C++ 1 warehouse, skipping year-to-date updates"
+    ~scale:(Tpcc.standard ~warehouses:1) ~skip_ytd:true
+    ~expected:"in-memory, one warehouse: SI and SSI within ~10%; S2PL lower once MPL grows \
+               (SLEV/OSTAT read locks block NEWO)"
+    budget
+
+let fig6_13 (budget : budget) =
+  tpcc_fig ~fig_id:"fig6.13" ~title:"TPC-C++ 10 warehouses (larger data volume)"
+    ~scale:(Tpcc.standard ~warehouses:10) ~read_miss:0.05
+    ~expected:"I/O-bound: all three algorithms nearly indistinguishable; throughput rises \
+               with MPL as the disk pipeline fills"
+    budget
+
+let fig6_14 (budget : budget) =
+  tpcc_fig ~fig_id:"fig6.14" ~title:"TPC-C++ 10 warehouses, skipping ytd updates"
+    ~scale:(Tpcc.standard ~warehouses:10) ~read_miss:0.05 ~skip_ytd:true
+    ~expected:"still I/O-bound; skipping the ytd hotspots changes little at this scale"
+    budget
+
+let fig6_15 (budget : budget) =
+  tpcc_fig ~fig_id:"fig6.15" ~title:"TPC-C++ 10 warehouses, tiny data scaling (high contention)"
+    ~scale:(Tpcc.tiny ~warehouses:10)
+    ~expected:"in-memory and contended: SI and SSI stay close; S2PL falls behind as blocking \
+               grows; SSI unsafe aborts visible but small"
+    budget
+
+let fig6_16 (budget : budget) =
+  tpcc_fig ~fig_id:"fig6.16" ~title:"TPC-C++ tiny scaling, skipping ytd updates"
+    ~scale:(Tpcc.tiny ~warehouses:10) ~skip_ytd:true
+    ~expected:"removing the Payment ytd hotspot lifts SI/SSI further above S2PL"
+    budget
+
+let fig6_17 (budget : budget) =
+  tpcc_fig ~fig_id:"fig6.17" ~title:"TPC-C++ Stock Level mix, 10 warehouses"
+    ~scale:(Tpcc.standard ~warehouses:10) ~read_miss:0.05 ~stock_level:true
+    ~expected:"read-mostly mix dominated by large scans: multiversioning wins; S2PL's read \
+               locks on stock rows block New Order"
+    budget
+
+let fig6_18 (budget : budget) =
+  tpcc_fig ~fig_id:"fig6.18" ~title:"TPC-C++ Stock Level mix, tiny scaling"
+    ~scale:(Tpcc.tiny ~warehouses:10) ~stock_level:true
+    ~expected:"in-memory scans: SI clearly ahead of SSI (per-row SIREAD cost), S2PL worst — \
+               the sibench 100-item regime writ large"
+    budget
+
+(* {1 Ablations (§3.6, §3.7, §2.8.5)} *)
+
+(* Basic vs precise SSI: false-positive rate and throughput (§3.6). *)
+let ablation_precise (budget : budget) =
+  let budget = bdb_budget budget in
+  (* High contention (few accounts) so that unsafe aborts are frequent
+     enough to show the basic-vs-precise difference. *)
+  let make_db variant sim =
+    let config = { (Config.bdb ()) with Config.ssi = variant } in
+    let db = Db.create ~config sim in
+    Smallbank.setup db ~customers:1_000 ();
+    db
+  in
+  {
+    fig_id = "ablation-precise";
+    title = "SSI basic flags (§3.2) vs precise conflict references (§3.6), SmallBank";
+    expected = "precise mode (conflict references + commit-time tests) has a lower unsafe \
+                rate than the boolean flags at equal or better throughput";
+    mpls = budget.mpls;
+    series =
+      List.map
+        (fun (label, variant) ->
+          {
+            label;
+            points =
+              List.map
+                (fun mpl ->
+                  Driver.run_seeds ~make_db:(make_db variant)
+                    ~mix:(Smallbank.mix ~customers:1_000 ()) ~seeds:budget.seeds
+                    {
+                      Driver.default_config with
+                      Driver.isolation = Types.Serializable;
+                      mpl;
+                      warmup = budget.warmup;
+                      duration = budget.duration;
+                    })
+                budget.mpls;
+          })
+        [ ("SSI-basic", Config.Basic); ("SSI-precise", Config.Precise) ];
+  }
+
+(* SIREAD upgrade (§3.7.3) on/off. *)
+let ablation_upgrade (budget : budget) =
+  let budget = bdb_budget budget in
+  let make_db upgrade sim =
+    let config = { (Config.bdb ()) with Config.upgrade_siread = upgrade } in
+    let db = Db.create ~config sim in
+    Smallbank.setup db ~customers:20_000 ();
+    db
+  in
+  {
+    fig_id = "ablation-upgrade";
+    title = "SIREAD->X upgrade optimisation (§3.7.3) on vs off, SmallBank SSI";
+    expected = "upgrade reduces retained locks and suspended transactions; throughput equal \
+                or better";
+    mpls = budget.mpls;
+    series =
+      List.map
+        (fun (label, upgrade) ->
+          {
+            label;
+            points =
+              List.map
+                (fun mpl ->
+                  Driver.run_seeds ~make_db:(make_db upgrade)
+                    ~mix:(Smallbank.mix ~customers:20_000 ()) ~seeds:budget.seeds
+                    {
+                      Driver.default_config with
+                      Driver.isolation = Types.Serializable;
+                      mpl;
+                      warmup = budget.warmup;
+                      duration = budget.duration;
+                    })
+                budget.mpls;
+          })
+        [ ("upgrade-on", true); ("upgrade-off", false) ];
+  }
+
+(* The §2.8.5 static fixes under plain SI vs Serializable SI: the
+   alternative the paper's approach replaces (cf. Alomari et al. 2008). *)
+let ablation_fixes (budget : budget) =
+  let budget = bdb_budget budget in
+  let make_db sim =
+    let db = Db.create ~config:(Config.bdb ()) sim in
+    Smallbank.setup db ~customers:20_000 ();
+    db
+  in
+  let series_of label isolation fix =
+    {
+      label;
+      points =
+        List.map
+          (fun mpl ->
+            Driver.run_seeds ~make_db ~mix:(Smallbank.mix ~fix ~customers:20_000 ())
+              ~seeds:budget.seeds
+              {
+                Driver.default_config with
+                Driver.isolation;
+                mpl;
+                warmup = budget.warmup;
+                duration = budget.duration;
+              })
+          budget.mpls;
+    }
+  in
+  {
+    fig_id = "ablation-fixes";
+    title = "Making SmallBank serializable: static fixes at SI vs Serializable SI (§2.8.5)";
+    expected = "which fix wins is platform-dependent (Alomari 2008): here promotion beats \
+                materialization (as on PostgreSQL) and PromoteBW adds the most conflicts \
+                (it turns the read-only Bal into an update); SSI is competitive with the \
+                best fix without any application change";
+    mpls = budget.mpls;
+    series =
+      [
+        series_of "SSI" Types.Serializable Smallbank.No_fix;
+        series_of "SI+MatWT" Types.Snapshot Smallbank.Materialize_wt;
+        series_of "SI+PromWT" Types.Snapshot Smallbank.Promote_wt;
+        series_of "SI+MatBW" Types.Snapshot Smallbank.Materialize_bw;
+        series_of "SI+PromBW" Types.Snapshot Smallbank.Promote_bw;
+      ];
+  }
+
+(* Kernel-mutex (single-threaded lock manager) ablation for the §6.3
+   bottleneck analysis. *)
+let ablation_lock_mutex (budget : budget) =
+  let make_db mutex sim =
+    let config = { (Config.innodb ()) with Config.lock_mutex = mutex } in
+    let db = Db.create ~config sim in
+    Sibench.setup db ~items:1000 ();
+    db
+  in
+  {
+    fig_id = "ablation-mutex";
+    title = "InnoDB kernel mutex on/off, sibench 1000 items, SSI";
+    expected = "serialised lock manager caps SSI scan throughput (§6.3); removing it \
+                recovers most of the gap to SI";
+    mpls = budget.mpls;
+    series =
+      List.map
+        (fun (label, mutex) ->
+          {
+            label;
+            points =
+              List.map
+                (fun mpl ->
+                  Driver.run_seeds ~make_db:(make_db mutex)
+                    ~mix:(Sibench.mix ~items:1000 ()) ~seeds:budget.seeds
+                    {
+                      Driver.default_config with
+                      Driver.isolation = Types.Serializable;
+                      mpl;
+                      warmup = budget.warmup;
+                      duration = budget.duration;
+                    })
+                budget.mpls;
+          })
+        [ ("mutex-on", true); ("mutex-off", false) ];
+  }
+
+(* Mixed mode (§3.8): read-only queries at plain SI alongside SSI updates. *)
+let ablation_mixed (budget : budget) =
+  let make_db sim =
+    let db = Db.create ~config:(Config.innodb ()) sim in
+    Sibench.setup db ~items:1000 ();
+    db
+  in
+  let mix_with query_iso =
+    [
+      Driver.program ~weight:1.0 "query" (fun _st t -> ignore (Sibench.query t));
+      Driver.program ~weight:1.0 "update" (fun st t -> Sibench.update ~items:1000 st t);
+    ]
+    |> fun m ->
+    (m, query_iso)
+  in
+  ignore mix_with;
+  (* The driver applies one isolation level per run; mixed mode is driven by
+     a custom client loop instead. *)
+  let run_mixed ~queries_at mpl seed =
+    let sim = Sim.create () in
+    let db = make_db sim in
+    let commits = ref 0 in
+    let unsafe = ref 0 in
+    let horizon = budget.warmup +. budget.duration in
+    for client = 1 to mpl do
+      Sim.spawn sim (fun () ->
+          let st = Random.State.make [| seed; client |] in
+          let rec loop () =
+            if Sim.now sim < horizon then begin
+              let query = Random.State.bool st in
+              let isolation = if query then queries_at else Types.Serializable in
+              let body t =
+                if query then ignore (Sibench.query t) else Sibench.update ~items:1000 st t
+              in
+              (match Db.run db isolation body with
+              | Ok () -> if Sim.now sim >= budget.warmup then incr commits
+              | Error Types.Unsafe ->
+                  if Sim.now sim >= budget.warmup then incr unsafe
+              | Error _ -> ());
+              loop ()
+            end
+          in
+          loop ())
+    done;
+    Sim.run ~until:horizon sim;
+    (float_of_int !commits /. budget.duration, !unsafe)
+  in
+  let series =
+    List.map
+      (fun (label, queries_at) ->
+        {
+          label;
+          points =
+            List.map
+              (fun mpl ->
+                let tps =
+                  List.map (fun seed -> fst (run_mixed ~queries_at mpl seed)) budget.seeds
+                in
+                let m, ci = Stats.ci95 tps in
+                {
+                  Driver.s_mpl = mpl;
+                  s_throughput = m;
+                  s_ci = ci;
+                  s_deadlock_rate = 0.0;
+                  s_conflict_rate = 0.0;
+                  s_unsafe_rate = 0.0;
+                  s_mean_response = 0.0;
+                  s_lock_table = 0.0;
+                })
+              budget.mpls;
+        })
+      [ ("queries@SSI", Types.Serializable); ("queries@SI", Types.Snapshot) ];
+  in
+  {
+    fig_id = "ablation-mixed";
+    title = "Queries at plain SI mixed with SSI updates (§3.8), sibench 1000";
+    expected = "running read-only queries at SI removes their SIREAD overhead and unsafe \
+                aborts; total throughput improves";
+    mpls = budget.mpls;
+    series;
+  }
+
+(* Read-only snapshot refinement (extension) on/off: high-contention
+   SmallBank, where Bal is a declared read-only query. *)
+let ablation_ro (budget : budget) =
+  let budget = bdb_budget budget in
+  let make_db refinement sim =
+    (* Precise mode: the refinement extends the conflict-reference tests. *)
+    let config =
+      { (Config.bdb ()) with Config.ssi = Config.Precise; Config.ro_refinement = refinement }
+    in
+    let db = Db.create ~config sim in
+    Smallbank.setup db ~customers:1_000 ();
+    db
+  in
+  {
+    fig_id = "ablation-ro";
+    title = "Read-only snapshot refinement on/off, SmallBank SSI (extension)";
+    expected =
+      "pivots whose incoming neighbour is a declared read-only Bal that began before \
+       T_out committed are spared: lower unsafe rate at equal or better throughput";
+    mpls = budget.mpls;
+    series =
+      List.map
+        (fun (label, refinement) ->
+          {
+            label;
+            points =
+              List.map
+                (fun mpl ->
+                  Driver.run_seeds ~make_db:(make_db refinement)
+                    ~mix:(Smallbank.mix ~customers:1_000 ()) ~seeds:budget.seeds
+                    {
+                      Driver.default_config with
+                      Driver.isolation = Types.Serializable;
+                      mpl;
+                      warmup = budget.warmup;
+                      duration = budget.duration;
+                    })
+                budget.mpls;
+          })
+        [ ("refinement-off", false); ("refinement-on", true) ];
+  }
+
+(* Real LRU buffer pool vs the probabilistic read_miss model on the
+   I/O-bound TPC-C++ configuration of Fig 6.13 — validating the DESIGN.md
+   substitution. *)
+let ablation_bufferpool (budget : budget) =
+  let scale = Tpcc.standard ~warehouses:10 in
+  let make_db variant sim =
+    let config =
+      match variant with
+      | `Probabilistic -> { (Config.innodb ()) with Config.read_miss = 0.05 }
+      | `Pool pages -> { (Config.innodb ()) with Config.buffer_pool = Some pages }
+    in
+    let db = Db.create ~config sim in
+    Tpcc.setup db ~scale ();
+    Db.prewarm_cache db;
+    db
+  in
+  {
+    fig_id = "ablation-bufferpool";
+    title = "TPC-C++ 10 warehouses: probabilistic miss model vs real LRU buffer pool";
+    expected =
+      "a pool smaller than the hot set is I/O bound and thrashes as MPL grows (locality \
+       dynamics the flat read_miss model cannot show); a pool covering the hot set recovers \
+       in-memory throughput — validating the DESIGN.md substitution for Fig 6.13";
+    mpls = budget.mpls;
+    series =
+      List.map
+        (fun (label, variant) ->
+          {
+            label;
+            points =
+              List.map
+                (fun mpl ->
+                  Driver.run_seeds ~make_db:(make_db variant) ~mix:(Tpcc.mix scale)
+                    ~seeds:budget.seeds
+                    {
+                      Driver.default_config with
+                      Driver.isolation = Types.Serializable;
+                      mpl;
+                      warmup = budget.warmup;
+                      duration = budget.duration;
+                    })
+                budget.mpls;
+          })
+        [
+          ("read-miss 5%", `Probabilistic);
+          ("LRU small", `Pool 2_500);
+          ("LRU big", `Pool 200_000);
+        ];
+  }
+
+(* {1 Registry} *)
+
+let all_figures =
+  [
+    ("fig6.1", fig6_1);
+    ("fig6.2", fig6_2);
+    ("fig6.3", fig6_3);
+    ("fig6.4", fig6_4);
+    ("fig6.5", fig6_5);
+    ("fig6.6", fig6_6);
+    ("fig6.7", fig6_7);
+    ("fig6.8", fig6_8);
+    ("fig6.9", fig6_9);
+    ("fig6.10", fig6_10);
+    ("fig6.11", fig6_11);
+    ("fig6.12", fig6_12);
+    ("fig6.13", fig6_13);
+    ("fig6.14", fig6_14);
+    ("fig6.15", fig6_15);
+    ("fig6.16", fig6_16);
+    ("fig6.17", fig6_17);
+    ("fig6.18", fig6_18);
+    ("ablation-precise", ablation_precise);
+    ("ablation-upgrade", ablation_upgrade);
+    ("ablation-fixes", ablation_fixes);
+    ("ablation-mutex", ablation_lock_mutex);
+    ("ablation-mixed", ablation_mixed);
+    ("ablation-bufferpool", ablation_bufferpool);
+    ("ablation-ro", ablation_ro);
+  ]
+
+(* Static titles so `list` does not need to run anything. *)
+let titles =
+  [
+    ("fig6.1", "Berkeley DB SmallBank, no log flush");
+    ("fig6.2", "Berkeley DB SmallBank, log flushed at commit");
+    ("fig6.3", "Berkeley DB SmallBank, complex transactions, log flush");
+    ("fig6.4", "Berkeley DB SmallBank, low contention (10x accounts)");
+    ("fig6.5", "Berkeley DB SmallBank, complex + low contention");
+    ("fig6.6", "InnoDB sibench, 10 items, mixed workload");
+    ("fig6.7", "InnoDB sibench, 100 items, mixed workload");
+    ("fig6.8", "InnoDB sibench, 1000 items, mixed workload");
+    ("fig6.9", "InnoDB sibench, 10 items, query-mostly");
+    ("fig6.10", "InnoDB sibench, 100 items, query-mostly");
+    ("fig6.11", "InnoDB sibench, 1000 items, query-mostly");
+    ("fig6.12", "TPC-C++ 1 warehouse, skip ytd");
+    ("fig6.13", "TPC-C++ 10 warehouses (I/O bound)");
+    ("fig6.14", "TPC-C++ 10 warehouses, skip ytd");
+    ("fig6.15", "TPC-C++ tiny scaling (high contention)");
+    ("fig6.16", "TPC-C++ tiny scaling, skip ytd");
+    ("fig6.17", "TPC-C++ Stock Level mix, 10 warehouses");
+    ("fig6.18", "TPC-C++ Stock Level mix, tiny scaling");
+    ("ablation-precise", "SSI basic vs precise conflict tracking (3.6)");
+    ("ablation-upgrade", "SIREAD upgrade optimisation on/off (3.7.3)");
+    ("ablation-fixes", "SmallBank static fixes at SI vs SSI (2.8.5)");
+    ("ablation-mutex", "lock-manager kernel mutex on/off (6.3)");
+    ("ablation-mixed", "SI queries mixed with SSI updates (3.8)");
+    ("ablation-bufferpool", "probabilistic read_miss vs real LRU buffer pool");
+    ("ablation-ro", "read-only snapshot refinement on/off (extension)");
+  ]
+
+let find_figure id = List.assoc_opt id all_figures
+
+let run_and_print ?(budget = full_budget) fmt id =
+  match find_figure id with
+  | None -> Fmt.pf fmt "unknown experiment %s@." id
+  | Some f -> print_figure fmt (f budget)

@@ -1,0 +1,422 @@
+(* Lock manager with the paper's SIREAD mode.
+
+   Modes: S (shared), X (exclusive) and SIREAD. S and X behave as in a
+   classical strict-2PL lock manager, with FIFO queuing and deadlock
+   handling. SIREAD (§3.2) never blocks and never delays anyone; it is a
+   lock-table *annotation* recording that an SI transaction read an item, so
+   that a later X acquisition can detect the rw-dependency. The engine layer
+   inspects {!holders} after each grant to run markConflict.
+
+   Resources are strings; the engine encodes row keys, gap keys and page ids
+   into them. Owners are integer transaction ids.
+
+   Deadlock detection is either [Immediate] (a waits-for cycle check on every
+   block, InnoDB-style) or [Periodic dt] (a detector process that scans every
+   [dt] simulated seconds, like Berkeley DB's db_perf setup in §6.1 — the
+   detection delay is itself a measured effect in Fig 6.2). *)
+
+type mode = S | X | Siread
+
+let mode_to_string = function S -> "S" | X -> "X" | Siread -> "SIREAD"
+
+type owner = int
+
+exception Deadlock_victim
+
+(* Only S-X, X-S and X-X block; SIREAD conflicts with nothing. *)
+let blocks requested held =
+  match (requested, held) with
+  | X, X | X, S | S, X -> true
+  | S, S | Siread, _ | _, Siread -> false
+
+type counts = { mutable s : int; mutable x : int; mutable siread : int }
+
+let count_of c = function S -> c.s | X -> c.x | Siread -> c.siread
+
+let add_count c m n =
+  match m with
+  | S -> c.s <- c.s + n
+  | X -> c.x <- c.x + n
+  | Siread -> c.siread <- c.siread + n
+
+type waiter = { wowner : owner; wmode : mode; waker : Sim.waker }
+
+type lock = {
+  resource : string;
+  holds : (owner, counts) Hashtbl.t;
+  mutable queue : waiter list; (* FIFO: head is served first *)
+}
+
+type detection = Immediate | Periodic of float
+
+type t = {
+  sim : Sim.t;
+  detection : detection;
+  table : (string, lock) Hashtbl.t;
+  owned : (owner, (string, unit) Hashtbl.t) Hashtbl.t;
+  waiting : (owner, string) Hashtbl.t; (* owner -> resource it blocks on *)
+  mutable requests : int;
+  mutable waits : int;
+  mutable deadlocks : int;
+  mutable detector_running : bool;
+}
+
+let create ?(detection = Immediate) sim =
+  {
+    sim;
+    detection;
+    table = Hashtbl.create 4096;
+    owned = Hashtbl.create 256;
+    waiting = Hashtbl.create 64;
+    requests = 0;
+    waits = 0;
+    deadlocks = 0;
+    detector_running = false;
+  }
+
+let get_lock t resource =
+  match Hashtbl.find_opt t.table resource with
+  | Some l -> l
+  | None ->
+      let l = { resource; holds = Hashtbl.create 4; queue = [] } in
+      Hashtbl.replace t.table resource l;
+      l
+
+let note_owned t owner resource =
+  let set =
+    match Hashtbl.find_opt t.owned owner with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 16 in
+        Hashtbl.replace t.owned owner s;
+        s
+  in
+  Hashtbl.replace set resource ()
+
+(* Modes currently held by [owner] on [resource]. *)
+let holds_of t ~owner resource =
+  match Hashtbl.find_opt t.table resource with
+  | None -> []
+  | Some l -> (
+      match Hashtbl.find_opt l.holds owner with
+      | None -> []
+      | Some c ->
+          List.filter (fun m -> count_of c m > 0) [ X; S; Siread ])
+
+let holders t resource =
+  match Hashtbl.find_opt t.table resource with
+  | None -> []
+  | Some l ->
+      Hashtbl.fold
+        (fun owner c acc ->
+          List.fold_left
+            (fun acc m -> if count_of c m > 0 then (owner, m) :: acc else acc)
+            acc [ X; S; Siread ])
+        l.holds []
+
+(* Would a request by [owner] for [mode] conflict with current holders? *)
+let conflicts_with_holders l ~owner ~mode =
+  Hashtbl.fold
+    (fun o c acc ->
+      acc
+      || (o <> owner
+         && List.exists (fun m -> count_of c m > 0 && blocks mode m) [ X; S; Siread ]))
+    l.holds false
+
+let conflicts_with_queue l ~owner ~mode =
+  List.exists
+    (fun w -> (not (Sim.waker_fired w.waker)) && w.wowner <> owner && blocks mode w.wmode)
+    l.queue
+
+let do_grant t l ~owner ~mode =
+  let c =
+    match Hashtbl.find_opt l.holds owner with
+    | Some c -> c
+    | None ->
+        let c = { s = 0; x = 0; siread = 0 } in
+        Hashtbl.replace l.holds owner c;
+        c
+  in
+  add_count c mode 1;
+  note_owned t owner l.resource
+
+(* Blocked owners and who they wait for: edges from a waiter to every
+   conflicting holder and every conflicting earlier waiter. *)
+let waits_for_edges t =
+  let edges = ref [] in
+  Hashtbl.iter
+    (fun _ l ->
+      let earlier = ref [] in
+      List.iter
+        (fun w ->
+          if not (Sim.waker_fired w.waker) then begin
+            Hashtbl.iter
+              (fun o c ->
+                if
+                  o <> w.wowner
+                  && List.exists (fun m -> count_of c m > 0 && blocks w.wmode m) [ X; S; Siread ]
+                then edges := (w.wowner, o) :: !edges)
+              l.holds;
+            List.iter
+              (fun w' ->
+                if w'.wowner <> w.wowner && blocks w.wmode w'.wmode then
+                  edges := (w.wowner, w'.wowner) :: !edges)
+              !earlier;
+            earlier := w :: !earlier
+          end)
+        l.queue)
+    t.table;
+  !edges
+
+(* Is [start] part of a waits-for cycle reachable from itself? *)
+let in_cycle edges start =
+  let adj = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      let cur = try Hashtbl.find adj a with Not_found -> [] in
+      Hashtbl.replace adj a (b :: cur))
+    edges;
+  let visited = Hashtbl.create 16 in
+  let rec dfs node =
+    if node = start then true
+    else if Hashtbl.mem visited node then false
+    else begin
+      Hashtbl.replace visited node ();
+      let succs = try Hashtbl.find adj node with Not_found -> [] in
+      List.exists dfs succs
+    end
+  in
+  let succs = try Hashtbl.find adj start with Not_found -> [] in
+  List.exists dfs succs
+
+(* Find all cycles' members: owners that can reach themselves. *)
+let cycle_members edges =
+  let owners = List.sort_uniq compare (List.map fst edges) in
+  List.filter (fun o -> in_cycle edges o) owners
+
+let grant_waiters t l =
+  (* FIFO: grant from the head while compatible; stop at the first blocked
+     live waiter. Fired (killed) waiters are discarded. *)
+  let rec go queue =
+    match queue with
+    | [] -> []
+    | w :: rest ->
+        if Sim.waker_fired w.waker then go rest
+        else if conflicts_with_holders l ~owner:w.wowner ~mode:w.wmode then w :: rest
+        else begin
+          do_grant t l ~owner:w.wowner ~mode:w.wmode;
+          Hashtbl.remove t.waiting w.wowner;
+          Sim.wake t.sim w.waker;
+          go rest
+        end
+  in
+  l.queue <- go l.queue
+
+let run_detector_pass t =
+  let edges = waits_for_edges t in
+  let victims = cycle_members edges in
+  (* Kill the youngest (largest id) member of each cycle; killing one may
+     break several cycles, which is fine — the next pass handles the rest. *)
+  match List.rev (List.sort compare victims) with
+  | [] -> 0
+  | v :: _ ->
+      (match Hashtbl.find_opt t.waiting v with
+      | None -> 0
+      | Some resource -> (
+          match Hashtbl.find_opt t.table resource with
+          | None -> 0
+          | Some l ->
+              let found = ref 0 in
+              List.iter
+                (fun w ->
+                  if w.wowner = v && not (Sim.waker_fired w.waker) then begin
+                    t.deadlocks <- t.deadlocks + 1;
+                    incr found;
+                    Hashtbl.remove t.waiting v;
+                    Sim.kill t.sim w.waker Deadlock_victim
+                  end)
+                l.queue;
+              grant_waiters t l;
+              !found))
+
+let start_detector t =
+  match t.detection with
+  | Immediate -> ()
+  | Periodic dt ->
+      if not t.detector_running then begin
+        t.detector_running <- true;
+        (* The detector terminates once nothing is blocked (so simulations
+           can drain their event queues); the next blocking request restarts
+           it. *)
+        let rec loop () =
+          Sim.delay t.sim dt;
+          let rec drain () = if run_detector_pass t > 0 then drain () in
+          drain ();
+          if Hashtbl.length t.waiting > 0 then loop () else t.detector_running <- false
+        in
+        Sim.spawn t.sim loop
+      end
+
+let acquire t ~owner ~mode resource =
+  t.requests <- t.requests + 1;
+  let l = get_lock t resource in
+  (* Re-entrant and conversion requests by an existing holder must not queue
+     behind strangers (a holder waiting behind someone who waits for it
+     would self-deadlock); they only wait for conflicting *holders*, and
+     when they do wait, they wait at the front of the queue. *)
+  let already_holds =
+    match Hashtbl.find_opt l.holds owner with
+    | Some c -> c.s > 0 || c.x > 0 || c.siread > 0
+    | None -> false
+  in
+  if mode = Siread then do_grant t l ~owner ~mode
+  else if
+    (not (conflicts_with_holders l ~owner ~mode))
+    && (already_holds || not (conflicts_with_queue l ~owner ~mode))
+  then do_grant t l ~owner ~mode
+  else begin
+    t.waits <- t.waits + 1;
+    (match t.detection with
+    | Immediate ->
+        (* Would waiting close a cycle? Check with the hypothetical edge set
+           including our new wait. *)
+        let hypothetical =
+          let held_edges =
+            Hashtbl.fold
+              (fun o c acc ->
+                if
+                  o <> owner
+                  && List.exists (fun m -> count_of c m > 0 && blocks mode m) [ X; S; Siread ]
+                then (owner, o) :: acc
+                else acc)
+              l.holds []
+          in
+          (* A conversion (already_holds) goes to the queue front: it never
+             waits behind queued strangers, so they add no edges. *)
+          let queue_edges =
+            if already_holds then []
+            else
+              List.filter_map
+                (fun w ->
+                  if
+                    (not (Sim.waker_fired w.waker))
+                    && w.wowner <> owner && blocks mode w.wmode
+                  then Some (owner, w.wowner)
+                  else None)
+                l.queue
+          in
+          held_edges @ queue_edges @ waits_for_edges t
+        in
+        if in_cycle hypothetical owner then begin
+          (if Sys.getenv_opt "LOCKMGR_DEBUG" <> None then begin
+             Printf.eprintf "DEADLOCK owner=%d mode=%s res=%s\n" owner (mode_to_string mode) resource;
+             List.iter (fun (a, b) -> Printf.eprintf "  edge %d -> %d\n" a b) hypothetical;
+             Hashtbl.iter (fun o r -> Printf.eprintf "  waiting: %d on %s\n" o r) t.waiting;
+             Hashtbl.iter
+               (fun o set ->
+                 Hashtbl.iter
+                   (fun r () ->
+                     Printf.eprintf "  owned: %d %s [%s]\n" o r
+                       (String.concat "," (List.map mode_to_string (holds_of t ~owner:o r))))
+                   set)
+               t.owned
+           end);
+          t.deadlocks <- t.deadlocks + 1;
+          raise Deadlock_victim
+        end
+    | Periodic _ -> start_detector t);
+    Hashtbl.replace t.waiting owner resource;
+    let enqueue w =
+      let entry = { wowner = owner; wmode = mode; waker = w } in
+      if already_holds then l.queue <- entry :: l.queue
+      else l.queue <- l.queue @ [ entry ]
+    in
+    (try Sim.suspend t.sim enqueue
+     with e ->
+       Hashtbl.remove t.waiting owner;
+       raise e)
+    (* When woken normally the grant was already performed by grant_waiters. *)
+  end
+
+let release_one t ~owner ~mode resource =
+  match Hashtbl.find_opt t.table resource with
+  | None -> ()
+  | Some l -> (
+      match Hashtbl.find_opt l.holds owner with
+      | None -> ()
+      | Some c ->
+          if count_of c mode > 0 then begin
+            add_count c mode (-count_of c mode);
+            if c.s = 0 && c.x = 0 && c.siread = 0 then begin
+              Hashtbl.remove l.holds owner;
+              (match Hashtbl.find_opt t.owned owner with
+              | Some set -> Hashtbl.remove set resource
+              | None -> ())
+            end;
+            grant_waiters t l;
+            if Hashtbl.length l.holds = 0 && l.queue = [] then Hashtbl.remove t.table resource
+          end)
+
+(* Release every lock [owner] holds, optionally keeping SIREAD entries (a
+   committing SSI transaction keeps them while suspended, §3.3). *)
+let release_all ?(keep_siread = false) t owner =
+  match Hashtbl.find_opt t.owned owner with
+  | None -> ()
+  | Some set ->
+      let resources = Hashtbl.fold (fun r () acc -> r :: acc) set [] in
+      List.iter
+        (fun resource ->
+          match Hashtbl.find_opt t.table resource with
+          | None -> Hashtbl.remove set resource
+          | Some l -> (
+              match Hashtbl.find_opt l.holds owner with
+              | None -> Hashtbl.remove set resource
+              | Some c ->
+                  c.s <- 0;
+                  c.x <- 0;
+                  if not keep_siread then c.siread <- 0;
+                  if c.siread = 0 then begin
+                    Hashtbl.remove l.holds owner;
+                    Hashtbl.remove set resource
+                  end;
+                  grant_waiters t l;
+                  if Hashtbl.length l.holds = 0 && l.queue = [] then
+                    Hashtbl.remove t.table resource))
+        resources;
+      if Hashtbl.length set = 0 then Hashtbl.remove t.owned owner
+
+(* Abort an owner that is currently blocked: raise [exn] inside it. *)
+let cancel_wait t owner exn =
+  match Hashtbl.find_opt t.waiting owner with
+  | None -> false
+  | Some resource -> (
+      Hashtbl.remove t.waiting owner;
+      match Hashtbl.find_opt t.table resource with
+      | None -> false
+      | Some l ->
+          let found = ref false in
+          List.iter
+            (fun w ->
+              if w.wowner = owner && not (Sim.waker_fired w.waker) then begin
+                found := true;
+                Sim.kill t.sim w.waker exn
+              end)
+            l.queue;
+          grant_waiters t l;
+          !found)
+
+let is_waiting t owner = Hashtbl.mem t.waiting owner
+
+let lock_table_size t =
+  Hashtbl.fold (fun _ l acc -> acc + Hashtbl.length l.holds) t.table 0
+
+let requests t = t.requests
+
+let waits t = t.waits
+
+let deadlocks t = t.deadlocks
+
+let reset_stats t =
+  t.requests <- 0;
+  t.waits <- 0;
+  t.deadlocks <- 0

@@ -1,0 +1,76 @@
+(** Lock manager with the paper's non-blocking SIREAD mode (§3.2).
+
+    Resources are strings (the engine encodes row keys, gap keys and page
+    ids); owners are integer transaction ids. S and X behave like a classic
+    strict-2PL lock manager with FIFO queues; SIREAD grants instantly, delays
+    nobody, and exists only so a later X acquisition can observe that a
+    concurrent SI transaction read the item. Conflict *flagging* is done by
+    the engine layer, which inspects {!holders} after each grant.
+
+    Re-entrant: an owner may hold several modes on one resource; its own
+    holds never block it (so an S→X upgrade waits only for other owners). *)
+
+type mode = S | X | Siread
+
+val mode_to_string : mode -> string
+
+type owner = int
+
+(** Raised inside a blocked process chosen as deadlock victim, and by
+    {!acquire} itself under [Immediate] detection when waiting would close a
+    waits-for cycle. *)
+exception Deadlock_victim
+
+(** Whether a requested mode must wait for a held mode. *)
+val blocks : mode -> mode -> bool
+
+type detection =
+  | Immediate  (** cycle check on every block (InnoDB-style) *)
+  | Periodic of float
+      (** detector process scanning every [dt] simulated seconds
+          (Berkeley DB db_perf-style, twice per second in §6.1) *)
+
+type t
+
+val create : ?detection:detection -> Sim.t -> t
+
+(** [acquire t ~owner ~mode resource] grants or blocks (process context).
+    SIREAD never blocks. May raise {!Deadlock_victim}. *)
+val acquire : t -> owner:owner -> mode:mode -> string -> unit
+
+(** All (owner, mode) holds on a resource, including suspended committed
+    SIREAD owners. *)
+val holders : t -> string -> (owner * mode) list
+
+(** Modes [owner] currently holds on [resource]. *)
+val holds_of : t -> owner:owner -> string -> mode list
+
+(** Drop one mode (all its recursive acquisitions) of [owner] on [resource];
+    wakes newly compatible waiters. *)
+val release_one : t -> owner:owner -> mode:mode -> string -> unit
+
+(** Release everything [owner] holds. With [~keep_siread:true], SIREAD
+    entries survive — a committing SSI transaction keeps them while
+    suspended (§3.3). *)
+val release_all : ?keep_siread:bool -> t -> owner -> unit
+
+(** If [owner] is blocked in {!acquire}, raise [exn] inside it and return
+    [true]. Used to abort a blocked transaction from markConflict. *)
+val cancel_wait : t -> owner -> exn -> bool
+
+val is_waiting : t -> owner -> bool
+
+(** {1 Statistics} *)
+
+(** Total (owner, resource, mode) holds currently in the table. *)
+val lock_table_size : t -> int
+
+val requests : t -> int
+
+(** Requests that blocked. *)
+val waits : t -> int
+
+(** Deadlock victims chosen. *)
+val deadlocks : t -> int
+
+val reset_stats : t -> unit

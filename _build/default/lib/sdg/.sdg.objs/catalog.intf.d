@@ -1,0 +1,1 @@
+lib/sdg/catalog.mli: Derive Sdg

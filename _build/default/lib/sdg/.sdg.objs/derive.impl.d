@@ -1,0 +1,1 @@
+lib/sdg/derive.ml: List Sdg

@@ -1,0 +1,1 @@
+lib/sdg/sdg.ml: Fmt Hashtbl List

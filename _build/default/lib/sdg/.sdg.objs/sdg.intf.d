@@ -1,0 +1,1 @@
+lib/sdg/sdg.mli: Format

@@ -1,0 +1,139 @@
+(* The static dependency graphs studied in the paper, both as program
+   specifications for {!Derive} (SmallBank, §2.8.2-2.8.5) and as manually
+   encoded graphs (TPC-C Fig 2.8 and TPC-C++ Fig 5.3, whose full derivation
+   needs flow-sensitive reasoning the paper also did by hand). *)
+
+open Derive
+
+(* {1 SmallBank (§2.8.2)} *)
+
+let bal =
+  {
+    name = "Bal";
+    params = [ "N" ];
+    reads = [ item "Account" [ "N" ]; item "Saving" [ "N" ]; item "Checking" [ "N" ] ];
+    writes = [];
+  }
+
+let dc =
+  {
+    name = "DC";
+    params = [ "N" ];
+    reads = [ item "Account" [ "N" ]; item "Checking" [ "N" ] ];
+    writes = [ item "Checking" [ "N" ] ];
+  }
+
+let ts =
+  {
+    name = "TS";
+    params = [ "N" ];
+    reads = [ item "Account" [ "N" ]; item "Saving" [ "N" ] ];
+    writes = [ item "Saving" [ "N" ] ];
+  }
+
+let amg =
+  {
+    name = "Amg";
+    params = [ "N1"; "N2" ];
+    reads =
+      [
+        item "Account" [ "N1" ];
+        item "Account" [ "N2" ];
+        item "Saving" [ "N1" ];
+        item "Checking" [ "N1" ];
+        item "Checking" [ "N2" ];
+      ];
+    writes = [ item "Saving" [ "N1" ]; item "Checking" [ "N1" ]; item "Checking" [ "N2" ] ];
+  }
+
+let wc =
+  {
+    name = "WC";
+    params = [ "N" ];
+    reads = [ item "Account" [ "N" ]; item "Saving" [ "N" ]; item "Checking" [ "N" ] ];
+    writes = [ item "Checking" [ "N" ] ];
+  }
+
+let smallbank_programs = [ bal; dc; ts; amg; wc ]
+
+(* Fig 2.9, derived automatically. *)
+let smallbank () = Derive.derive smallbank_programs
+
+(* The §2.8.5 fixes, as program modifications: *)
+
+(* MaterializeWT: WC and TS both update Conflict(CustomerID). *)
+let smallbank_materialize_wt () =
+  let add_conflict p = { p with writes = item "Conflict" [ "N" ] :: p.writes } in
+  Derive.derive [ bal; dc; add_conflict ts; amg; add_conflict wc ]
+
+(* PromoteWT: WC adds an identity write to Saving. *)
+let smallbank_promote_wt () =
+  let wc' = { wc with writes = item "Saving" [ "N" ] :: wc.writes } in
+  Derive.derive [ bal; dc; ts; amg; wc' ]
+
+(* MaterializeBW: Bal and WC both update Conflict(CustomerID). *)
+let smallbank_materialize_bw () =
+  let add_conflict p = { p with writes = item "Conflict" [ "N" ] :: p.writes } in
+  Derive.derive [ add_conflict bal; dc; ts; amg; add_conflict wc ]
+
+(* PromoteBW: Bal adds an identity write to Checking (Fig 2.10) — note this
+   turns the query into an update and adds ww conflicts with everything. *)
+let smallbank_promote_bw () =
+  let bal' = { bal with writes = [ item "Checking" [ "N" ] ] } in
+  Derive.derive [ bal'; dc; ts; amg; wc ]
+
+(* {1 TPC-C (Fig 2.8) and TPC-C++ (Fig 5.3), encoded from the figures} *)
+
+let tpcc_programs = [ "NEWO"; "PAY"; "DLVY1"; "DLVY2"; "OSTAT"; "SLEV" ]
+
+let tpcc_edges =
+  Sdg.
+    [
+      (* write-write conflicts (bold in the figure) *)
+      ww "NEWO" "NEWO" (* D.NEXT *);
+      ww "PAY" "PAY" (* W.YTD, C.BAL *);
+      ww "DLVY2" "DLVY2" (* NO / O / C.BAL *);
+      ww "PAY" "DLVY2" (* C.BAL *);
+      ww "DLVY2" "PAY";
+      ww "NEWO" "DLVY2" (* NewOrder rows: inserted by NEWO, deleted by DLVY2 *);
+      ww "DLVY2" "NEWO";
+      (* write-read conflicts *)
+      wr "NEWO" "OSTAT";
+      wr "NEWO" "SLEV";
+      wr "NEWO" "DLVY2";
+      wr "PAY" "OSTAT";
+      wr "DLVY2" "OSTAT";
+      (* vulnerable anti-dependencies (dashed): read-only programs reading
+         data the updaters modify *)
+      rw "OSTAT" "NEWO";
+      rw "OSTAT" "PAY";
+      rw "OSTAT" "DLVY2";
+      rw "SLEV" "NEWO";
+      (* DLVY2's reads of NO/O rows are shadowed by its deletes (ww) *)
+      rw ~vulnerable:false "DLVY2" "NEWO";
+    ]
+
+(* Fig 2.8: acyclic in the vulnerable sense — no dangerous structure, hence
+   TPC-C is serializable under SI (Fekete et al. 2005). *)
+let tpcc () = Sdg.make ~programs:tpcc_programs ~edges:tpcc_edges
+
+(* Fig 5.3: adding Credit Check (§5.3.2). CCHECK reads the NewOrder table
+   (inserted by NEWO) and c_balance (written by PAY and DLVY2), and writes
+   c_credit (read by NEWO). *)
+let tpccpp () =
+  let open Sdg in
+  make
+    ~programs:("CCHECK" :: tpcc_programs)
+    ~edges:
+      (tpcc_edges
+      @ [
+          ww "CCHECK" "CCHECK" (* same customer row *);
+          wr "CCHECK" "NEWO" (* c_credit *);
+          wr "NEWO" "CCHECK" (* NO rows *);
+          wr "PAY" "CCHECK" (* c_balance *);
+          wr "DLVY2" "CCHECK";
+          rw "CCHECK" "NEWO" (* reads NO rows NEWO inserts *);
+          rw "CCHECK" "PAY" (* reads c_balance PAY updates *);
+          rw "CCHECK" "DLVY2";
+          rw "NEWO" "CCHECK" (* reads c_credit CCHECK updates *);
+        ])

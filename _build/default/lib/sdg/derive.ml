@@ -1,0 +1,101 @@
+(* Automatic SDG derivation from program read/write specifications — a small
+   version of the syntactic analysis of Jorwekar et al. 2007 (§2.6.4).
+
+   A program touches items identified by (table, parameter tuple), where
+   parameters are symbolic names (e.g. WriteCheck(N) reads Saving(N) and
+   writes Checking(N)). Two items from different program instances can be
+   the same row only if their tables match and their parameter tuples are
+   identified by the scenario under consideration.
+
+   To decide whether an rw conflict between P1 and P2 is vulnerable, we
+   enumerate every injective partial matching of P1's parameters to P2's
+   parameters (every way two invocations could share arguments): the edge is
+   vulnerable if some scenario yields a read-write overlap without a
+   write-write overlap — exactly the reasoning of §2.8.4 (the WriteCheck ->
+   Amalgamate edge is *not* vulnerable because any shared Saving row forces
+   a shared Checking write). *)
+
+type item = { table : string; params : string list }
+
+type program = {
+  name : string;
+  params : string list;
+  reads : item list;
+  writes : item list;
+}
+
+let item table params = { table; params }
+
+(* All injective partial maps from [ps1] to [ps2]. *)
+let scenarios ps1 ps2 =
+  let rec go = function
+    | [] -> [ [] ]
+    | p :: rest ->
+        let tails = go rest in
+        let unmapped = tails in
+        let mapped =
+          List.concat_map
+            (fun q ->
+              List.filter_map
+                (fun tail -> if List.exists (fun (_, q') -> q' = q) tail then None else Some ((p, q) :: tail))
+                tails)
+            ps2
+        in
+        unmapped @ mapped
+  in
+  go ps1
+
+(* Same row under a scenario: tables equal and parameter tuples identified
+   pointwise by the map (unmapped parameters denote distinct fresh values). *)
+let same_item map i1 i2 =
+  i1.table = i2.table
+  && List.length i1.params = List.length i2.params
+  && List.for_all2 (fun p q -> List.assoc_opt p map = Some q) i1.params i2.params
+
+let overlap map items1 items2 =
+  List.exists (fun i1 -> List.exists (fun i2 -> same_item map i1 i2) items2) items1
+
+(* Conflicts from P1 to P2 over all scenarios. Returns (ww, wr, rw,
+   rw_vulnerable) existence flags. *)
+let analyse p1 p2 =
+  let maps = scenarios p1.params p2.params in
+  List.fold_left
+    (fun (ww, wr, rw, vul) map ->
+      let ww' = overlap map p1.writes p2.writes in
+      let wr' = overlap map p1.writes p2.reads in
+      let rw' = overlap map p1.reads p2.writes in
+      (* Vulnerable: in this scenario an rw conflict occurs with no ww
+         conflict forcing first-committer-wins. *)
+      let vul' = rw' && not ww' in
+      (ww || ww', wr || wr', rw || rw', vul || vul'))
+    (false, false, false, false) maps
+
+(* Build the SDG of a set of programs, including self-edges (two instances
+   of the same program with independent parameters). *)
+let derive programs =
+  let edges = ref [] in
+  List.iter
+    (fun p1 ->
+      List.iter
+        (fun p2 ->
+          (* For self-pairs, rename p2's parameters apart. *)
+          let p2' =
+            if p1.name = p2.name then begin
+              let rename p = p ^ "'" in
+              let rename_item (i : item) = { i with params = List.map rename i.params } in
+              {
+                p2 with
+                params = List.map rename p2.params;
+                reads = List.map rename_item p2.reads;
+                writes = List.map rename_item p2.writes;
+              }
+            end
+            else p2
+          in
+          let ww, wr, rw, vul = analyse p1 p2' in
+          if ww then edges := Sdg.ww p1.name p2.name :: !edges;
+          if wr then edges := Sdg.wr p1.name p2.name :: !edges;
+          if rw then edges := Sdg.rw ~vulnerable:vul p1.name p2.name :: !edges)
+        programs)
+    programs;
+  Sdg.make ~programs:(List.map (fun p -> p.name) programs) ~edges:!edges

@@ -1,0 +1,109 @@
+(* Static Dependency Graphs (§2.6, Fekete et al. 2005).
+
+   Nodes are transaction *programs*; an edge P1 -> P2 records that some
+   execution can produce a dependency from a transaction of P1 to one of P2.
+   An rw edge is "vulnerable" if the rw conflict can occur between
+   *concurrent* transactions (i.e. it is not shadowed by a write-write
+   conflict on the same parameters, which first-committer-wins would
+   serialise). Definition 1: the graph has a dangerous structure if there
+   are vulnerable edges R -> P -> Q with Q = R or a path Q ->* R; Theorem 3:
+   no dangerous structure implies every SI execution is serializable. *)
+
+type kind = Ww | Wr | Rw
+
+type edge = {
+  src : string;
+  dst : string;
+  kind : kind;
+  vulnerable : bool; (* only meaningful for Rw *)
+}
+
+type t = {
+  programs : string list;
+  edges : edge list;
+}
+
+let make ~programs ~edges =
+  List.iter
+    (fun e ->
+      if not (List.mem e.src programs && List.mem e.dst programs) then
+        invalid_arg ("Sdg.make: edge references unknown program " ^ e.src ^ "->" ^ e.dst))
+    edges;
+  { programs; edges }
+
+let programs t = t.programs
+
+let edges t = t.edges
+
+let rw ?(vulnerable = true) src dst = { src; dst; kind = Rw; vulnerable }
+
+let ww src dst = { src; dst; kind = Ww; vulnerable = false }
+
+let wr src dst = { src; dst; kind = Wr; vulnerable = false }
+
+(* Reflexive transitive closure over all edges. *)
+let reaches t =
+  let succ p = List.filter_map (fun e -> if e.src = p then Some e.dst else None) t.edges in
+  fun from target ->
+    if from = target then true
+    else begin
+      let visited = Hashtbl.create 16 in
+      let rec dfs p =
+        if p = target then true
+        else if Hashtbl.mem visited p then false
+        else begin
+          Hashtbl.replace visited p ();
+          List.exists dfs (succ p)
+        end
+      in
+      List.exists dfs (succ from)
+    end
+
+type dangerous = { d_in : string; d_pivot : string; d_out : string }
+
+(* Definition 1: vulnerable R -> P and vulnerable P -> Q with (Q, R) in the
+   reflexive transitive closure. *)
+let dangerous_structures t =
+  let vulnerable = List.filter (fun e -> e.kind = Rw && e.vulnerable) t.edges in
+  let reaches = reaches t in
+  List.concat_map
+    (fun e1 ->
+      List.filter_map
+        (fun e2 ->
+          if e1.dst = e2.src && reaches e2.dst e1.src then
+            Some { d_in = e1.src; d_pivot = e1.dst; d_out = e2.dst }
+          else None)
+        vulnerable)
+    vulnerable
+
+let has_dangerous_structure t = dangerous_structures t <> []
+
+(* Programs appearing as the pivot of some dangerous structure — the
+   transactions to modify (or run at S2PL, per Fekete 2005). *)
+let pivots t =
+  List.sort_uniq compare (List.map (fun d -> d.d_pivot) (dangerous_structures t))
+
+(* {1 Edge rewriting for the §2.6 fixes} *)
+
+(* Materialize or promote the conflict on a vulnerable edge: both sides now
+   write a common item, so the rw edge gains a ww companion and stops being
+   vulnerable (Figs 2.5/2.6). The caller is responsible for adding any other
+   edges the modification introduces (e.g. promotion turning a query into an
+   update, Fig 2.10). *)
+let break_edge t ~src ~dst =
+  let edges =
+    List.map
+      (fun e ->
+        if e.src = src && e.dst = dst && e.kind = Rw then { e with vulnerable = false } else e)
+      t.edges
+  in
+  { t with edges = ww src dst :: edges }
+
+let pp fmt t =
+  Fmt.pf fmt "@[<v>";
+  List.iter
+    (fun e ->
+      let k = match e.kind with Ww -> "ww" | Wr -> "wr" | Rw -> if e.vulnerable then "rw!" else "rw" in
+      Fmt.pf fmt "%s -%s-> %s@," e.src k e.dst)
+    t.edges;
+  Fmt.pf fmt "@]"

@@ -1,0 +1,43 @@
+(** Static Dependency Graphs (§2.6; Fekete et al. 2005).
+
+    Nodes are transaction {e programs}; an rw edge is {e vulnerable} if the
+    anti-dependency can occur between concurrent transactions. Definition 1:
+    a dangerous structure is vulnerable R -> P -> Q with Q = R or a path
+    Q ->* R; Theorem 3: without one, every SI execution is serializable. *)
+
+type kind = Ww | Wr | Rw
+
+type edge = { src : string; dst : string; kind : kind; vulnerable : bool }
+
+type t
+
+(** Build a graph; raises [Invalid_argument] on edges to unknown programs. *)
+val make : programs:string list -> edges:edge list -> t
+
+val programs : t -> string list
+
+val edges : t -> edge list
+
+(** Vulnerable (default) or shielded anti-dependency edge. *)
+val rw : ?vulnerable:bool -> string -> string -> edge
+
+val ww : string -> string -> edge
+
+val wr : string -> string -> edge
+
+type dangerous = { d_in : string; d_pivot : string; d_out : string }
+
+(** All Definition 1 triples. *)
+val dangerous_structures : t -> dangerous list
+
+val has_dangerous_structure : t -> bool
+
+(** Programs at the junction of two consecutive vulnerable edges — the
+    transactions to modify (§2.6) or run at S2PL (Fekete 2005). *)
+val pivots : t -> string list
+
+(** Apply a §2.6 fix to one edge: both programs now write a common item, so
+    the rw edge stops being vulnerable and gains a ww companion. *)
+val break_edge : t -> src:string -> dst:string -> t
+
+val pp : Format.formatter -> t -> unit

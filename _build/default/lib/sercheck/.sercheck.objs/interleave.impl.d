@@ -1,0 +1,1 @@
+lib/sercheck/interleave.ml: Array Config Core Db List Mvsg Printf Random Sim Txn Types

@@ -1,0 +1,1 @@
+lib/sercheck/interleave.mli: Core Random

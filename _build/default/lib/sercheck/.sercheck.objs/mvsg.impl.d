@@ -1,0 +1,1 @@
+lib/sercheck/mvsg.ml: Core Fmt Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/sercheck/mvsg.mli: Core Format

@@ -1,0 +1,1 @@
+lib/sim/wal.ml: Sim

@@ -1,0 +1,23 @@
+(** Deterministic binary min-heap used as the simulator's event queue.
+
+    Entries are ordered by [time]; ties are broken by the strictly increasing
+    [seq] number supplied at push time, so two runs of the same program pop
+    events in exactly the same order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push t ~time ~seq payload] inserts an event. [seq] must be unique and
+    increasing across pushes to keep ordering total. *)
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+(** Smallest (time, payload) without removing it. *)
+val peek : 'a t -> (float * 'a) option
+
+(** Remove and return the smallest (time, payload). *)
+val pop : 'a t -> (float * 'a) option

@@ -1,0 +1,81 @@
+(* A k-server FIFO resource: models CPU cores, a disk, or a global mutex
+   (capacity 1, e.g. InnoDB's kernel mutex). *)
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  capacity : int;
+  mutable in_use : int;
+  queue : Sim.waker Queue.t;
+  mutable busy_time : float; (* total server-seconds consumed *)
+  mutable acquisitions : int;
+  mutable last_acquire : float;
+}
+
+let create sim ~name ~capacity =
+  if capacity < 1 then invalid_arg "Resource.create: capacity must be >= 1";
+  {
+    sim;
+    name;
+    capacity;
+    in_use = 0;
+    queue = Queue.create ();
+    busy_time = 0.0;
+    acquisitions = 0;
+    last_acquire = 0.0;
+  }
+
+let name t = t.name
+
+let capacity t = t.capacity
+
+let in_use t = t.in_use
+
+let queued t = Queue.length t.queue
+
+let acquire t =
+  if t.in_use < t.capacity then t.in_use <- t.in_use + 1
+  else begin
+    Sim.suspend t.sim (fun w -> Queue.add w t.queue);
+    (* The releaser transferred its slot to us; in_use stays constant. *)
+  end;
+  t.acquisitions <- t.acquisitions + 1
+
+let rec release t =
+  match Queue.take_opt t.queue with
+  | None -> t.in_use <- t.in_use - 1
+  | Some w ->
+      if Sim.waker_fired w then release t (* waiter was killed; skip it *)
+      else Sim.wake t.sim w
+
+let use t dt f =
+  acquire t;
+  let finish () =
+    t.busy_time <- t.busy_time +. dt;
+    release t
+  in
+  match
+    Sim.delay t.sim dt;
+    f ()
+  with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let consume t dt = use t dt (fun () -> ())
+
+let busy_time t = t.busy_time
+
+let acquisitions t = t.acquisitions
+
+(* Utilisation over a window of [elapsed] seconds. *)
+let utilisation t ~elapsed =
+  if elapsed <= 0.0 then 0.0
+  else t.busy_time /. (elapsed *. float_of_int t.capacity)
+
+let reset_stats t =
+  t.busy_time <- 0.0;
+  t.acquisitions <- 0

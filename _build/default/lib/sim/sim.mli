@@ -1,0 +1,72 @@
+(** Deterministic discrete-event simulator.
+
+    The simulator replaces the OS threads and hardware of the paper's testbed:
+    client sessions, the deadlock detector and the log flusher are processes;
+    CPU, disk and mutexes are {!Resource} values layered on top. All events
+    run on one OS thread in a total deterministic order, so code between two
+    simulator calls is atomic — the moral equivalent of holding a latch. *)
+
+type t
+
+(** Handle to a suspended process; used by lock queues and condition
+    variables to resume (or kill) it later. *)
+type waker
+
+val create : unit -> t
+
+(** Current simulated time, in seconds. *)
+val now : t -> float
+
+(** Number of processes spawned and not yet finished. *)
+val live_procs : t -> int
+
+(** Number of events still queued. *)
+val pending_events : t -> int
+
+(** [spawn t f] creates a process running [f ()]; it starts when the event
+    loop reaches the current time. Uncaught exceptions propagate out of
+    {!run}. *)
+val spawn : t -> (unit -> unit) -> unit
+
+(** [schedule t ~after thunk] runs [thunk] (plain callback, not a process)
+    [after] seconds from now. *)
+val schedule : t -> after:float -> (unit -> unit) -> unit
+
+(** Advance simulated time by [dt] seconds (process context only). *)
+val delay : t -> float -> unit
+
+(** Let other ready processes run at the same timestamp. *)
+val yield : t -> unit
+
+(** [suspend t register] parks the calling process and passes its waker to
+    [register]; the process resumes when {!wake} is called on the waker, or
+    raises when {!kill} is called. *)
+val suspend : t -> (waker -> unit) -> unit
+
+(** Resume a suspended process. No-op if it was already woken or killed. *)
+val wake : t -> waker -> unit
+
+(** Resume a suspended process by raising [exn] inside it. No-op if the waker
+    already fired. *)
+val kill : t -> waker -> exn -> unit
+
+(** Whether the waker has already been woken or killed. *)
+val waker_fired : waker -> bool
+
+(** {1 Condition variables} *)
+
+type cond
+
+val cond : unit -> cond
+
+val wait : t -> cond -> unit
+
+(** Wake every waiter. *)
+val broadcast : t -> cond -> unit
+
+(** Wake one waiter (FIFO). *)
+val signal : t -> cond -> unit
+
+(** Run the event loop until no events remain or simulated time would pass
+    [until] (the clock then stops exactly at [until]). *)
+val run : ?until:float -> t -> unit

@@ -1,0 +1,34 @@
+(** Simulated write-ahead log with group commit.
+
+    In [No_flush] mode a commit only buffers its record (the paper's
+    Fig 6.1 configuration, standing in for battery-backed storage). In
+    [Flush_per_commit latency] mode a commit blocks until a physical flush
+    covering its record completes; concurrent committers share one flush
+    (group commit), so throughput rises with MPL even on one disk. *)
+
+type mode =
+  | No_flush
+  | Flush_per_commit of float  (** flush latency in simulated seconds *)
+
+type t
+
+val create : Sim.t -> mode:mode -> t
+
+val mode : t -> mode
+
+(** Buffer one log record into the open batch. *)
+val append : t -> unit
+
+(** Block until every record appended so far is durable (no-op for
+    [No_flush]). *)
+val commit_flush : t -> unit
+
+(** {1 Statistics} *)
+
+val appends : t -> int
+
+(** Physical flushes performed; [appends / flushes] is the group-commit
+    batching factor. *)
+val flushes : t -> int
+
+val reset_stats : t -> unit

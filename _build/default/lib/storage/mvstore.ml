@@ -1,0 +1,134 @@
+(* Multiversion storage: per-key version chains over a B+tree index.
+
+   Each key maps to a chain of committed versions, newest first. A version
+   carries the commit timestamp of its creator, so snapshot visibility is a
+   single comparison (§2.4-2.5); [None] values are tombstones left by
+   deletes, which stay visible to the conflict-detection machinery (§3.5)
+   until garbage collection removes them.
+
+   Uncommitted writes never appear here — the transaction engine buffers
+   them in per-transaction write sets and installs them at commit, under the
+   exclusive lock that implements first-committer-wins. *)
+
+type ts = int
+
+type txn_id = int
+
+type version = {
+  value : string option; (* None = tombstone *)
+  commit_ts : ts;
+  creator : txn_id;
+}
+
+type chain = { mutable versions : version list (* newest first *) }
+
+type t = {
+  name : string;
+  tree : chain Btree.t;
+}
+
+let create ?fanout name = { name; tree = Btree.create ?fanout () }
+
+let name t = t.name
+
+let index t = t.tree
+
+(* Chain for [key], if an index entry exists. *)
+let find_chain t key = Btree.find t.tree key
+
+let find_chain_path t key = Btree.find_path t.tree key
+
+(* Chain for [key], creating an empty one (and its index entry) if missing.
+   Returns the btree access so page-level locking can cover index writes. *)
+let ensure_chain t key =
+  match Btree.find_path t.tree key with
+  | Some c, access -> (c, access)
+  | None, _ ->
+      let c = { versions = [] } in
+      let access = Btree.insert t.tree key c in
+      (c, access)
+
+(* Newest version with commit_ts <= snapshot: what an SI read sees. *)
+let visible chain ~snapshot =
+  let rec go = function
+    | [] -> None
+    | v :: rest -> if v.commit_ts <= snapshot then Some v else go rest
+  in
+  go chain.versions
+
+(* Newest committed version regardless of snapshot: what S2PL reads. *)
+let latest chain = match chain.versions with [] -> None | v :: _ -> Some v
+
+(* Committed versions newer than [than] — the "ignored newer versions" that
+   flag rw-dependencies in Fig 3.4 and trigger first-committer-wins. *)
+let newer_versions chain ~than =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | v :: rest -> if v.commit_ts > than then go (v :: acc) rest else List.rev acc
+  in
+  go [] chain.versions
+
+let has_newer chain ~than =
+  match chain.versions with [] -> false | v :: _ -> v.commit_ts > than
+
+(* Install a committed version at the head of the chain. Versions must be
+   installed in commit-timestamp order (the engine holds X locks and commits
+   are atomic in the simulator, so this holds by construction). *)
+let install chain ~value ~commit_ts ~creator =
+  (match chain.versions with
+  | v :: _ when v.commit_ts >= commit_ts ->
+      invalid_arg "Mvstore.install: commit timestamps must increase along a chain"
+  | _ -> ());
+  chain.versions <- { value; commit_ts; creator } :: chain.versions
+
+(* Value as of [snapshot], skipping tombstones. *)
+let read t key ~snapshot =
+  match find_chain t key with
+  | None -> None
+  | Some c -> ( match visible c ~snapshot with Some { value = Some v; _ } -> Some v | _ -> None)
+
+let read_latest t key =
+  match find_chain t key with
+  | None -> None
+  | Some c -> ( match latest c with Some { value = Some v; _ } -> Some v | _ -> None)
+
+(* Next key in index order after [key] — the gap-locking successor. [None]
+   means the supremum (Figs 3.6/3.7). *)
+let successor t key = Btree.successor t.tree key
+
+let min_key t = Btree.min_key t.tree
+
+(* Iterate index entries in [lo, hi] (inclusive), exposing the whole chain so
+   the engine can both read the snapshot-visible version and detect ignored
+   newer versions / tombstones. Returns the btree access footprint. *)
+let scan_chains t ?lo ?hi f = Btree.iter_range_access t.tree ?lo ?hi f
+
+(* Number of distinct keys with an index entry (live or tombstoned). *)
+let key_count t = Btree.length t.tree
+
+let version_count t =
+  Btree.fold_range t.tree ?lo:None ?hi:None ~init:0 ~f:(fun acc _ c ->
+      acc + List.length c.versions)
+
+(* Drop versions that no current or future snapshot can read: keep the
+   newest version with commit_ts <= min_snapshot plus everything newer.
+   Chains reduced to a lone tombstone older than [min_snapshot] are removed
+   from the index entirely (§3.5: a tombstone can go once no transaction
+   could read the last live version). *)
+let gc t ~min_snapshot =
+  let doomed = ref [] in
+  Btree.iter_range t.tree (fun key c ->
+      let rec keep = function
+        | [] -> []
+        | v :: rest ->
+            if v.commit_ts <= min_snapshot then [ v ] (* newest visible-to-all; drop older *)
+            else v :: keep rest
+      in
+      c.versions <- keep c.versions;
+      match c.versions with
+      | [ { value = None; commit_ts; _ } ] when commit_ts <= min_snapshot ->
+          doomed := key :: !doomed
+      | [] -> doomed := key :: !doomed
+      | _ -> ());
+  List.iter (fun k -> ignore (Btree.remove t.tree k)) !doomed;
+  List.length !doomed

@@ -1,0 +1,71 @@
+(** Multiversion storage: per-key version chains over a {!Btree} index.
+
+    Pure data layer — no locking, no simulated time. The transaction engine
+    buffers uncommitted writes and installs committed versions here, newest
+    first. Deleted keys keep a tombstone version so snapshot reads and
+    conflict detection keep working until {!gc} reclaims them (§3.5). *)
+
+type ts = int
+
+type txn_id = int
+
+type version = {
+  value : string option;  (** [None] is a tombstone *)
+  commit_ts : ts;
+  creator : txn_id;
+}
+
+(** Mutable chain of committed versions, newest first. *)
+type chain = { mutable versions : version list }
+
+type t
+
+val create : ?fanout:int -> string -> t
+
+val name : t -> string
+
+(** The underlying index (page ids are used for page-granularity locking). *)
+val index : t -> chain Btree.t
+
+val find_chain : t -> string -> chain option
+
+val find_chain_path : t -> string -> chain option * Btree.access
+
+(** Chain for a key, creating an empty one (and the index entry) if missing. *)
+val ensure_chain : t -> string -> chain * Btree.access
+
+(** Newest version with [commit_ts <= snapshot] — what an SI read sees. *)
+val visible : chain -> snapshot:ts -> version option
+
+(** Newest committed version — what an S2PL read sees. *)
+val latest : chain -> version option
+
+(** Committed versions newer than [than], newest first: the ignored newer
+    versions of Fig 3.4 and the first-committer-wins witnesses. *)
+val newer_versions : chain -> than:ts -> version list
+
+val has_newer : chain -> than:ts -> bool
+
+(** Install a committed version; timestamps must increase along a chain. *)
+val install : chain -> value:string option -> commit_ts:ts -> creator:txn_id -> unit
+
+(** Snapshot read of a key, skipping tombstones. *)
+val read : t -> string -> snapshot:ts -> string option
+
+val read_latest : t -> string -> string option
+
+(** Next index key after [key] ([None] = supremum) for gap locking. *)
+val successor : t -> string -> string option
+
+val min_key : t -> string option
+
+(** Inclusive range iteration over chains, reporting the index pages used. *)
+val scan_chains : t -> ?lo:string -> ?hi:string -> (string -> chain -> unit) -> Btree.access
+
+val key_count : t -> int
+
+val version_count : t -> int
+
+(** Reclaim versions no snapshot [>= min_snapshot] can read; returns the
+    number of index entries removed outright. *)
+val gc : t -> min_snapshot:ts -> int

@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Core Db List Random Sim Stats Txn Types

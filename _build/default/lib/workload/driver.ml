@@ -1,0 +1,200 @@
+(* Benchmark workload driver, modelled on db_perf (§6.1): MPL client
+   processes each run a stream of transactions drawn from a weighted mix,
+   with aborted transactions retried, and throughput / abort rates measured
+   over a window after a warmup period. *)
+
+open Core
+
+type program = {
+  p_name : string;
+  p_weight : float;
+  p_read_only : bool; (* declared READ ONLY (enables the RO refinement) *)
+  (* The body runs inside a transaction; it may raise Types.Abort (e.g. an
+     application rollback) and uses the per-client RNG for parameters. *)
+  p_body : Random.State.t -> Txn.t -> unit;
+}
+
+let program ?(weight = 1.0) ?(read_only = false) name body =
+  { p_name = name; p_weight = weight; p_read_only = read_only; p_body = body }
+
+type counters = {
+  mutable commits : int;
+  mutable deadlocks : int;
+  mutable conflicts : int;
+  mutable unsafe : int;
+  mutable other_aborts : int;
+  mutable response_sum : float;
+  mutable per_program : (string * int) list;
+}
+
+type result = {
+  mpl : int;
+  seed : int;
+  elapsed : float;
+  commits : int;
+  throughput : float; (* commits per simulated second *)
+  deadlocks : int;
+  conflicts : int;
+  unsafe : int;
+  other_aborts : int;
+  mean_response : float;
+  aborts_per_commit : float;
+  per_program : (string * int) list; (* commits by program name *)
+  end_lock_table : int; (* lock-table entries when the window closed *)
+  end_retained : int; (* committed transaction records still retained *)
+}
+
+type config = {
+  isolation : Types.isolation;
+  mpl : int;
+  warmup : float;
+  duration : float;
+  think_time : float;
+  seed : int;
+  max_retries : int;
+}
+
+let default_config =
+  {
+    isolation = Types.Snapshot;
+    mpl = 1;
+    warmup = 0.5;
+    duration = 3.0;
+    think_time = 0.0;
+    seed = 1;
+    max_retries = 1000;
+  }
+
+(* Weighted choice from the mix. *)
+let pick mix st =
+  let total = List.fold_left (fun acc p -> acc +. p.p_weight) 0.0 mix in
+  let x = Random.State.float st total in
+  let rec go acc = function
+    | [] -> List.hd mix
+    | p :: rest -> if x < acc +. p.p_weight then p else go (acc +. p.p_weight) rest
+  in
+  go 0.0 mix
+
+(* Run one (db, mix, config) measurement: returns counters over the window
+   [warmup, warmup + duration]. [make_db] builds and populates the database
+   (fresh per run so seeds are independent). *)
+let run_once ~make_db ~mix (cfg : config) : result =
+  let sim = Sim.create () in
+  let db : Db.t = make_db sim in
+  (* Progress guarantee: a transaction that consumed no simulated time at
+     all (e.g. an immediate application rollback) must not let the client
+     loop spin forever at one instant. *)
+  let min_step = 1e-6 in
+  let horizon = cfg.warmup +. cfg.duration in
+  let c =
+    {
+      commits = 0;
+      deadlocks = 0;
+      conflicts = 0;
+      unsafe = 0;
+      other_aborts = 0;
+      response_sum = 0.0;
+      per_program = [];
+    }
+  in
+  let in_window () =
+    let now = Sim.now sim in
+    now >= cfg.warmup && now < horizon
+  in
+  let count_abort reason =
+    if in_window () then
+      match reason with
+      | Types.Deadlock -> c.deadlocks <- c.deadlocks + 1
+      | Types.Update_conflict -> c.conflicts <- c.conflicts + 1
+      | Types.Unsafe -> c.unsafe <- c.unsafe + 1
+      | Types.Duplicate_key | Types.User_abort | Types.Internal_error _ ->
+          c.other_aborts <- c.other_aborts + 1
+  in
+  let count_commit name started =
+    if in_window () then begin
+      c.commits <- c.commits + 1;
+      c.response_sum <- c.response_sum +. (Sim.now sim -. started);
+      c.per_program <-
+        (match List.assoc_opt name c.per_program with
+        | Some n -> (name, n + 1) :: List.remove_assoc name c.per_program
+        | None -> (name, 1) :: c.per_program)
+    end
+  in
+  for client = 1 to cfg.mpl do
+    Sim.spawn sim (fun () ->
+        let st = Random.State.make [| cfg.seed; client; 0x551 |] in
+        let rec session () =
+          if Sim.now sim < horizon then begin
+            if cfg.think_time > 0.0 then Sim.delay sim (Random.State.float st (2.0 *. cfg.think_time));
+            let prog = pick mix st in
+            let started = Sim.now sim in
+            let rec attempt retries =
+              match Db.run ~read_only:prog.p_read_only db cfg.isolation (prog.p_body st) with
+              | Ok () -> count_commit prog.p_name started
+              | Error Types.User_abort ->
+                  (* Application rollback (e.g. SmallBank insufficient
+                     funds): completed work, not an error. *)
+                  count_commit prog.p_name started
+              | Error reason ->
+                  count_abort reason;
+                  if retries < cfg.max_retries && Sim.now sim < horizon then attempt (retries + 1)
+            in
+            attempt 0;
+            if Sim.now sim = started then Sim.delay sim min_step;
+            session ()
+          end
+        in
+        session ())
+  done;
+  Sim.run ~until:horizon sim;
+  {
+    end_lock_table = Db.lock_table_size db;
+    end_retained = Db.retained_count db;
+    mpl = cfg.mpl;
+    seed = cfg.seed;
+    elapsed = cfg.duration;
+    commits = c.commits;
+    throughput = float_of_int c.commits /. cfg.duration;
+    deadlocks = c.deadlocks;
+    conflicts = c.conflicts;
+    unsafe = c.unsafe;
+    other_aborts = c.other_aborts;
+    mean_response = (if c.commits = 0 then 0.0 else c.response_sum /. float_of_int c.commits);
+    per_program = List.sort compare c.per_program;
+    aborts_per_commit =
+      (let aborts = c.deadlocks + c.conflicts + c.unsafe + c.other_aborts in
+       if c.commits = 0 then float_of_int aborts
+       else float_of_int aborts /. float_of_int c.commits);
+  }
+
+type summary = {
+  s_mpl : int;
+  s_throughput : float;
+  s_ci : float;
+  s_deadlock_rate : float; (* per commit *)
+  s_conflict_rate : float;
+  s_unsafe_rate : float;
+  s_mean_response : float;
+  s_lock_table : float; (* mean lock-table entries at window close *)
+}
+
+(* Run the same configuration across several seeds and aggregate. *)
+let run_seeds ~make_db ~mix ~seeds (cfg : config) : summary =
+  let results = List.map (fun seed -> run_once ~make_db ~mix { cfg with seed }) seeds in
+  let tps = List.map (fun r -> r.throughput) results in
+  let m, ci = Stats.ci95 tps in
+  let total_commits = List.fold_left (fun a r -> a + r.commits) 0 results in
+  let rate f =
+    if total_commits = 0 then 0.0
+    else float_of_int (List.fold_left (fun a r -> a + f r) 0 results) /. float_of_int total_commits
+  in
+  {
+    s_mpl = cfg.mpl;
+    s_throughput = m;
+    s_ci = ci;
+    s_deadlock_rate = rate (fun r -> r.deadlocks);
+    s_conflict_rate = rate (fun r -> r.conflicts);
+    s_unsafe_rate = rate (fun r -> r.unsafe);
+    s_mean_response = Stats.mean (List.map (fun r -> r.mean_response) results);
+    s_lock_table = Stats.mean (List.map (fun r -> float_of_int r.end_lock_table) results);
+  }

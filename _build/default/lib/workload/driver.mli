@@ -1,0 +1,69 @@
+(** Benchmark workload driver, modelled on the paper's db_perf setup (§6.1):
+    MPL client processes each run a stream of transactions drawn from a
+    weighted mix; aborted transactions are retried; throughput and abort
+    rates are measured over a window after a warmup period. *)
+
+(** A transaction program in a mix. *)
+type program = {
+  p_name : string;
+  p_weight : float;
+  p_read_only : bool;  (** declared READ ONLY (enables the RO refinement) *)
+  p_body : Random.State.t -> Core.Txn.t -> unit;
+      (** runs inside a transaction; may raise {!Core.Types.Abort} (e.g. an
+          application rollback); parameters come from the per-client RNG *)
+}
+
+val program :
+  ?weight:float -> ?read_only:bool -> string -> (Random.State.t -> Core.Txn.t -> unit) -> program
+
+(** Weighted random choice from a mix. *)
+val pick : program list -> Random.State.t -> program
+
+type result = {
+  mpl : int;
+  seed : int;
+  elapsed : float;
+  commits : int;
+  throughput : float;  (** commits per simulated second *)
+  deadlocks : int;
+  conflicts : int;  (** first-committer-wins aborts *)
+  unsafe : int;  (** Serializable SI dangerous-structure aborts *)
+  other_aborts : int;
+  mean_response : float;
+  aborts_per_commit : float;
+  per_program : (string * int) list;  (** commits by program name *)
+  end_lock_table : int;  (** lock-table entries when the window closed *)
+  end_retained : int;  (** committed transaction records still retained *)
+}
+
+type config = {
+  isolation : Core.Types.isolation;
+  mpl : int;  (** number of concurrent clients *)
+  warmup : float;  (** simulated seconds before measurement starts *)
+  duration : float;  (** measured simulated seconds *)
+  think_time : float;  (** mean delay between transactions (0 = closed loop) *)
+  seed : int;
+  max_retries : int;
+}
+
+val default_config : config
+
+(** One measurement: build a fresh database via [make_db], run [mix] with
+    [cfg.mpl] clients and count commits/aborts in the measurement window.
+    Deterministic given the seed. *)
+val run_once : make_db:(Sim.t -> Core.Db.t) -> mix:program list -> config -> result
+
+type summary = {
+  s_mpl : int;
+  s_throughput : float;  (** mean across seeds *)
+  s_ci : float;  (** 95% confidence half-width *)
+  s_deadlock_rate : float;  (** aborts per commit *)
+  s_conflict_rate : float;
+  s_unsafe_rate : float;
+  s_mean_response : float;
+  s_lock_table : float;  (** mean lock-table entries at window close *)
+}
+
+(** Run the same configuration across several seeds and aggregate. *)
+val run_seeds :
+  make_db:(Sim.t -> Core.Db.t) -> mix:program list -> seeds:int list -> config -> summary

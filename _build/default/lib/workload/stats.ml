@@ -1,0 +1,36 @@
+(* Small statistics helpers for the benchmark harness: means and 95%
+   confidence intervals across seeds, as in the paper's plots ("all graphs
+   include 95% confidence intervals", §6.1.1). *)
+
+let mean xs =
+  match xs with [] -> 0.0 | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      sqrt (ss /. (n -. 1.0))
+
+(* Two-sided Student t critical values at 95% for n-1 degrees of freedom. *)
+let t95 n =
+  match n with
+  | 0 | 1 -> 0.0
+  | 2 -> 12.706
+  | 3 -> 4.303
+  | 4 -> 3.182
+  | 5 -> 2.776
+  | 6 -> 2.571
+  | 7 -> 2.447
+  | 8 -> 2.365
+  | 9 -> 2.306
+  | 10 -> 2.262
+  | _ -> 2.0
+
+(* Mean and 95% confidence half-width. *)
+let ci95 xs =
+  let n = List.length xs in
+  let m = mean xs in
+  if n < 2 then (m, 0.0) else (m, t95 n *. stddev xs /. sqrt (float_of_int n))

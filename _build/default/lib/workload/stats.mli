@@ -1,0 +1,14 @@
+(** Mean / standard deviation / 95% confidence intervals across seeds, as in
+    the paper's plots (§6.1.1: "all graphs include 95% confidence
+    intervals"). *)
+
+val mean : float list -> float
+
+(** Sample standard deviation (n-1); 0 for fewer than two samples. *)
+val stddev : float list -> float
+
+(** Two-sided Student t critical value at 95% for [n] samples. *)
+val t95 : int -> float
+
+(** [(mean, halfwidth)] of the 95% confidence interval. *)
+val ci95 : float list -> float * float

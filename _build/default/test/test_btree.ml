@@ -1,0 +1,299 @@
+(* Tests for the B+tree substrate, including model-based property tests
+   against a sorted association list. *)
+
+let key i = Printf.sprintf "k%06d" i
+
+let test_empty () =
+  let t = Btree.create ~fanout:4 () in
+  Alcotest.(check int) "empty length" 0 (Btree.length t);
+  Alcotest.(check (option string)) "find missing" None (Btree.find t "x");
+  Alcotest.(check (option string)) "min" None (Btree.min_key t);
+  Alcotest.(check (option string)) "max" None (Btree.max_key t);
+  Alcotest.(check (option string)) "succ" None (Btree.successor t "a");
+  Btree.check_invariants t
+
+let test_insert_find () =
+  let t = Btree.create ~fanout:4 () in
+  for i = 0 to 99 do
+    ignore (Btree.insert t (key i) i)
+  done;
+  Btree.check_invariants t;
+  Alcotest.(check int) "length" 100 (Btree.length t);
+  for i = 0 to 99 do
+    Alcotest.(check (option int)) "find" (Some i) (Btree.find t (key i))
+  done;
+  Alcotest.(check (option int)) "find absent" None (Btree.find t "zzz")
+
+let test_replace () =
+  let t = Btree.create ~fanout:4 () in
+  ignore (Btree.insert t "a" 1);
+  ignore (Btree.insert t "a" 2);
+  Alcotest.(check int) "no duplicate" 1 (Btree.length t);
+  Alcotest.(check (option int)) "replaced" (Some 2) (Btree.find t "a")
+
+let test_splits_grow_height () =
+  let t = Btree.create ~fanout:4 () in
+  Alcotest.(check int) "height 1" 1 (Btree.height t);
+  let grew = ref false in
+  for i = 0 to 199 do
+    let access = Btree.insert t (key i) i in
+    if access.Btree.modified <> [] then grew := true
+  done;
+  Btree.check_invariants t;
+  Alcotest.(check bool) "splits happened" true !grew;
+  Alcotest.(check bool) "height grew" true (Btree.height t > 2);
+  Alcotest.(check bool) "many pages" true (Btree.page_count t > 50)
+
+let test_root_split_reports_new_root () =
+  let t = Btree.create ~fanout:4 () in
+  let old_root = Btree.root_id t in
+  let saw_new_root = ref false in
+  for i = 0 to 20 do
+    let access = Btree.insert t (key i) i in
+    if List.mem (Btree.root_id t) access.Btree.modified && Btree.root_id t <> old_root then
+      saw_new_root := true
+  done;
+  Alcotest.(check bool) "root changed" true (Btree.root_id t <> old_root);
+  Alcotest.(check bool) "new root reported as modified" true !saw_new_root
+
+let test_descent_path () =
+  let t = Btree.create ~fanout:4 () in
+  for i = 0 to 199 do
+    ignore (Btree.insert t (key i) i)
+  done;
+  let _, access = Btree.find_path t (key 57) in
+  Alcotest.(check int) "path length = height" (Btree.height t) (List.length access.Btree.path);
+  Alcotest.(check int) "first is root" (Btree.root_id t) (List.hd access.Btree.path)
+
+let test_reverse_and_random_insertion_orders () =
+  let mk order =
+    let t = Btree.create ~fanout:5 () in
+    List.iter (fun i -> ignore (Btree.insert t (key i) i)) order;
+    Btree.check_invariants t;
+    Btree.to_list t
+  in
+  let fwd = mk (List.init 150 Fun.id) in
+  let rev = mk (List.rev (List.init 150 Fun.id)) in
+  let st = Random.State.make [| 7 |] in
+  let shuffled =
+    List.map snd
+      (List.sort compare (List.map (fun i -> (Random.State.bits st, i)) (List.init 150 Fun.id)))
+  in
+  let rnd = mk shuffled in
+  Alcotest.(check bool) "reverse = forward" true (fwd = rev);
+  Alcotest.(check bool) "random = forward" true (fwd = rnd)
+
+let test_remove () =
+  let t = Btree.create ~fanout:4 () in
+  for i = 0 to 49 do
+    ignore (Btree.insert t (key i) i)
+  done;
+  for i = 0 to 49 do
+    if i mod 2 = 0 then Alcotest.(check bool) "removed" true (Btree.remove t (key i))
+  done;
+  Alcotest.(check bool) "remove absent" false (Btree.remove t (key 0));
+  Btree.check_invariants t;
+  Alcotest.(check int) "half left" 25 (Btree.length t);
+  for i = 0 to 49 do
+    let expect = if i mod 2 = 0 then None else Some i in
+    Alcotest.(check (option int)) "post-remove find" expect (Btree.find t (key i))
+  done
+
+let test_successor () =
+  let t = Btree.create ~fanout:4 () in
+  List.iter (fun i -> ignore (Btree.insert t (key i) i)) [ 10; 20; 30; 40 ];
+  Alcotest.(check (option string)) "succ below min" (Some (key 10)) (Btree.successor t "");
+  Alcotest.(check (option string)) "succ of member" (Some (key 20)) (Btree.successor t (key 10));
+  Alcotest.(check (option string)) "succ between" (Some (key 20)) (Btree.successor t (key 15));
+  Alcotest.(check (option string)) "succ of max" None (Btree.successor t (key 40))
+
+let test_successor_across_leaves () =
+  let t = Btree.create ~fanout:4 () in
+  for i = 0 to 99 do
+    ignore (Btree.insert t (key (2 * i)) i)
+  done;
+  for i = 0 to 98 do
+    Alcotest.(check (option string))
+      "successor of odd key"
+      (Some (key ((2 * i) + 2)))
+      (Btree.successor t (key ((2 * i) + 1)))
+  done
+
+let test_range_scan () =
+  let t = Btree.create ~fanout:4 () in
+  for i = 0 to 99 do
+    ignore (Btree.insert t (key i) i)
+  done;
+  let got = ref [] in
+  Btree.iter_range t ~lo:(key 10) ~hi:(key 19) (fun _ v -> got := v :: !got);
+  Alcotest.(check (list int)) "range 10..19" (List.init 10 (fun i -> 10 + i)) (List.rev !got);
+  let all = ref 0 in
+  Btree.iter_range t (fun _ _ -> incr all);
+  Alcotest.(check int) "unbounded" 100 !all;
+  let empty = ref 0 in
+  Btree.iter_range t ~lo:(key 50) ~hi:(key 49) (fun _ _ -> incr empty);
+  Alcotest.(check int) "empty range" 0 !empty
+
+let test_range_access_leaves () =
+  let t = Btree.create ~fanout:4 () in
+  for i = 0 to 99 do
+    ignore (Btree.insert t (key i) i)
+  done;
+  let access = Btree.iter_range_access t ~lo:(key 0) ~hi:(key 99) (fun _ _ -> ()) in
+  (* A scan over everything must visit every leaf. *)
+  let leaves = List.length access.Btree.leaves in
+  Alcotest.(check bool) "visits many leaves" true (leaves >= 25);
+  let point = Btree.iter_range_access t ~lo:(key 5) ~hi:(key 5) (fun _ _ -> ()) in
+  Alcotest.(check int) "point scan one leaf" 1 (List.length point.Btree.leaves)
+
+let test_min_max () =
+  let t = Btree.create ~fanout:4 () in
+  for i = 5 to 95 do
+    ignore (Btree.insert t (key i) i)
+  done;
+  Alcotest.(check (option string)) "min" (Some (key 5)) (Btree.min_key t);
+  Alcotest.(check (option string)) "max" (Some (key 95)) (Btree.max_key t)
+
+
+let test_empty_string_key () =
+  let t = Btree.create ~fanout:4 () in
+  ignore (Btree.insert t "" 0);
+  ignore (Btree.insert t "a" 1);
+  Alcotest.(check (option int)) "empty key stored" (Some 0) (Btree.find t "");
+  Alcotest.(check (option string)) "min is empty" (Some "") (Btree.min_key t);
+  Alcotest.(check (option string)) "successor of empty" (Some "a") (Btree.successor t "")
+
+let test_long_and_binary_keys () =
+  let t = Btree.create ~fanout:4 () in
+  let keys = [ String.make 500 'z'; "\x00\x01"; "\xff\xfe"; "middle" ] in
+  List.iteri (fun i k -> ignore (Btree.insert t k i)) keys;
+  Btree.check_invariants t;
+  List.iteri (fun i k -> Alcotest.(check (option int)) "roundtrip" (Some i) (Btree.find t k)) keys
+
+let test_scan_early_exit () =
+  let t = Btree.create ~fanout:4 () in
+  for i = 0 to 99 do
+    ignore (Btree.insert t (key i) i)
+  done;
+  let seen = ref 0 in
+  let access =
+    Btree.iter_range_access t (fun _ _ ->
+        incr seen;
+        if !seen >= 5 then raise Exit)
+  in
+  Alcotest.(check int) "stopped after five" 5 !seen;
+  (* five keys span at most three tiny leaves; a full scan visits ~30+ *)
+  Alcotest.(check bool) "visited only a prefix of leaves" true
+    (List.length access.Btree.leaves <= 3)
+
+let test_remove_then_reinsert () =
+  let t = Btree.create ~fanout:4 () in
+  for i = 0 to 29 do
+    ignore (Btree.insert t (key i) i)
+  done;
+  for i = 0 to 29 do
+    ignore (Btree.remove t (key i))
+  done;
+  Alcotest.(check int) "emptied" 0 (Btree.length t);
+  Btree.check_invariants t;
+  for i = 0 to 29 do
+    ignore (Btree.insert t (key i) (i * 2))
+  done;
+  Btree.check_invariants t;
+  Alcotest.(check (option int)) "reinserted" (Some 14) (Btree.find t (key 7))
+
+(* Model-based qcheck properties: a script of inserts/removes against the
+   tree must agree with a reference assoc-list model. *)
+
+type op = Insert of int * int | Remove of int | Find of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun k v -> Insert (k, v)) (int_bound 200) (int_bound 1000));
+        (2, map (fun k -> Remove k) (int_bound 200));
+        (3, map (fun k -> Find k) (int_bound 200));
+      ])
+
+let show_op = function
+  | Insert (k, v) -> Printf.sprintf "Insert(%d,%d)" k v
+  | Remove k -> Printf.sprintf "Remove(%d)" k
+  | Find k -> Printf.sprintf "Find(%d)" k
+
+let arb_ops = QCheck.make ~print:QCheck.Print.(list show_op) QCheck.Gen.(list_size (int_bound 400) op_gen)
+
+let prop_model ops =
+  let t = Btree.create ~fanout:4 () in
+  let model = Hashtbl.create 64 in
+  List.for_all
+    (fun op ->
+      match op with
+      | Insert (k, v) ->
+          ignore (Btree.insert t (key k) v);
+          Hashtbl.replace model (key k) v;
+          true
+      | Remove k ->
+          let a = Btree.remove t (key k) in
+          let b = Hashtbl.mem model (key k) in
+          Hashtbl.remove model (key k);
+          a = b
+      | Find k -> Btree.find t (key k) = Hashtbl.find_opt model (key k))
+    ops
+  &&
+  (Btree.check_invariants t;
+   let sorted_model =
+     List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [])
+   in
+   Btree.to_list t = sorted_model)
+
+let prop_successor_matches_model ops =
+  let t = Btree.create ~fanout:4 () in
+  let model = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Insert (k, v) ->
+          ignore (Btree.insert t (key k) v);
+          Hashtbl.replace model (key k) v
+      | Remove k ->
+          ignore (Btree.remove t (key k));
+          Hashtbl.remove model (key k)
+      | Find _ -> ())
+    ops;
+  let keys = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) model []) in
+  List.for_all
+    (fun probe ->
+      let expected = List.find_opt (fun k -> k > key probe) keys in
+      Btree.successor t (key probe) = expected)
+    (List.init 20 (fun i -> i * 10))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~count:200 ~name:"btree agrees with assoc model" arb_ops prop_model;
+      QCheck.Test.make ~count:100 ~name:"successor agrees with model" arb_ops
+        prop_successor_matches_model;
+    ]
+
+let suite =
+  [
+    ("empty tree", `Quick, test_empty);
+    ("insert and find", `Quick, test_insert_find);
+    ("replace existing", `Quick, test_replace);
+    ("splits grow height", `Quick, test_splits_grow_height);
+    ("root split reported", `Quick, test_root_split_reports_new_root);
+    ("descent path", `Quick, test_descent_path);
+    ("insertion order independence", `Quick, test_reverse_and_random_insertion_orders);
+    ("remove", `Quick, test_remove);
+    ("successor", `Quick, test_successor);
+    ("successor across leaves", `Quick, test_successor_across_leaves);
+    ("range scan", `Quick, test_range_scan);
+    ("range access leaves", `Quick, test_range_access_leaves);
+    ("min and max", `Quick, test_min_max);
+    ("empty string key", `Quick, test_empty_string_key);
+    ("long and binary keys", `Quick, test_long_and_binary_keys);
+    ("scan early exit", `Quick, test_scan_early_exit);
+    ("remove then reinsert", `Quick, test_remove_then_reinsert);
+  ]
+
+let () = Alcotest.run "btree" [ ("btree", suite); ("btree-props", qcheck_tests) ]

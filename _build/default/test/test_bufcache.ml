@@ -1,0 +1,155 @@
+(* Tests for the LRU buffer cache and its engine integration. *)
+
+let mk ?(capacity = 3) ?(latency = 0.01) () =
+  let sim = Sim.create () in
+  let disk = Resource.create sim ~name:"disk" ~capacity:4 in
+  let c = Bufcache.create sim ~capacity ~disk ~read_latency:latency ~write_latency:latency () in
+  (sim, disk, c)
+
+let run_proc sim f =
+  Sim.spawn sim f;
+  Sim.run ~until:1e6 sim
+
+let test_miss_then_hit () =
+  let sim, _, c = mk () in
+  run_proc sim (fun () ->
+      Bufcache.touch c ~table:"t" ~page:1;
+      Alcotest.(check (float 1e-9)) "miss paid disk latency" 0.01 (Sim.now sim);
+      Bufcache.touch c ~table:"t" ~page:1;
+      Alcotest.(check (float 1e-9)) "hit is free" 0.01 (Sim.now sim));
+  Alcotest.(check int) "one miss" 1 (Bufcache.misses c);
+  Alcotest.(check int) "one hit" 1 (Bufcache.hits c);
+  Alcotest.(check (float 1e-9)) "hit rate" 0.5 (Bufcache.hit_rate c)
+
+let test_lru_eviction_order () =
+  let sim, _, c = mk ~capacity:3 () in
+  run_proc sim (fun () ->
+      List.iter (fun p -> Bufcache.touch c ~table:"t" ~page:p) [ 1; 2; 3 ];
+      (* touch 1 again: LRU order now 1,3,2 *)
+      Bufcache.touch c ~table:"t" ~page:1;
+      Alcotest.(check (list (pair string int)))
+        "lru order"
+        [ ("t", 1); ("t", 3); ("t", 2) ]
+        (Bufcache.lru_order c);
+      (* inserting 4 evicts 2 (the LRU) *)
+      Bufcache.touch c ~table:"t" ~page:4;
+      Alcotest.(check (list (pair string int)))
+        "evicted the LRU page"
+        [ ("t", 4); ("t", 1); ("t", 3) ]
+        (Bufcache.lru_order c));
+  Alcotest.(check int) "one eviction" 1 (Bufcache.evictions c)
+
+let test_capacity_bound () =
+  let sim, _, c = mk ~capacity:3 () in
+  run_proc sim (fun () ->
+      for p = 1 to 50 do
+        Bufcache.touch c ~table:"t" ~page:p
+      done);
+  Alcotest.(check int) "never exceeds capacity" 3 (Bufcache.size c);
+  Alcotest.(check int) "all cold misses" 50 (Bufcache.misses c)
+
+let test_dirty_writeback () =
+  let sim, _, c = mk ~capacity:1 () in
+  run_proc sim (fun () ->
+      Bufcache.touch ~dirty:true c ~table:"t" ~page:1;
+      Alcotest.(check (float 1e-9)) "read miss" 0.01 (Sim.now sim);
+      (* evicting the dirty page pays a write then a read *)
+      Bufcache.touch c ~table:"t" ~page:2;
+      Alcotest.(check (float 1e-9)) "writeback + read" 0.03 (Sim.now sim));
+  Alcotest.(check int) "one writeback" 1 (Bufcache.dirty_writebacks c)
+
+let test_clean_eviction_free_write () =
+  let sim, _, c = mk ~capacity:1 () in
+  run_proc sim (fun () ->
+      Bufcache.touch c ~table:"t" ~page:1;
+      Bufcache.touch c ~table:"t" ~page:2;
+      Alcotest.(check (float 1e-9)) "two reads only" 0.02 (Sim.now sim));
+  Alcotest.(check int) "no writebacks" 0 (Bufcache.dirty_writebacks c)
+
+let test_prewarm () =
+  let sim, _, c = mk ~capacity:2 () in
+  Bufcache.prewarm c [ ("t", 1); ("t", 2); ("t", 3) ];
+  Alcotest.(check int) "prewarm respects capacity" 2 (Bufcache.size c);
+  run_proc sim (fun () ->
+      Bufcache.touch c ~table:"t" ~page:3;
+      Alcotest.(check (float 1e-9)) "prewarmed page is a hit" 0.0 (Sim.now sim))
+
+let test_tables_disjoint () =
+  let sim, _, c = mk ~capacity:4 () in
+  run_proc sim (fun () ->
+      Bufcache.touch c ~table:"a" ~page:1;
+      Bufcache.touch c ~table:"b" ~page:1);
+  Alcotest.(check int) "same page id in two tables = two entries" 2 (Bufcache.size c)
+
+(* Engine integration: a small buffer pool makes a large-table workload
+   I/O-bound while a fitting one stays fast; both stay transactionally
+   correct. *)
+let engine_with_pool pool =
+  let open Core in
+  let config =
+    { (Config.test ()) with Config.buffer_pool = pool; record_history = false; btree_fanout = 4 }
+  in
+  let sim = Sim.create () in
+  let db = Db.create ~config sim in
+  Sibench.setup db ~items:200 ();
+  let committed = ref 0 in
+  Sim.spawn sim (fun () ->
+      let st = Random.State.make [| 11 |] in
+      for _ = 1 to 300 do
+        match Db.run db Types.Serializable (fun t -> Sibench.update ~items:200 st t) with
+        | Ok () -> incr committed
+        | Error _ -> ()
+      done);
+  Sim.run ~until:1e6 sim;
+  (Sim.now sim, !committed, Db.cache db)
+
+let test_engine_small_pool_is_io_bound () =
+  let t_small, n_small, cache_small = engine_with_pool (Some 4) in
+  let t_big, n_big, cache_big = engine_with_pool (Some 10_000) in
+  Alcotest.(check int) "all commits (small pool)" 300 n_small;
+  Alcotest.(check int) "all commits (big pool)" 300 n_big;
+  Alcotest.(check bool) "small pool is much slower" true (t_small > 4.0 *. t_big);
+  (match (cache_small, cache_big) with
+  | Some cs, Some cb ->
+      Alcotest.(check bool) "small pool misses a lot" true (Bufcache.hit_rate cs < 0.5);
+      Alcotest.(check bool) "big pool mostly hits" true (Bufcache.hit_rate cb > 0.9)
+  | _ -> Alcotest.fail "caches not created")
+
+let test_engine_pool_updates_never_lost () =
+  (* The correctness probe from the sibench suite, now with cache pressure. *)
+  let open Core in
+  let config = { (Config.test ()) with Config.buffer_pool = Some 8; btree_fanout = 4 } in
+  let sim = Sim.create () in
+  let db = Db.create ~config sim in
+  Sibench.setup db ~items:100 ();
+  let committed = ref 0 in
+  for client = 1 to 4 do
+    Sim.spawn sim (fun () ->
+        let st = Random.State.make [| 7; client |] in
+        for _ = 1 to 15 do
+          (match Db.run db Types.Serializable (fun t -> Sibench.update ~items:100 st t) with
+          | Ok () -> incr committed
+          | Error _ -> ());
+          Sim.delay sim (Random.State.float st 0.001)
+        done)
+  done;
+  Sim.run ~until:1e6 sim;
+  Alcotest.(check int) "total = initial + commits"
+    (Sibench.initial_total ~items:100 + !committed)
+    (Sibench.total db);
+  Alcotest.(check bool) "history serializable" true (Mvsg.is_serializable (Db.history db))
+
+let suite =
+  [
+    ("miss then hit", `Quick, test_miss_then_hit);
+    ("lru eviction order", `Quick, test_lru_eviction_order);
+    ("capacity bound", `Quick, test_capacity_bound);
+    ("dirty writeback", `Quick, test_dirty_writeback);
+    ("clean eviction has no write", `Quick, test_clean_eviction_free_write);
+    ("prewarm", `Quick, test_prewarm);
+    ("tables disjoint", `Quick, test_tables_disjoint);
+    ("engine: small pool is I/O bound", `Quick, test_engine_small_pool_is_io_bound);
+    ("engine: updates never lost under cache pressure", `Quick, test_engine_pool_updates_never_lost);
+  ]
+
+let () = Alcotest.run "bufcache" [ ("bufcache", suite) ]

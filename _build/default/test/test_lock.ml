@@ -1,0 +1,339 @@
+(* Tests for the lock manager: conflict matrix, FIFO queuing, SIREAD
+   non-blocking behaviour, upgrades, deadlock detection (immediate and
+   periodic), wait cancellation. *)
+
+let with_sim f =
+  let sim = Sim.create () in
+  f sim;
+  Sim.run sim
+
+let test_conflict_matrix () =
+  let open Lockmgr in
+  Alcotest.(check bool) "S blocks X" true (blocks S X);
+  Alcotest.(check bool) "X blocks S" true (blocks X S);
+  Alcotest.(check bool) "X blocks X" true (blocks X X);
+  Alcotest.(check bool) "S with S" false (blocks S S);
+  Alcotest.(check bool) "SIREAD never blocked by X" false (blocks Siread X);
+  Alcotest.(check bool) "X never blocked by SIREAD" false (blocks X Siread);
+  Alcotest.(check bool) "SIREAD with SIREAD" false (blocks Siread Siread);
+  Alcotest.(check bool) "S with SIREAD" false (blocks S Siread)
+
+let test_shared_locks_coexist () =
+  with_sim (fun sim ->
+      let lm = Lockmgr.create sim in
+      let granted = ref 0 in
+      for i = 1 to 3 do
+        Sim.spawn sim (fun () ->
+            Lockmgr.acquire lm ~owner:i ~mode:Lockmgr.S "a";
+            incr granted)
+      done;
+      Sim.spawn sim (fun () ->
+          Sim.delay sim 1.0;
+          Alcotest.(check int) "all S granted" 3 !granted;
+          Alcotest.(check int) "table size" 3 (Lockmgr.lock_table_size lm)))
+
+let test_x_blocks_until_release () =
+  with_sim (fun sim ->
+      let lm = Lockmgr.create sim in
+      let t2_got_it = ref (-1.0) in
+      Sim.spawn sim (fun () ->
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.X "a";
+          Sim.delay sim 5.0;
+          Lockmgr.release_all lm 1);
+      Sim.spawn sim (fun () ->
+          Sim.delay sim 1.0;
+          Lockmgr.acquire lm ~owner:2 ~mode:Lockmgr.X "a";
+          t2_got_it := Sim.now sim);
+      Sim.schedule sim ~after:10.0 (fun () ->
+          Alcotest.(check (float 1e-9)) "granted at release" 5.0 !t2_got_it))
+
+let test_siread_never_blocks () =
+  with_sim (fun sim ->
+      let lm = Lockmgr.create sim in
+      Sim.spawn sim (fun () ->
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.X "a";
+          (* SIREAD grants instantly although X is held. *)
+          Lockmgr.acquire lm ~owner:2 ~mode:Lockmgr.Siread "a";
+          Alcotest.(check (float 0.0)) "no time passed" 0.0 (Sim.now sim);
+          let holders = List.sort compare (Lockmgr.holders lm "a") in
+          Alcotest.(check (list (pair int string)))
+            "both recorded"
+            [ (1, "X"); (2, "SIREAD") ]
+            (List.map (fun (o, m) -> (o, Lockmgr.mode_to_string m)) holders)))
+
+let test_x_granted_over_siread () =
+  with_sim (fun sim ->
+      let lm = Lockmgr.create sim in
+      Sim.spawn sim (fun () ->
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.Siread "a";
+          Lockmgr.acquire lm ~owner:2 ~mode:Lockmgr.X "a";
+          Alcotest.(check (float 0.0)) "X not delayed by SIREAD" 0.0 (Sim.now sim)))
+
+let test_fifo_no_starvation () =
+  with_sim (fun sim ->
+      let lm = Lockmgr.create sim in
+      let order = ref [] in
+      Sim.spawn sim (fun () ->
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.X "a";
+          Sim.delay sim 1.0;
+          Lockmgr.release_all lm 1);
+      (* Writer queues at t=0.1; readers at t=0.2 must not jump it. *)
+      Sim.spawn sim (fun () ->
+          Sim.delay sim 0.1;
+          Lockmgr.acquire lm ~owner:2 ~mode:Lockmgr.X "a";
+          order := 2 :: !order;
+          Sim.delay sim 1.0;
+          Lockmgr.release_all lm 2);
+      for i = 3 to 4 do
+        Sim.spawn sim (fun () ->
+            Sim.delay sim 0.2;
+            Lockmgr.acquire lm ~owner:i ~mode:Lockmgr.S "a";
+            order := i :: !order;
+            Lockmgr.release_all lm i)
+      done;
+      Sim.schedule sim ~after:10.0 (fun () ->
+          Alcotest.(check (list int)) "writer first, readers after" [ 2; 3; 4 ] (List.rev !order)))
+
+let test_reentrant () =
+  with_sim (fun sim ->
+      let lm = Lockmgr.create sim in
+      Sim.spawn sim (fun () ->
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.S "a";
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.S "a";
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.X "a" (* self-upgrade, no block *);
+          Alcotest.(check (float 0.0)) "no blocking on own locks" 0.0 (Sim.now sim);
+          let modes = List.sort compare (Lockmgr.holds_of lm ~owner:1 "a") in
+          Alcotest.(check int) "holds two modes" 2 (List.length modes)))
+
+let test_upgrade_waits_for_other_s () =
+  with_sim (fun sim ->
+      let lm = Lockmgr.create sim in
+      let upgraded = ref (-1.0) in
+      Sim.spawn sim (fun () ->
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.S "a";
+          Lockmgr.acquire lm ~owner:2 ~mode:Lockmgr.S "a" |> ignore;
+          ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim 0.1;
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.X "a";
+          upgraded := Sim.now sim);
+      Sim.spawn sim (fun () ->
+          Sim.delay sim 2.0;
+          Lockmgr.release_all lm 2);
+      Sim.schedule sim ~after:5.0 (fun () ->
+          Alcotest.(check (float 1e-9)) "upgrade granted when other S released" 2.0 !upgraded))
+
+let test_immediate_deadlock () =
+  with_sim (fun sim ->
+      let lm = Lockmgr.create ~detection:Lockmgr.Immediate sim in
+      let victim = ref 0 in
+      let a_done = ref false in
+      Sim.spawn sim (fun () ->
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.X "a";
+          Sim.delay sim 1.0;
+          (try
+             Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.X "b";
+             a_done := true
+           with Lockmgr.Deadlock_victim ->
+             victim := 1;
+             Lockmgr.release_all lm 1));
+      Sim.spawn sim (fun () ->
+          Lockmgr.acquire lm ~owner:2 ~mode:Lockmgr.X "b";
+          Sim.delay sim 2.0;
+          (try Lockmgr.acquire lm ~owner:2 ~mode:Lockmgr.X "a"
+           with Lockmgr.Deadlock_victim -> victim := 2);
+          Lockmgr.release_all lm 2);
+      Sim.schedule sim ~after:10.0 (fun () ->
+          (* T1 blocks on b at t=1 (no cycle yet); T2's request at t=2 would
+             close the cycle, so T2 is the victim. *)
+          Alcotest.(check int) "requester is victim" 2 !victim;
+          Alcotest.(check bool) "T1 eventually granted" true !a_done;
+          Alcotest.(check int) "one deadlock counted" 1 (Lockmgr.deadlocks lm)))
+
+let test_periodic_deadlock () =
+  with_sim (fun sim ->
+      let lm = Lockmgr.create ~detection:(Lockmgr.Periodic 0.5) sim in
+      let victim_time = ref (-1.0) in
+      let survivor_done = ref false in
+      Sim.spawn sim (fun () ->
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.X "a";
+          Sim.delay sim 0.1;
+          (try
+             Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.X "b";
+             survivor_done := true;
+             Lockmgr.release_all lm 1
+           with Lockmgr.Deadlock_victim -> Alcotest.fail "older txn should survive"));
+      Sim.spawn sim (fun () ->
+          Lockmgr.acquire lm ~owner:2 ~mode:Lockmgr.X "b";
+          Sim.delay sim 0.1;
+          (try Lockmgr.acquire lm ~owner:2 ~mode:Lockmgr.X "a"
+           with Lockmgr.Deadlock_victim ->
+             victim_time := Sim.now sim;
+             Lockmgr.release_all lm 2));
+      Sim.schedule sim ~after:10.0 (fun () ->
+          (* Both blocked by t=0.1; the detector starts at the first block
+             and fires one interval later (t=0.6), killing the youngest
+             (owner 2). *)
+          Alcotest.(check (float 1e-6)) "victim killed at detector tick" 0.6 !victim_time;
+          Alcotest.(check bool) "survivor completed" true !survivor_done))
+
+let test_cancel_wait () =
+  with_sim (fun sim ->
+      let lm = Lockmgr.create sim in
+      let cancelled = ref false in
+      Sim.spawn sim (fun () ->
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.X "a";
+          Sim.delay sim 5.0;
+          Lockmgr.release_all lm 1);
+      Sim.spawn sim (fun () ->
+          Sim.delay sim 0.5;
+          try Lockmgr.acquire lm ~owner:2 ~mode:Lockmgr.X "a"
+          with Not_found -> cancelled := true);
+      Sim.spawn sim (fun () ->
+          Sim.delay sim 1.0;
+          Alcotest.(check bool) "waiting" true (Lockmgr.is_waiting lm 2);
+          Alcotest.(check bool) "cancelled" true (Lockmgr.cancel_wait lm 2 Not_found));
+      Sim.schedule sim ~after:10.0 (fun () ->
+          Alcotest.(check bool) "exception delivered" true !cancelled;
+          Alcotest.(check bool) "no longer waiting" false (Lockmgr.is_waiting lm 2)))
+
+let test_release_keeps_siread () =
+  with_sim (fun sim ->
+      let lm = Lockmgr.create sim in
+      Sim.spawn sim (fun () ->
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.Siread "a";
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.X "b";
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.S "c";
+          Lockmgr.release_all ~keep_siread:true lm 1;
+          Alcotest.(check (list (pair int string)))
+            "SIREAD survives"
+            [ (1, "SIREAD") ]
+            (List.map (fun (o, m) -> (o, Lockmgr.mode_to_string m)) (Lockmgr.holders lm "a"));
+          Alcotest.(check (list (pair int string))) "X gone" [] (List.map (fun (o, m) -> (o, Lockmgr.mode_to_string m)) (Lockmgr.holders lm "b"));
+          Lockmgr.release_all lm 1;
+          Alcotest.(check int) "empty table" 0 (Lockmgr.lock_table_size lm)))
+
+let test_release_wakes_waiter () =
+  with_sim (fun sim ->
+      let lm = Lockmgr.create sim in
+      let got = ref (-1.0) in
+      Sim.spawn sim (fun () ->
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.X "a";
+          Sim.delay sim 1.0;
+          Lockmgr.release_one lm ~owner:1 ~mode:Lockmgr.X "a");
+      Sim.spawn sim (fun () ->
+          Sim.delay sim 0.1;
+          Lockmgr.acquire lm ~owner:2 ~mode:Lockmgr.S "a";
+          got := Sim.now sim);
+      Sim.schedule sim ~after:5.0 (fun () ->
+          Alcotest.(check (float 1e-9)) "woken on release_one" 1.0 !got))
+
+let test_three_way_deadlock_periodic () =
+  with_sim (fun sim ->
+      let lm = Lockmgr.create ~detection:(Lockmgr.Periodic 0.5) sim in
+      let victims = ref [] in
+      let completions = ref 0 in
+      for i = 1 to 3 do
+        Sim.spawn sim (fun () ->
+            let mine = string_of_int i in
+            let next = string_of_int ((i mod 3) + 1) in
+            Lockmgr.acquire lm ~owner:i ~mode:Lockmgr.X mine;
+            Sim.delay sim 0.1;
+            (try
+               Lockmgr.acquire lm ~owner:i ~mode:Lockmgr.X next;
+               incr completions
+             with Lockmgr.Deadlock_victim -> victims := i :: !victims);
+            Lockmgr.release_all lm i)
+      done;
+      Sim.schedule sim ~after:20.0 (fun () ->
+          Alcotest.(check int) "one victim breaks the 3-cycle" 1 (List.length !victims);
+          Alcotest.(check int) "others complete" 2 !completions))
+
+
+let test_reentrant_bypasses_queue () =
+  (* Regression: an owner re-requesting a mode it already effectively holds
+     must not queue behind strangers waiting for it (self-deadlock). *)
+  with_sim (fun sim ->
+      let lm = Lockmgr.create sim in
+      let reacquired = ref (-1.0) in
+      Sim.spawn sim (fun () ->
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.X "a";
+          Sim.delay sim 1.0;
+          (* Owner 2 is queued for X by now; our re-request must succeed
+             immediately, not deadlock. *)
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.X "a";
+          reacquired := Sim.now sim;
+          Lockmgr.release_all lm 1);
+      Sim.spawn sim (fun () ->
+          Sim.delay sim 0.5;
+          Lockmgr.acquire lm ~owner:2 ~mode:Lockmgr.X "a";
+          Lockmgr.release_all lm 2);
+      Sim.schedule sim ~after:10.0 (fun () ->
+          Alcotest.(check (float 1e-9)) "instant re-grant" 1.0 !reacquired;
+          Alcotest.(check int) "no deadlock" 0 (Lockmgr.deadlocks lm)))
+
+let test_conversion_goes_to_queue_front () =
+  (* An S holder converting to X waits only for the other S holder, then is
+     served before the stranger X waiter who arrived earlier. *)
+  with_sim (fun sim ->
+      let lm = Lockmgr.create sim in
+      let order = ref [] in
+      Sim.spawn sim (fun () ->
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.S "a";
+          Lockmgr.acquire lm ~owner:2 ~mode:Lockmgr.S "a";
+          ());
+      (* Stranger X waiter arrives first. *)
+      Sim.spawn sim (fun () ->
+          Sim.delay sim 0.1;
+          Lockmgr.acquire lm ~owner:3 ~mode:Lockmgr.X "a";
+          order := 3 :: !order;
+          Lockmgr.release_all lm 3);
+      (* Holder 1 requests conversion later. *)
+      Sim.spawn sim (fun () ->
+          Sim.delay sim 0.2;
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.X "a";
+          order := 1 :: !order;
+          Lockmgr.release_all lm 1);
+      (* Holder 2 releases, unblocking the conversion. *)
+      Sim.spawn sim (fun () ->
+          Sim.delay sim 1.0;
+          Lockmgr.release_all lm 2);
+      Sim.schedule sim ~after:10.0 (fun () ->
+          Alcotest.(check (list int)) "conversion first" [ 1; 3 ] (List.rev !order)))
+
+let test_siread_retained_vs_new_x () =
+  (* A suspended owner's SIREAD must be visible to later X acquirers. *)
+  with_sim (fun sim ->
+      let lm = Lockmgr.create sim in
+      Sim.spawn sim (fun () ->
+          Lockmgr.acquire lm ~owner:1 ~mode:Lockmgr.Siread "a";
+          Lockmgr.release_all ~keep_siread:true lm 1;
+          Lockmgr.acquire lm ~owner:2 ~mode:Lockmgr.X "a";
+          let holders = List.sort compare (Lockmgr.holders lm "a") in
+          Alcotest.(check (list (pair int string)))
+            "both visible"
+            [ (1, "SIREAD"); (2, "X") ]
+            (List.map (fun (o, m) -> (o, Lockmgr.mode_to_string m)) holders)))
+
+let suite =
+  [
+    ("conflict matrix", `Quick, test_conflict_matrix);
+    ("shared locks coexist", `Quick, test_shared_locks_coexist);
+    ("X blocks until release", `Quick, test_x_blocks_until_release);
+    ("SIREAD never blocks", `Quick, test_siread_never_blocks);
+    ("X granted over SIREAD", `Quick, test_x_granted_over_siread);
+    ("FIFO no starvation", `Quick, test_fifo_no_starvation);
+    ("reentrant acquisition", `Quick, test_reentrant);
+    ("upgrade waits for other S", `Quick, test_upgrade_waits_for_other_s);
+    ("immediate deadlock detection", `Quick, test_immediate_deadlock);
+    ("periodic deadlock detection", `Quick, test_periodic_deadlock);
+    ("cancel wait", `Quick, test_cancel_wait);
+    ("release keeps SIREAD", `Quick, test_release_keeps_siread);
+    ("release_one wakes waiter", `Quick, test_release_wakes_waiter);
+    ("three-way deadlock", `Quick, test_three_way_deadlock_periodic);
+    ("reentrant bypasses queue", `Quick, test_reentrant_bypasses_queue);
+    ("conversion at queue front", `Quick, test_conversion_goes_to_queue_front);
+    ("retained SIREAD visible to X", `Quick, test_siread_retained_vs_new_x);
+  ]
+
+let () = Alcotest.run "lockmgr" [ ("lockmgr", suite) ]

@@ -1,0 +1,284 @@
+(* Tests for the serializability checker: MVSG construction, cycle
+   detection, Theorem 2 verification, the §4.7 exhaustive-interleaving
+   methodology, and randomized whole-engine serializability properties. *)
+
+open Core
+open Types
+
+let mk_txn ~id ~snap ~commit ~reads ~writes =
+  {
+    h_id = id;
+    h_isolation = Serializable;
+    h_snapshot = snap;
+    h_commit = commit;
+    h_reads = List.map (fun (t, k, v) -> { r_table = t; r_key = k; r_version = v }) reads;
+    h_writes = writes;
+  }
+
+let test_empty_history () =
+  Alcotest.(check bool) "empty serializable" true (Mvsg.is_serializable [])
+
+let test_serial_chain () =
+  (* T1 writes x@1; T2 reads x@1 and writes x@2: wr + ww edges, no cycle. *)
+  let h =
+    [
+      mk_txn ~id:1 ~snap:0 ~commit:1 ~reads:[] ~writes:[ ("t", "x") ];
+      mk_txn ~id:2 ~snap:1 ~commit:2 ~reads:[ ("t", "x", 1) ] ~writes:[ ("t", "x") ];
+    ]
+  in
+  let g = Mvsg.build h in
+  Alcotest.(check bool) "serializable" true (Mvsg.is_serializable h);
+  let kinds = List.sort compare (List.map (fun e -> Mvsg.edge_kind_to_string e.Mvsg.kind) (Mvsg.edges g)) in
+  Alcotest.(check (list string)) "edges" [ "wr"; "ww" ] kinds
+
+let test_write_skew_cycle () =
+  (* Both read x@0,y@0 under snapshot 0; T1 writes x@1, T2 writes y@2. *)
+  let h =
+    [
+      mk_txn ~id:1 ~snap:0 ~commit:1
+        ~reads:[ ("t", "x", 0); ("t", "y", 0) ]
+        ~writes:[ ("t", "x") ];
+      mk_txn ~id:2 ~snap:0 ~commit:2
+        ~reads:[ ("t", "x", 0); ("t", "y", 0) ]
+        ~writes:[ ("t", "y") ];
+    ]
+  in
+  Alcotest.(check bool) "not serializable" false (Mvsg.is_serializable h);
+  let g = Mvsg.build h in
+  (match Mvsg.find_cycle g with
+  | Some cycle -> Alcotest.(check int) "2-cycle" 2 (List.length (List.sort_uniq compare cycle))
+  | None -> Alcotest.fail "expected a cycle");
+  Alcotest.(check bool) "theorem 2 pattern present" true (Mvsg.check_theorem2 h);
+  Alcotest.(check bool) "dangerous structure found" true (Mvsg.dangerous_structures g <> [])
+
+let test_rw_only_between_concurrent () =
+  (* Reader sees x@0 but writer committed before reader began: serial order
+     exists (reader first), but the rw edge still orders them. *)
+  let h =
+    [
+      mk_txn ~id:1 ~snap:5 ~commit:6 ~reads:[ ("t", "x", 0) ] ~writes:[];
+      mk_txn ~id:2 ~snap:0 ~commit:1 ~reads:[] ~writes:[ ("t", "x") ];
+    ]
+  in
+  (* Reader with snapshot 5 reading version 0 of x while version 1 exists
+     cannot happen in a real SI history; but the graph must still handle it:
+     rw edge 1 -> 2, acyclic. *)
+  Alcotest.(check bool) "acyclic" true (Mvsg.is_serializable h)
+
+let test_three_txn_read_only_anomaly_graph () =
+  (* Example 3 shape: Tpivot(r y@0, w x)@3, Tout(w y, w z)@1, Tin(r x@0,
+     r z@1)@2. Cycle: pivot ->rw y-> out ->wr z-> in ->rw x-> pivot. *)
+  let h =
+    [
+      mk_txn ~id:10 ~snap:0 ~commit:3 ~reads:[ ("t", "y", 0) ] ~writes:[ ("t", "x") ];
+      mk_txn ~id:20 ~snap:0 ~commit:1 ~reads:[] ~writes:[ ("t", "y"); ("t", "z") ];
+      mk_txn ~id:30 ~snap:1 ~commit:2 ~reads:[ ("t", "x", 0); ("t", "z", 1) ] ~writes:[];
+    ]
+  in
+  Alcotest.(check bool) "non-serializable" false (Mvsg.is_serializable h);
+  Alcotest.(check bool) "theorem 2 holds" true (Mvsg.check_theorem2 h);
+  let ds = Mvsg.dangerous_structures (Mvsg.build h) in
+  Alcotest.(check bool) "pivot identified" true
+    (List.exists (fun d -> d.Mvsg.t_pivot = 10) ds)
+
+(* {1 Exhaustive interleavings (§4.7)} *)
+
+let test_interleaving_count () =
+  (* 1 + 2 + 1 ops: 4!/(1!2!1!) = 12 interleavings. *)
+  let n = List.length (Interleave.interleavings Interleave.paper_spec) in
+  Alcotest.(check int) "multinomial count" 12 n;
+  let n2 = List.length (Interleave.interleavings Interleave.write_skew_spec) in
+  Alcotest.(check int) "6!/(3!3!) = 20" 20 n2
+
+let test_paper_spec_detection () =
+  (* The §4.7 set is a dependency *path* — always serializable — but SSI
+     must still detect the consecutive conflicts on T2 in the concurrent
+     interleavings. *)
+  let si = Interleave.sweep ~isolation:Snapshot Interleave.paper_spec in
+  Alcotest.(check int) "all interleavings commit under SI" si.Interleave.total
+    si.Interleave.all_committed;
+  Alcotest.(check int) "and all are serializable (path, not cycle)" 0
+    si.Interleave.non_serializable;
+  let ssi = Interleave.sweep ~isolation:Serializable Interleave.paper_spec in
+  Alcotest.(check int) "no non-serializable execution survives" 0 ssi.Interleave.non_serializable;
+  Alcotest.(check bool) "pivot conflicts detected in some interleavings" true
+    (ssi.Interleave.unsafe_aborts > 0);
+  Alcotest.(check bool) "most interleavings commit" true
+    (ssi.Interleave.all_committed * 2 > ssi.Interleave.total)
+
+let test_read_only_anomaly_spec_si_has_anomalies () =
+  let s = Interleave.sweep ~isolation:Snapshot Interleave.read_only_anomaly_spec in
+  Alcotest.(check int) "all interleavings commit under SI" s.Interleave.total
+    s.Interleave.all_committed;
+  Alcotest.(check bool) "some interleavings are non-serializable" true
+    (s.Interleave.non_serializable > 0);
+  let ssi = Interleave.sweep ~isolation:Serializable Interleave.read_only_anomaly_spec in
+  Alcotest.(check int) "SSI admits none" 0 ssi.Interleave.non_serializable;
+  Alcotest.(check bool) "SSI aborts something" true (ssi.Interleave.unsafe_aborts > 0)
+
+let test_write_skew_spec_sweep () =
+  let si = Interleave.sweep ~isolation:Snapshot Interleave.write_skew_spec in
+  Alcotest.(check bool) "SI: write skew appears" true (si.Interleave.non_serializable > 0);
+  let ssi = Interleave.sweep ~isolation:Serializable Interleave.write_skew_spec in
+  Alcotest.(check int) "SSI: never" 0 ssi.Interleave.non_serializable;
+  let s2pl = Interleave.sweep ~isolation:S2pl Interleave.write_skew_spec in
+  Alcotest.(check int) "S2PL: never" 0 s2pl.Interleave.non_serializable
+
+let test_si_cycles_satisfy_theorem2 () =
+  (* Every non-serializable SI interleaving exhibits the dangerous
+     structure with Tout committing first (Theorem 2). *)
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun order ->
+          let r = Interleave.run_interleaving ~isolation:Snapshot spec order in
+          if not r.Interleave.serializable then
+            Alcotest.(check bool) "theorem 2" true (Mvsg.check_theorem2 r.Interleave.history))
+        (Interleave.interleavings spec))
+    [ Interleave.paper_spec; Interleave.write_skew_spec; Interleave.read_only_anomaly_spec ]
+
+let test_basic_mode_more_aborts_than_precise () =
+  let sweep variant =
+    let config =
+      { (Config.test ()) with Config.ssi = variant; Config.record_history = true }
+    in
+    Interleave.sweep ~config ~isolation:Serializable Interleave.paper_spec
+  in
+  let basic = sweep Config.Basic and precise = sweep Config.Precise in
+  Alcotest.(check int) "basic also admits no anomaly" 0 basic.Interleave.non_serializable;
+  Alcotest.(check bool) "precise never aborts more than basic" true
+    (precise.Interleave.unsafe_aborts <= basic.Interleave.unsafe_aborts)
+
+(* {1 Random transaction sets} *)
+
+(* Generate a random 3-transaction spec in which each key has at most one
+   writer (so no operation blocks and a single process can drive any
+   interleaving), plus random reads. *)
+let spec_gen =
+  QCheck.Gen.(
+    let keys = [ "x"; "y"; "z"; "w" ] in
+    let* owners = flatten_l (List.map (fun _ -> int_range (-1) 2) keys) in
+    let ops_for t =
+      let writes =
+        List.concat (List.map2 (fun k o -> if o = t then [ Interleave.W k ] else []) keys owners)
+      in
+      let* read_keys = flatten_l (List.map (fun k -> pair (bool) (return k)) keys) in
+      let reads = List.filter_map (fun (b, k) -> if b then Some (Interleave.R k) else None) read_keys in
+      (* random order of reads and writes, capped at 3 ops to bound the
+         interleaving space *)
+      let* shuffled = shuffle_l (reads @ writes) in
+      return (List.filteri (fun i _ -> i < 3) shuffled)
+    in
+    let* t0 = ops_for 0 in
+    let* t1 = ops_for 1 in
+    let* t2 = ops_for 2 in
+    return [ t0; t1; t2 ])
+
+let show_spec spec =
+  String.concat " || "
+    (List.map
+       (fun ops ->
+         String.concat ";"
+           (List.map (function Interleave.R k -> "r" ^ k | Interleave.W k -> "w" ^ k) ops))
+       spec)
+
+let arb_spec = QCheck.make ~print:show_spec spec_gen
+
+(* For sampled random interleavings of random specs: SSI never commits a
+   non-serializable history, and every non-serializable SI history contains
+   the Theorem 2 dangerous structure. *)
+let prop_random_specs spec =
+  let st = Random.State.make [| Hashtbl.hash spec |] in
+  List.for_all
+    (fun _ ->
+      let order = Interleave.random_order st spec in
+      let ssi = Interleave.run_interleaving ~isolation:Serializable spec order in
+      let si = Interleave.run_interleaving ~isolation:Snapshot spec order in
+      ssi.Interleave.serializable
+      && (si.Interleave.serializable || Mvsg.check_theorem2 si.Interleave.history))
+    (List.init 10 Fun.id)
+
+let qcheck_random_specs =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"random specs: SSI serializable, SI satisfies theorem 2"
+       arb_spec prop_random_specs)
+
+(* {1 Randomized whole-engine properties} *)
+
+(* A contention-heavy random workload: each transaction reads two random hot
+   keys and conditionally writes one of them — a write-skew generator. *)
+let random_workload ~seed ~isolation ~clients ~txns =
+  let config = { (Config.test ()) with Config.record_history = true } in
+  let sim = Sim.create () in
+  let db = Db.create ~config sim in
+  ignore (Db.create_table db "t");
+  let nkeys = 4 in
+  Db.load db "t" (List.init nkeys (fun i -> (Printf.sprintf "k%d" i, "100")));
+  for c = 1 to clients do
+    Sim.spawn sim (fun () ->
+        let st = Random.State.make [| seed; c |] in
+        for _ = 1 to txns do
+          Sim.delay sim (Random.State.float st 0.002);
+          ignore
+            (Db.run db isolation (fun t ->
+                 let k1 = Printf.sprintf "k%d" (Random.State.int st nkeys) in
+                 let k2 = Printf.sprintf "k%d" (Random.State.int st nkeys) in
+                 let v1 = int_of_string (Option.value ~default:"0" (Txn.read t "t" k1)) in
+                 Sim.delay sim (Random.State.float st 0.002);
+                 let v2 = int_of_string (Option.value ~default:"0" (Txn.read t "t" k2)) in
+                 if v1 + v2 > 0 then Txn.write t "t" k1 (string_of_int (v1 - 10))))
+        done)
+  done;
+  Sim.run ~until:1.0e6 sim;
+  Db.history db
+
+let test_random_ssi_always_serializable () =
+  for seed = 1 to 15 do
+    let h = random_workload ~seed ~isolation:Serializable ~clients:4 ~txns:10 in
+    if not (Mvsg.is_serializable h) then
+      Alcotest.failf "seed %d produced a non-serializable SSI history" seed
+  done
+
+let test_random_s2pl_always_serializable () =
+  for seed = 1 to 10 do
+    let h = random_workload ~seed ~isolation:S2pl ~clients:4 ~txns:10 in
+    if not (Mvsg.is_serializable h) then
+      Alcotest.failf "seed %d produced a non-serializable S2PL history" seed
+  done
+
+let test_random_si_eventually_anomalous () =
+  let anomalous = ref 0 in
+  for seed = 1 to 15 do
+    let h = random_workload ~seed ~isolation:Snapshot ~clients:4 ~txns:10 in
+    if not (Mvsg.is_serializable h) then incr anomalous
+  done;
+  Alcotest.(check bool) "SI produces anomalies under contention" true (!anomalous > 0)
+
+let test_random_si_theorem2 () =
+  for seed = 1 to 15 do
+    let h = random_workload ~seed ~isolation:Snapshot ~clients:4 ~txns:10 in
+    Alcotest.(check bool) "theorem 2 on every SI history" true (Mvsg.check_theorem2 h)
+  done
+
+let suite =
+  [
+    ("empty history", `Quick, test_empty_history);
+    ("serial chain", `Quick, test_serial_chain);
+    ("write skew cycle", `Quick, test_write_skew_cycle);
+    ("rw edge acyclic case", `Quick, test_rw_only_between_concurrent);
+    ("read-only anomaly graph", `Quick, test_three_txn_read_only_anomaly_graph);
+    ("interleaving count", `Quick, test_interleaving_count);
+    ("paper spec detection (4.7)", `Quick, test_paper_spec_detection);
+    ("read-only anomaly spec sweep", `Quick, test_read_only_anomaly_spec_si_has_anomalies);
+    ("write skew spec sweep", `Quick, test_write_skew_spec_sweep);
+    ("SI cycles satisfy theorem 2", `Quick, test_si_cycles_satisfy_theorem2);
+    ("basic vs precise abort counts", `Quick, test_basic_mode_more_aborts_than_precise);
+    ("random SSI always serializable", `Slow, test_random_ssi_always_serializable);
+    ("random S2PL always serializable", `Slow, test_random_s2pl_always_serializable);
+    ("random SI eventually anomalous", `Slow, test_random_si_eventually_anomalous);
+    ("random SI satisfies theorem 2", `Slow, test_random_si_theorem2);
+    ("random specs property", `Slow, fun () -> ());
+  ]
+  @ [ qcheck_random_specs ]
+
+let () = Alcotest.run "sercheck" [ ("sercheck", suite) ]

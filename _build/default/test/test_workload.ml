@@ -1,0 +1,115 @@
+(* Tests for the workload driver: mix selection, measurement windows,
+   retries, think time, and multi-seed aggregation. *)
+
+open Core
+
+let mk_db ?(items = 20) () =
+ fun sim ->
+  let db = Db.create ~config:{ (Config.test ()) with Config.record_history = false } sim in
+  Sibench.setup db ~items ();
+  db
+
+let test_pick_respects_weights () =
+  let st = Random.State.make [| 3 |] in
+  let mix =
+    [
+      Driver.program ~weight:9.0 "heavy" (fun _ _ -> ());
+      Driver.program ~weight:1.0 "light" (fun _ _ -> ());
+    ]
+  in
+  let counts = Hashtbl.create 2 in
+  for _ = 1 to 10_000 do
+    let p = Driver.pick mix st in
+    Hashtbl.replace counts p.Driver.p_name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts p.Driver.p_name))
+  done;
+  let heavy = Hashtbl.find counts "heavy" in
+  Alcotest.(check bool) "about 90%" true (heavy > 8_700 && heavy < 9_300)
+
+let test_deterministic_runs () =
+  let cfg =
+    { Driver.default_config with Driver.mpl = 4; warmup = 0.05; duration = 0.2 }
+  in
+  let r1 = Driver.run_once ~make_db:(mk_db ()) ~mix:(Sibench.mix ~items:20 ()) cfg in
+  let r2 = Driver.run_once ~make_db:(mk_db ()) ~mix:(Sibench.mix ~items:20 ()) cfg in
+  Alcotest.(check int) "same commits" r1.Driver.commits r2.Driver.commits;
+  Alcotest.(check (float 1e-9)) "same throughput" r1.Driver.throughput r2.Driver.throughput
+
+let test_seed_changes_result () =
+  let cfg =
+    { Driver.default_config with Driver.mpl = 4; warmup = 0.05; duration = 0.2 }
+  in
+  let r1 = Driver.run_once ~make_db:(mk_db ()) ~mix:(Sibench.mix ~items:20 ()) cfg in
+  let r2 =
+    Driver.run_once ~make_db:(mk_db ()) ~mix:(Sibench.mix ~items:20 ()) { cfg with Driver.seed = 99 }
+  in
+  Alcotest.(check bool) "different seeds, different runs" true
+    (r1.Driver.commits <> r2.Driver.commits)
+
+let test_per_program_counts_sum () =
+  let cfg =
+    { Driver.default_config with Driver.mpl = 3; warmup = 0.05; duration = 0.2 }
+  in
+  let r = Driver.run_once ~make_db:(mk_db ()) ~mix:(Sibench.mix ~items:20 ()) cfg in
+  let sum = List.fold_left (fun a (_, n) -> a + n) 0 r.Driver.per_program in
+  Alcotest.(check int) "per-program counts sum to commits" r.Driver.commits sum;
+  Alcotest.(check bool) "both programs ran" true (List.length r.Driver.per_program = 2)
+
+let test_think_time_lowers_throughput () =
+  let cfg =
+    { Driver.default_config with Driver.mpl = 2; warmup = 0.05; duration = 0.3 }
+  in
+  let busy = Driver.run_once ~make_db:(mk_db ()) ~mix:(Sibench.mix ~items:20 ()) cfg in
+  let idle =
+    Driver.run_once ~make_db:(mk_db ())
+      ~mix:(Sibench.mix ~items:20 ())
+      { cfg with Driver.think_time = 0.01 }
+  in
+  Alcotest.(check bool) "think time reduces throughput" true
+    (idle.Driver.throughput < busy.Driver.throughput /. 2.0)
+
+let test_run_seeds_aggregates () =
+  let cfg =
+    { Driver.default_config with Driver.mpl = 3; warmup = 0.05; duration = 0.2 }
+  in
+  let s =
+    Driver.run_seeds ~make_db:(mk_db ()) ~mix:(Sibench.mix ~items:20 ()) ~seeds:[ 1; 2; 3 ] cfg
+  in
+  Alcotest.(check bool) "positive throughput" true (s.Driver.s_throughput > 0.0);
+  Alcotest.(check bool) "ci computed" true (s.Driver.s_ci >= 0.0);
+  Alcotest.(check int) "mpl recorded" 3 s.Driver.s_mpl
+
+let test_user_abort_counts_as_completed () =
+  (* Programs that roll back by design (e.g. SmallBank overdrafts) count as
+     completed work, not errors (§5.1.1 semantics). *)
+  let mix =
+    [
+      Driver.program "roller" (fun _ _ -> raise (Types.Abort Types.User_abort));
+    ]
+  in
+  let cfg =
+    { Driver.default_config with Driver.mpl = 1; warmup = 0.0; duration = 0.05 }
+  in
+  let r = Driver.run_once ~make_db:(mk_db ()) ~mix cfg in
+  Alcotest.(check bool) "rollback-only program still progresses" true (r.Driver.commits > 10);
+  Alcotest.(check int) "no error aborts" 0
+    (r.Driver.deadlocks + r.Driver.conflicts + r.Driver.unsafe)
+
+let test_stats_t95_monotone () =
+  Alcotest.(check bool) "t95 decreases with n" true
+    (Stats.t95 2 > Stats.t95 3 && Stats.t95 3 > Stats.t95 5 && Stats.t95 5 > Stats.t95 30);
+  Alcotest.(check (float 1e-9)) "single sample has no interval" 0.0 (snd (Stats.ci95 [ 42.0 ]))
+
+let suite =
+  [
+    ("pick respects weights", `Quick, test_pick_respects_weights);
+    ("deterministic runs", `Quick, test_deterministic_runs);
+    ("seed changes result", `Quick, test_seed_changes_result);
+    ("per-program counts sum", `Quick, test_per_program_counts_sum);
+    ("think time lowers throughput", `Quick, test_think_time_lowers_throughput);
+    ("run_seeds aggregates", `Quick, test_run_seeds_aggregates);
+    ("user abort counts as completed", `Quick, test_user_abort_counts_as_completed);
+    ("stats t95 monotone", `Quick, test_stats_t95_monotone);
+  ]
+
+let () = Alcotest.run "workload" [ ("workload", suite) ]

@@ -1,0 +1,73 @@
+(* Shared helpers for the engine/benchmark test suites: build a simulated
+   database, seed tables, and script precisely interleaved transactions. *)
+
+open Core
+
+let default_config () = Config.test ()
+
+type env = { sim : Sim.t; db : Db.t }
+
+let make_env ?config ?(tables = []) ?(rows = []) () =
+  let config = match config with Some c -> c | None -> default_config () in
+  let sim = Sim.create () in
+  let db = Db.create ~config sim in
+  List.iter (fun t -> ignore (Db.create_table db t)) tables;
+  List.iter (fun (t, kvs) -> Db.load db t kvs) rows;
+  { sim; db }
+
+(* Spawn [f] as a simulator process and run the simulation to completion.
+   Exceptions escaping processes propagate. *)
+let run_procs env procs =
+  List.iter (fun f -> Sim.spawn env.sim f) procs;
+  Sim.run ~until:1.0e6 env.sim
+
+(* Script a transaction: start at [at] simulated seconds, perform [steps] in
+   order with [gap] seconds between them, then commit (unless a step
+   aborted). The per-transaction outcome is stored in the returned ref. *)
+type outcome = Pending | Committed | Aborted of Types.abort_reason
+
+let outcome_to_string = function
+  | Pending -> "pending"
+  | Committed -> "committed"
+  | Aborted r -> "aborted:" ^ Types.abort_reason_to_string r
+
+let outcome_testable = Alcotest.testable (fun fmt o -> Fmt.string fmt (outcome_to_string o)) ( = )
+
+let script env ~at ?(gap = 0.01) ~isolation steps =
+  let result = ref Pending in
+  let proc () =
+    Sim.delay env.sim at;
+    let txn = Db.begin_txn env.db isolation in
+    match
+      List.iter
+        (fun step ->
+          step txn;
+          Sim.delay env.sim gap)
+        steps;
+      Txn.commit txn
+    with
+    | () -> result := Committed
+    | exception Types.Abort r -> result := Aborted r
+  in
+  Sim.spawn env.sim proc;
+  result
+
+(* One-shot committed transaction executed inline (for setup/verification
+   from within a process). *)
+let atomically env isolation body =
+  match Db.run env.db isolation body with
+  | Ok v -> v
+  | Error r -> Alcotest.failf "setup transaction aborted: %s" (Types.abort_reason_to_string r)
+
+(* Read a key's committed state from a fresh snapshot transaction. *)
+let peek env table key =
+  let out = ref None in
+  Sim.spawn env.sim (fun () -> out := atomically env Types.Snapshot (fun t -> Txn.read t table key));
+  Sim.run ~until:1.0e6 env.sim;
+  !out
+
+let peek_int env table key = Option.map int_of_string (peek env table key)
+
+let int_rows n f = List.init n (fun i -> f i)
+
+let check_outcome msg expected r = Alcotest.check outcome_testable msg expected !r
