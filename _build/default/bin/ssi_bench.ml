@@ -38,16 +38,23 @@ let mpl_arg =
     & opt (list int) [ 1; 2; 5; 10; 20 ]
     & info [ "mpl" ] ~doc:"Comma-separated multiprogramming levels")
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Collect and print engine metrics (conflict-edge sources, lock waits, high-water marks)")
+
 let run_cmd =
-  let run ids quick seeds duration mpls =
+  let run ids quick seeds duration mpls metrics =
     let budget =
-      if quick then Experiments.quick_budget
+      if quick then { Experiments.quick_budget with Experiments.with_metrics = metrics }
       else
         {
           Experiments.seeds = List.init seeds (fun i -> i + 1);
           duration;
           warmup = duration /. 4.0;
           mpls;
+          with_metrics = metrics;
         }
     in
     let ids = if ids = [] then List.map fst Experiments.all_figures else ids in
@@ -55,7 +62,106 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run experiments and print throughput/abort tables")
-    Term.(const run $ ids_arg $ quick_arg $ seeds_arg $ duration_arg $ mpl_arg)
+    Term.(const run $ ids_arg $ quick_arg $ seeds_arg $ duration_arg $ mpl_arg $ metrics_arg)
+
+(* One measured benchmark run, with optional Chrome-trace capture. The
+   stdout report is byte-identical with or without --trace: tracing records
+   events out-of-band and never perturbs the simulation. *)
+let bench_cmd =
+  let workload_arg =
+    Arg.(
+      value
+      & opt string "smallbank"
+      & info [ "workload" ] ~docv:"NAME" ~doc:"Workload: smallbank | sibench")
+  in
+  let mpl_arg =
+    Arg.(value & opt int 10 & info [ "mpl" ] ~doc:"Number of concurrent clients")
+  in
+  let duration_arg =
+    Arg.(value & opt float 0.5 & info [ "duration" ] ~doc:"Measured simulated seconds")
+  in
+  let warmup_arg =
+    Arg.(value & opt float 0.1 & info [ "warmup" ] ~doc:"Warmup simulated seconds")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed") in
+  let iso_arg =
+    Arg.(value & opt string "ssi" & info [ "isolation" ] ~doc:"si | ssi | s2pl | rc")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a Chrome-trace JSON array (chrome://tracing, ui.perfetto.dev) to $(docv)")
+  in
+  let run workload mpl duration warmup seed iso trace metrics =
+    let isolation =
+      match iso with
+      | "si" -> Core.Types.Snapshot
+      | "ssi" -> Core.Types.Serializable
+      | "s2pl" -> Core.Types.S2pl
+      | "rc" -> Core.Types.Read_committed
+      | _ ->
+          prerr_endline ("unknown isolation: " ^ iso);
+          exit 1
+    in
+    let make_db, mix =
+      match workload with
+      | "smallbank" ->
+          ( (fun sim ->
+              let db = Core.Db.create ~config:(Core.Config.bdb ()) sim in
+              Smallbank.setup db ~customers:20_000 ();
+              db),
+            Smallbank.mix ~customers:20_000 () )
+      | "sibench" ->
+          ( (fun sim ->
+              let db = Core.Db.create ~config:(Core.Config.innodb ()) sim in
+              Sibench.setup db ~items:100 ();
+              db),
+            Sibench.mix ~items:100 () )
+      | _ ->
+          prerr_endline ("unknown workload: " ^ workload);
+          exit 1
+    in
+    let obs =
+      if trace <> None || metrics then Some (Obs.create ~trace:(trace <> None) ())
+      else None
+    in
+    let cfg =
+      { Driver.default_config with Driver.isolation; mpl; warmup; duration; seed }
+    in
+    let r = Driver.run_once ?obs ~make_db ~mix cfg in
+    Printf.printf "workload=%s isolation=%s mpl=%d seed=%d window=%.2fs\n" workload iso mpl
+      seed duration;
+    Printf.printf "  commits:          %d (%.0f tps)\n" r.Driver.commits r.Driver.throughput;
+    Printf.printf "  user aborts:      %d\n" r.Driver.user_aborts;
+    Printf.printf "  deadlocks:        %d\n" r.Driver.deadlocks;
+    Printf.printf "  fcw conflicts:    %d\n" r.Driver.conflicts;
+    Printf.printf "  unsafe aborts:    %d\n" r.Driver.unsafe;
+    Printf.printf "  other aborts:     %d\n" r.Driver.other_aborts;
+    Printf.printf "  mean response:    %.6fs\n" r.Driver.mean_response;
+    Printf.printf "  aborts/commit:    %.4f\n" r.Driver.aborts_per_commit;
+    List.iter
+      (fun ps ->
+        Printf.printf "  program %-10s commits=%d user_aborts=%d aborts=%d p50=%.2gs p99=%.2gs\n"
+          ps.Driver.ps_name ps.Driver.ps_commits ps.Driver.ps_user_aborts ps.Driver.ps_aborts
+          (Obs.hist_percentile ps.Driver.ps_latency 0.50)
+          (Obs.hist_percentile ps.Driver.ps_latency 0.99))
+      r.Driver.programs;
+    if metrics then Fmt.pr "%a@." Obs.pp_metrics r.Driver.metrics;
+    (match (trace, obs) with
+    | Some file, Some o ->
+        Obs.write_trace_file file o;
+        (* stderr, so stdout stays identical with and without --trace *)
+        Printf.eprintf "trace: %d events written to %s\n%!" (Obs.event_count o) file
+    | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"One measured benchmark run; optionally capture a Chrome trace and engine metrics")
+    Term.(
+      const run $ workload_arg $ mpl_arg $ duration_arg $ warmup_arg $ seed_arg $ iso_arg
+      $ trace_arg $ metrics_arg)
 
 let sdg_cmd =
   let name_arg =
@@ -151,4 +257,4 @@ let () =
     Cmd.info "ssi_bench" ~version:"1.0"
       ~doc:"Reproduction toolkit for 'Serializable Isolation for Snapshot Databases'"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sdg_cmd; interleave_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; bench_cmd; sdg_cmd; interleave_cmd ]))

@@ -1,1 +1,1 @@
-lib/core/conflict.ml: Config Internal List Lockmgr Types
+lib/core/conflict.ml: Config Internal List Lockmgr Obs Sim Types

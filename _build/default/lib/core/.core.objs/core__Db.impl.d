@@ -1,1 +1,1 @@
-lib/core/db.ml: Btree Bufcache Config Exec Hashtbl Internal List Lockmgr Mvstore Option Random Resource Sim Types Wal
+lib/core/db.ml: Btree Bufcache Config Exec Hashtbl Internal List Lockmgr Mvstore Obs Option Queue Random Resource Sim Types Wal

@@ -1,1 +1,1 @@
-lib/core/db.mli: Bufcache Config Internal Lockmgr Mvstore Resource Sim Types Wal
+lib/core/db.mli: Bufcache Config Internal Lockmgr Mvstore Obs Resource Sim Types Wal

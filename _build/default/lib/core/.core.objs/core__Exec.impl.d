@@ -1,1 +1,1 @@
-lib/core/exec.ml: Btree Config Conflict Hashtbl Internal List Lockmgr Mvstore Option Resource Types Wal
+lib/core/exec.ml: Btree Config Conflict Hashtbl Internal List Lockmgr Mvstore Obs Option Queue Resource Sim Types Wal

@@ -1,1 +1,1 @@
-lib/core/internal.ml: Btree Bufcache Config Hashtbl List Lockmgr Mvstore Printf Random Resource Sim Types Wal
+lib/core/internal.ml: Btree Bufcache Config Hashtbl List Lockmgr Mvstore Obs Printf Queue Random Resource Sim Types Wal

@@ -57,6 +57,12 @@ let claim_victim ~self victim reason =
   if victim == self then raise (Abort reason)
   else if victim.state = Active && victim.doomed = None then begin
     victim.doomed <- Some reason;
+    let db = victim.db in
+    Obs.record_doomed db.obs;
+    if Obs.tracing db.obs then
+      Obs.emit db.obs ~ts:(Sim.now db.sim)
+        (Obs.Victim_doomed
+           { victim = victim.id; by = self.id; reason = abort_reason_to_string reason });
     ignore (Lockmgr.cancel_wait victim.db.locks victim.id (Abort reason))
   end
 
@@ -74,15 +80,26 @@ let set_in t other =
     | Conflict_with u when u == other -> Conflict_with other
     | _ -> Self_conflict)
 
+(* Record an rw-edge for observability: counter split by detection source
+   (§6.1.5's false-positive analysis) and an optional trace event. *)
+let observe_edge ~self ~reader ~writer source =
+  let db = self.db in
+  Obs.record_conflict db.obs source;
+  if Obs.tracing db.obs then
+    Obs.emit db.obs ~ts:(Sim.now db.sim)
+      (Obs.Conflict_edge { reader = reader.id; writer = writer.id; source })
+
 (* markConflict(reader, writer): record the rw-dependency reader -> writer.
    [self] is the transaction running this code (either [reader] or
-   [writer]); it absorbs the abort when it is chosen as victim.
+   [writer]); it absorbs the abort when it is chosen as victim. [source]
+   says which detection mechanism noticed the dependency (observability
+   only; no behavioural effect).
 
    Follows Fig 3.3 (basic) / Fig 3.9 (precise), plus the §3.7.1 enhancements:
    conflicts are not recorded against aborted or doomed transactions, and an
    active transaction whose edges become dangerous aborts immediately rather
    than at commit. *)
-let mark ~self ~reader ~writer =
+let mark ~source ~self ~reader ~writer =
   if reader == writer then ()
   else if reader.state = Aborted || writer.state = Aborted then ()
   else if reader.doomed <> None || writer.doomed <> None then ()
@@ -121,6 +138,7 @@ let mark ~self ~reader ~writer =
         else begin
           set_out reader writer;
           set_in writer reader;
+          observe_edge ~self ~reader ~writer source;
           abort_early_check ()
         end
     | Config.Precise ->
@@ -136,6 +154,7 @@ let mark ~self ~reader ~writer =
         else begin
           set_out reader writer;
           set_in writer reader;
+          observe_edge ~self ~reader ~writer source;
           abort_early_check ()
         end
   end
@@ -147,6 +166,11 @@ let mark_unknown_writer ~self reader =
   if reader.state = Aborted || reader.doomed <> None then ()
   else if reader.isolation = Serializable then begin
     reader.out_conflict <- Self_conflict;
+    let db = reader.db in
+    Obs.record_conflict db.obs Obs.Unknown_writer;
+    if Obs.tracing db.obs then
+      Obs.emit db.obs ~ts:(Sim.now db.sim)
+        (Obs.Conflict_edge { reader = reader.id; writer = 0; source = Obs.Unknown_writer });
     let config = reader.db.config in
     if config.Config.abort_early && reader.state = Active && is_dangerous config reader then
       claim_victim ~self reader Unsafe

@@ -30,11 +30,21 @@ let create ?(config = Config.test ()) sim =
     next_txn_id = 0;
     txn_by_id = Hashtbl.create 1024;
     active = Hashtbl.create 256;
-    suspended = [];
+    suspended = Queue.create ();
+    obs = Obs.disabled;
     page_stamps = Hashtbl.create 4096;
     history = [];
     stats = Internal.new_stats ();
   }
+
+(* Attach an observability sink; shared with the lock manager and WAL so
+   lock-wait and flush events land in the same trace. *)
+let set_obs (t : t) obs =
+  t.Internal.obs <- obs;
+  Lockmgr.set_obs t.Internal.locks obs;
+  Wal.set_obs t.Internal.wal obs
+
+let obs (t : t) = t.Internal.obs
 
 let sim (t : t) = t.Internal.sim
 
@@ -75,6 +85,10 @@ let begin_txn ?(read_only = false) (t : t) isolation =
   in
   Hashtbl.replace t.txn_by_id txn.id txn;
   Hashtbl.replace t.active txn.id txn;
+  if Obs.tracing t.obs then
+    Obs.emit t.obs ~ts:(Sim.now t.sim)
+      (Obs.Txn_begin
+         { txn = txn.id; iso = Types.isolation_to_string isolation; ro = read_only });
   txn
 
 (* Run [body] in a fresh transaction; commit on success, roll back on any
@@ -121,10 +135,9 @@ let active_count (t : t) = Hashtbl.length t.Internal.active
 (* Committed SSI transactions still holding SIREAD locks; the retained list
    also contains plain committed records awaiting overlap cleanup. *)
 let suspended_count (t : t) =
-  List.length
-    (List.filter (fun s -> s.Internal.siread_count > 0) t.Internal.suspended)
+  Queue.fold (fun acc s -> if s.Internal.siread_count > 0 then acc + 1 else acc) 0 t.Internal.suspended
 
-let retained_count (t : t) = List.length t.Internal.suspended
+let retained_count (t : t) = Queue.length t.Internal.suspended
 
 let lock_table_size (t : t) = Lockmgr.lock_table_size t.Internal.locks
 
@@ -175,6 +188,7 @@ let reset_stats (t : t) =
   s.Internal.aborts_deadlock <- 0;
   s.Internal.aborts_conflict <- 0;
   s.Internal.aborts_unsafe <- 0;
+  s.Internal.aborts_user <- 0;
   s.Internal.aborts_other <- 0;
   Lockmgr.reset_stats t.Internal.locks;
   Wal.reset_stats t.Internal.wal;

@@ -11,6 +11,14 @@ type t = Internal.db
     detection, CPU/disk/WAL models); defaults to {!Config.test}. *)
 val create : ?config:Config.t -> Sim.t -> t
 
+(** Attach an observability sink ({!Obs.t}): structured engine events
+    (txn/lock/WAL/conflict/GC) and metrics. Propagates to the lock manager
+    and WAL so their events land in the same trace. The default sink is
+    {!Obs.disabled}, whose hooks cost a single branch. *)
+val set_obs : t -> Obs.t -> unit
+
+val obs : t -> Obs.t
+
 val sim : t -> Sim.t
 
 val config : t -> Config.t

@@ -11,16 +11,34 @@ open Internal
 
 let check_doom t = match t.doomed with Some r -> raise (Abort r) | None -> ()
 
-(* Roll back an Active transaction: drop buffered writes, release every lock
-   (including SIREAD entries) and forget the transaction. *)
+(* Roll back an Active or Committing transaction: drop buffered writes,
+   release every lock (including SIREAD entries) and forget the transaction.
+
+   The Committing case is the crash-safety path: an exception escaping
+   [do_commit] after [t.state <- Committing] (a WAL failure, an internal
+   error during version install) must not leak the transaction in
+   [db.active]/[db.txn_by_id] with its locks held forever. Rolling back here
+   is safe because [install_writes] runs atomically in simulator terms (no
+   suspension points), so either no version was published or the engine is
+   aborting on an internal error where conservative cleanup is the best
+   available outcome (any stray installed version keeps working: readers of
+   a version whose creator is gone mark a conservative self-conflict). *)
 let rollback_now t reason =
-  if t.state = Active then begin
-    t.state <- Aborted;
-    Lockmgr.release_all t.db.locks t.id;
-    Hashtbl.remove t.db.active t.id;
-    Hashtbl.remove t.db.txn_by_id t.id;
-    count_abort t.db.stats reason
-  end
+  match t.state with
+  | Active | Committing ->
+      t.state <- Aborted;
+      Lockmgr.release_all t.db.locks t.id;
+      Hashtbl.remove t.db.active t.id;
+      Hashtbl.remove t.db.txn_by_id t.id;
+      count_abort t.db.stats reason;
+      let obs = t.db.obs in
+      if Obs.metrics_on obs then
+        Obs.record_abort obs ~latency:(Sim.now t.db.sim -. t.start_time);
+      if Obs.tracing obs then
+        Obs.emit obs ~ts:(Sim.now t.db.sim)
+          (Obs.Txn_abort
+             { txn = t.id; start = t.start_time; reason = abort_reason_to_string reason })
+  | Committed | Aborted -> ()
 
 let reject_ro t =
   if t.declared_ro then raise (Abort (Internal_error "write in a READ ONLY transaction"))
@@ -63,24 +81,27 @@ let acquire_siread ?(charge = true) t resource =
   if not (List.mem Lockmgr.Siread (Lockmgr.holds_of t.db.locks ~owner:t.id resource)) then begin
     if charge then charge_lock_ops t.db 1;
     Lockmgr.acquire t.db.locks ~owner:t.id ~mode:Lockmgr.Siread resource;
-    t.siread_count <- t.siread_count + 1
+    t.siread_count <- t.siread_count + 1;
+    Obs.note_siread t.db.obs t.siread_count
   end
 
 (* Fig 3.4 line 3 / Fig 3.6 line 3: after taking SIREAD, every concurrently
-   held X lock on the resource marks an rw-edge from us to its owner. *)
-let mark_x_holders t resource =
+   held X lock on the resource marks an rw-edge from us to its owner.
+   [source] tags the edge for the conflict-source counters (a gap resource
+   passes [Obs.Gap]). *)
+let mark_x_holders ?(source = Obs.Siread_vs_x) t resource =
   List.iter
     (fun (owner, mode) ->
       if mode = Lockmgr.X && owner <> t.id then
         match find_txn t.db owner with
-        | Some writer -> Conflict.mark ~self:t ~reader:t ~writer
+        | Some writer -> Conflict.mark ~source ~self:t ~reader:t ~writer
         | None -> ())
     (Lockmgr.holders t.db.locks resource)
 
 (* Fig 3.5 lines 4-6 / Fig 3.7: after taking X, every SIREAD on the resource
    whose owner overlaps us (not yet committed, or committed after our read
    view) marks an rw-edge from the reader to us. *)
-let mark_siread_holders t resource =
+let mark_siread_holders ?(source = Obs.Siread_vs_x) t resource =
   let snap = snapshot_exn t in
   List.iter
     (fun (owner, mode) ->
@@ -88,7 +109,7 @@ let mark_siread_holders t resource =
         match find_txn t.db owner with
         | Some reader ->
             if (not (has_committed reader)) || commit_time reader > float_of_int snap then
-              Conflict.mark ~self:t ~reader ~writer:t
+              Conflict.mark ~source ~self:t ~reader ~writer:t
         | None -> ())
     (Lockmgr.holders t.db.locks resource)
 
@@ -103,7 +124,7 @@ let mark_newer_versions t chain snap =
     (fun (v : Mvstore.version) ->
       if v.creator <> t.id then
         match find_txn t.db v.creator with
-        | Some writer -> Conflict.mark ~self:t ~reader:t ~writer
+        | Some writer -> Conflict.mark ~source:Obs.Newer_version ~self:t ~reader:t ~writer
         | None -> if v.creator <> 0 then Conflict.mark_unknown_writer ~self:t t)
     (Mvstore.newer_versions chain ~than:snap)
 
@@ -114,7 +135,7 @@ let mark_page_stamp t table_name page snap =
   match Hashtbl.find_opt t.db.page_stamps (table_name, page) with
   | Some (ts, writer_id) when ts > snap && writer_id <> t.id -> (
       match find_txn t.db writer_id with
-      | Some writer -> Conflict.mark ~self:t ~reader:t ~writer
+      | Some writer -> Conflict.mark ~source:Obs.Page_stamp ~self:t ~reader:t ~writer
       | None -> ())
   | _ -> ()
 
@@ -352,7 +373,7 @@ let lock_gap_for_write t table_name key =
     let table = table_exn db table_name in
     let gap = gap_of_successor table_name (committed_successor table key) in
     acquire t Lockmgr.X gap;
-    if is_ssi t then mark_siread_holders t gap
+    if is_ssi t then mark_siread_holders ~source:Obs.Gap t gap
   end
 
 let do_insert t table_name key value =
@@ -494,7 +515,7 @@ let do_scan ?lo ?hi ?limit t table_name =
               if gap_lockable then begin
                 let g = gap_resource table_name key in
                 acquire_siread ~charge:false t g;
-                mark_x_holders t g
+                mark_x_holders ~source:Obs.Gap t g
               end;
               mark_newer_versions t chain snap
           | _ -> ());
@@ -531,7 +552,7 @@ let do_scan ?lo ?hi ?limit t table_name =
             check_doom t
         | _ ->
             acquire_siread ~charge:false t terminal;
-            mark_x_holders t terminal
+            mark_x_holders ~source:Obs.Gap t terminal
       end;
       (* Buffered inserts of our own that fall inside the range. *)
       let own_inserts =
@@ -596,20 +617,30 @@ let record_history t =
 
 (* Release suspended transactions that no active transaction overlaps
    (§3.3/§4.6.1): safe once every active read view begins at or after their
-   commit. *)
+   commit. The queue is ordered by commit timestamp (commits append in
+   timestamp order), so draining eligible entries from the front preserves
+   the oldest-commit-first discipline and keeps each pass O(released). *)
 let cleanup_suspended db =
   let min_snap = min_active_snapshot db in
-  let keep, drop =
-    List.partition
-      (fun s -> match s.commit_ts with Some c -> c > min_snap | None -> true)
-      db.suspended
+  let released = ref 0 in
+  let rec drain () =
+    match Queue.peek_opt db.suspended with
+    | Some s when (match s.commit_ts with Some c -> c <= min_snap | None -> false) ->
+        ignore (Queue.pop db.suspended);
+        Lockmgr.release_all db.locks s.id;
+        Hashtbl.remove db.txn_by_id s.id;
+        incr released;
+        drain ()
+    | _ -> ()
   in
-  db.suspended <- keep;
-  List.iter
-    (fun s ->
-      Lockmgr.release_all db.locks s.id;
-      Hashtbl.remove db.txn_by_id s.id)
-    drop
+  drain ();
+  if !released > 0 then begin
+    let obs = db.obs in
+    Obs.record_cleanup obs ~released:!released ~retained:(Queue.length db.suspended);
+    if Obs.tracing obs then
+      Obs.emit obs ~ts:(Sim.now db.sim)
+        (Obs.Cleanup { released = !released; retained = Queue.length db.suspended })
+  end
 
 let do_commit t =
   guard t (fun () ->
@@ -652,11 +683,20 @@ let do_commit t =
          releases all locks now. *)
       Conflict.seal_references t;
       Lockmgr.release_all ~keep_siread:(is_ssi t) db.locks t.id;
-      db.suspended <- db.suspended @ [ t ];
+      Queue.add t db.suspended;
+      let obs = db.obs in
+      if Obs.metrics_on obs then begin
+        Obs.record_commit obs ~latency:(Sim.now db.sim -. t.start_time);
+        Obs.note_retained obs (Queue.length db.suspended)
+      end;
+      if Obs.tracing obs then
+        Obs.emit obs ~ts:(Sim.now db.sim)
+          (Obs.Txn_commit { txn = t.id; start = t.start_time; commit_ts; n_writes });
       cleanup_suspended db)
 
 let do_rollback t reason =
-  if t.state = Active then begin
-    rollback_now t reason;
-    cleanup_suspended t.db
-  end
+  match t.state with
+  | Active | Committing ->
+      rollback_now t reason;
+      cleanup_suspended t.db
+  | Committed | Aborted -> ()

@@ -49,7 +49,13 @@ and db = {
   mutable next_txn_id : int;
   txn_by_id : (int, txn) Hashtbl.t; (* active + committing + suspended *)
   active : (int, txn) Hashtbl.t;
-  mutable suspended : txn list; (* committed SSI txns, oldest commit first *)
+  suspended : txn Queue.t;
+      (* retained committed txns, oldest commit first; a Queue so that the
+         per-commit append is O(1) (a list append was quadratic over a run) *)
+  mutable obs : Obs.t;
+      (* observability sink (events + metrics); Obs.disabled costs one
+         branch per hook. Attach via Db.set_obs so the lock manager and WAL
+         share it. *)
   page_stamps : (string * int, int * int) Hashtbl.t;
       (* (table, page) -> (last commit ts, last writer id); page-level FCW *)
   mutable history : committed_record list; (* newest first *)
@@ -61,17 +67,29 @@ and stats = {
   mutable aborts_deadlock : int;
   mutable aborts_conflict : int;
   mutable aborts_unsafe : int;
+  mutable aborts_user : int;
+      (* application-requested rollbacks; kept apart from error aborts so
+         driver-level "completed work" accounting and Db-level counters
+         agree (User_abort used to be double-booked under aborts_other) *)
   mutable aborts_other : int;
 }
 
 let new_stats () =
-  { commits = 0; aborts_deadlock = 0; aborts_conflict = 0; aborts_unsafe = 0; aborts_other = 0 }
+  {
+    commits = 0;
+    aborts_deadlock = 0;
+    aborts_conflict = 0;
+    aborts_unsafe = 0;
+    aborts_user = 0;
+    aborts_other = 0;
+  }
 
 let count_abort stats = function
   | Deadlock -> stats.aborts_deadlock <- stats.aborts_deadlock + 1
   | Update_conflict -> stats.aborts_conflict <- stats.aborts_conflict + 1
   | Unsafe -> stats.aborts_unsafe <- stats.aborts_unsafe + 1
-  | Duplicate_key | User_abort | Internal_error _ -> stats.aborts_other <- stats.aborts_other + 1
+  | User_abort -> stats.aborts_user <- stats.aborts_user + 1
+  | Duplicate_key | Internal_error _ -> stats.aborts_other <- stats.aborts_other + 1
 
 (* A transaction counts as committed for conflict purposes from the moment
    its commit-time flag check passed (§3.2: "after the flags have been

@@ -15,11 +15,20 @@ type budget = {
   duration : float;
   warmup : float;
   mpls : int list;
+  with_metrics : bool; (* collect engine metrics (Obs) per run *)
 }
 
-let full_budget = { seeds = [ 1; 2; 3 ]; duration = 0.8; warmup = 0.15; mpls = [ 1; 2; 5; 10; 20; 50 ] }
+let full_budget =
+  {
+    seeds = [ 1; 2; 3 ];
+    duration = 0.8;
+    warmup = 0.15;
+    mpls = [ 1; 2; 5; 10; 20; 50 ];
+    with_metrics = false;
+  }
 
-let quick_budget = { seeds = [ 1 ]; duration = 0.25; warmup = 0.05; mpls = [ 1; 5; 20 ] }
+let quick_budget =
+  { seeds = [ 1 ]; duration = 0.25; warmup = 0.05; mpls = [ 1; 5; 20 ]; with_metrics = false }
 
 let levels =
   [ ("SI", Types.Snapshot); ("SSI", Types.Serializable); ("S2PL", Types.S2pl) ]
@@ -42,7 +51,7 @@ let sweep ?(levels = levels) ~make_db ~mix (budget : budget) : series list =
         points =
           List.map
             (fun mpl ->
-              Driver.run_seeds ~make_db ~mix ~seeds:budget.seeds
+              Driver.run_seeds ~with_metrics:budget.with_metrics ~make_db ~mix ~seeds:budget.seeds
                 {
                   Driver.default_config with
                   Driver.isolation;
@@ -90,7 +99,37 @@ let print_figure fmt f =
             p.Driver.s_lock_table)
         f.series;
       Fmt.pf fmt "@.")
-    f.mpls
+    f.mpls;
+  (* engine-metrics table (budget.with_metrics): rw-edge counts by detection
+     source plus lock-wait and retained-record pressure, per series/MPL *)
+  let has_metrics =
+    List.exists (fun s -> List.exists (fun p -> p.Driver.s_metrics <> None) s.points) f.series
+  in
+  if has_metrics then begin
+    Fmt.pf fmt "@.%-6s" "MPL";
+    List.iter
+      (fun s -> Fmt.pf fmt "  %44s" (s.label ^ " edges nv/sx/ps/gap/uw doom wait ret"))
+      f.series;
+    Fmt.pf fmt "@.";
+    List.iteri
+      (fun i mpl ->
+        Fmt.pf fmt "%-6d" mpl;
+        List.iter
+          (fun s ->
+            let p = List.nth s.points i in
+            match p.Driver.s_metrics with
+            | None -> Fmt.pf fmt "  %44s" "-"
+            | Some m ->
+                Fmt.pf fmt "  %8d/%d/%d/%d/%d %6d %8.2gs %7d"
+                  m.Obs.m_conflict_newer_version m.Obs.m_conflict_siread_x
+                  m.Obs.m_conflict_page_stamp m.Obs.m_conflict_gap m.Obs.m_conflict_unknown
+                  m.Obs.m_doomed
+                  (Obs.hist_mean m.Obs.m_lock_wait)
+                  m.Obs.m_retained_hwm)
+          f.series;
+        Fmt.pf fmt "@.")
+      f.mpls
+  end
 
 (* {1 Berkeley DB / SmallBank experiments (§6.1)} *)
 
@@ -315,7 +354,7 @@ let ablation_precise (budget : budget) =
             points =
               List.map
                 (fun mpl ->
-                  Driver.run_seeds ~make_db:(make_db variant)
+                  Driver.run_seeds ~with_metrics:budget.with_metrics ~make_db:(make_db variant)
                     ~mix:(Smallbank.mix ~customers:1_000 ()) ~seeds:budget.seeds
                     {
                       Driver.default_config with
@@ -352,7 +391,7 @@ let ablation_upgrade (budget : budget) =
             points =
               List.map
                 (fun mpl ->
-                  Driver.run_seeds ~make_db:(make_db upgrade)
+                  Driver.run_seeds ~with_metrics:budget.with_metrics ~make_db:(make_db upgrade)
                     ~mix:(Smallbank.mix ~customers:20_000 ()) ~seeds:budget.seeds
                     {
                       Driver.default_config with
@@ -381,7 +420,7 @@ let ablation_fixes (budget : budget) =
       points =
         List.map
           (fun mpl ->
-            Driver.run_seeds ~make_db ~mix:(Smallbank.mix ~fix ~customers:20_000 ())
+            Driver.run_seeds ~with_metrics:budget.with_metrics ~make_db ~mix:(Smallbank.mix ~fix ~customers:20_000 ())
               ~seeds:budget.seeds
               {
                 Driver.default_config with
@@ -434,7 +473,7 @@ let ablation_lock_mutex (budget : budget) =
             points =
               List.map
                 (fun mpl ->
-                  Driver.run_seeds ~make_db:(make_db mutex)
+                  Driver.run_seeds ~with_metrics:budget.with_metrics ~make_db:(make_db mutex)
                     ~mix:(Sibench.mix ~items:1000 ()) ~seeds:budget.seeds
                     {
                       Driver.default_config with
@@ -514,8 +553,10 @@ let ablation_mixed (budget : budget) =
                   s_deadlock_rate = 0.0;
                   s_conflict_rate = 0.0;
                   s_unsafe_rate = 0.0;
+                  s_user_abort_rate = 0.0;
                   s_mean_response = 0.0;
                   s_lock_table = 0.0;
+                  s_metrics = None;
                 })
               budget.mpls;
         })
@@ -558,7 +599,7 @@ let ablation_ro (budget : budget) =
             points =
               List.map
                 (fun mpl ->
-                  Driver.run_seeds ~make_db:(make_db refinement)
+                  Driver.run_seeds ~with_metrics:budget.with_metrics ~make_db:(make_db refinement)
                     ~mix:(Smallbank.mix ~customers:1_000 ()) ~seeds:budget.seeds
                     {
                       Driver.default_config with
@@ -604,7 +645,7 @@ let ablation_bufferpool (budget : budget) =
             points =
               List.map
                 (fun mpl ->
-                  Driver.run_seeds ~make_db:(make_db variant) ~mix:(Tpcc.mix scale)
+                  Driver.run_seeds ~with_metrics:budget.with_metrics ~make_db:(make_db variant) ~mix:(Tpcc.mix scale)
                     ~seeds:budget.seeds
                     {
                       Driver.default_config with

@@ -59,6 +59,7 @@ type t = {
   mutable waits : int;
   mutable deadlocks : int;
   mutable detector_running : bool;
+  mutable obs : Obs.t; (* observability sink; Obs.disabled costs one branch *)
 }
 
 let create ?(detection = Immediate) sim =
@@ -72,7 +73,10 @@ let create ?(detection = Immediate) sim =
     waits = 0;
     deadlocks = 0;
     detector_running = false;
+    obs = Obs.disabled;
   }
+
+let set_obs t obs = t.obs <- obs
 
 let get_lock t resource =
   match Hashtbl.find_opt t.table resource with
@@ -233,6 +237,8 @@ let run_detector_pass t =
                     t.deadlocks <- t.deadlocks + 1;
                     incr found;
                     Hashtbl.remove t.waiting v;
+                    if Obs.tracing t.obs then
+                      Obs.emit t.obs ~ts:(Sim.now t.sim) (Obs.Deadlock { victim = v; resource });
                     Sim.kill t.sim w.waker Deadlock_victim
                   end)
                 l.queue;
@@ -260,6 +266,11 @@ let start_detector t =
 let acquire t ~owner ~mode resource =
   t.requests <- t.requests + 1;
   let l = get_lock t resource in
+  let emit_granted () =
+    if Obs.tracing t.obs then
+      Obs.emit t.obs ~ts:(Sim.now t.sim)
+        (Obs.Lock_acquire { owner; mode = mode_to_string mode; resource })
+  in
   (* Re-entrant and conversion requests by an existing holder must not queue
      behind strangers (a holder waiting behind someone who waits for it
      would self-deadlock); they only wait for conflicting *holders*, and
@@ -269,11 +280,17 @@ let acquire t ~owner ~mode resource =
     | Some c -> c.s > 0 || c.x > 0 || c.siread > 0
     | None -> false
   in
-  if mode = Siread then do_grant t l ~owner ~mode
+  if mode = Siread then begin
+    do_grant t l ~owner ~mode;
+    emit_granted ()
+  end
   else if
     (not (conflicts_with_holders l ~owner ~mode))
     && (already_holds || not (conflicts_with_queue l ~owner ~mode))
-  then do_grant t l ~owner ~mode
+  then begin
+    do_grant t l ~owner ~mode;
+    emit_granted ()
+  end
   else begin
     t.waits <- t.waits + 1;
     (match t.detection with
@@ -322,10 +339,16 @@ let acquire t ~owner ~mode resource =
                t.owned
            end);
           t.deadlocks <- t.deadlocks + 1;
+          if Obs.tracing t.obs then
+            Obs.emit t.obs ~ts:(Sim.now t.sim) (Obs.Deadlock { victim = owner; resource });
           raise Deadlock_victim
         end
     | Periodic _ -> start_detector t);
     Hashtbl.replace t.waiting owner resource;
+    let blocked_at = Sim.now t.sim in
+    if Obs.tracing t.obs then
+      Obs.emit t.obs ~ts:blocked_at
+        (Obs.Lock_block { owner; mode = mode_to_string mode; resource });
     let enqueue w =
       let entry = { wowner = owner; wmode = mode; waker = w } in
       if already_holds then l.queue <- entry :: l.queue
@@ -334,8 +357,13 @@ let acquire t ~owner ~mode resource =
     (try Sim.suspend t.sim enqueue
      with e ->
        Hashtbl.remove t.waiting owner;
-       raise e)
+       raise e);
     (* When woken normally the grant was already performed by grant_waiters. *)
+    let waited = Sim.now t.sim -. blocked_at in
+    Obs.record_lock_wait t.obs waited;
+    if Obs.tracing t.obs then
+      Obs.emit t.obs ~ts:(Sim.now t.sim)
+        (Obs.Lock_grant { owner; mode = mode_to_string mode; resource; waited })
   end
 
 let release_one t ~owner ~mode resource =
@@ -360,6 +388,8 @@ let release_one t ~owner ~mode resource =
 (* Release every lock [owner] holds, optionally keeping SIREAD entries (a
    committing SSI transaction keeps them while suspended, §3.3). *)
 let release_all ?(keep_siread = false) t owner =
+  if Obs.tracing t.obs then
+    Obs.emit t.obs ~ts:(Sim.now t.sim) (Obs.Lock_release_all { owner; kept_siread = keep_siread });
   match Hashtbl.find_opt t.owned owner with
   | None -> ()
   | Some set ->

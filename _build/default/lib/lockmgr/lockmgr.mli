@@ -34,6 +34,10 @@ type t
 
 val create : ?detection:detection -> Sim.t -> t
 
+(** Attach an observability sink (lock acquire/block/grant/release and
+    deadlock events, lock-wait histogram). Default {!Obs.disabled}. *)
+val set_obs : t -> Obs.t -> unit
+
 (** [acquire t ~owner ~mode resource] grants or blocks (process context).
     SIREAD never blocks. May raise {!Deadlock_victim}. *)
 val acquire : t -> owner:owner -> mode:mode -> string -> unit

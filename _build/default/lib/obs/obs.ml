@@ -1,0 +1,388 @@
+(* Observability subsystem: a structured event sink with a Chrome-trace
+   exporter, plus low-overhead metrics (log-bucket latency histograms and
+   conflict-source counters).
+
+   Design constraints (see DESIGN.md "Observability"):
+
+   - Zero overhead when off. Every hot-path call site guards with
+     [tracing]/[metrics_on] (single mutable-field loads) before building any
+     event or computing any latency, so a disabled [t] costs one branch.
+
+   - Determinism. Events and metrics derive only from simulated time,
+     transaction ids and resource names. Recording them never touches the
+     simulator, any RNG, or cost accounting, so benchmark results are
+     byte-identical with tracing enabled or disabled.
+
+   - No dependencies. Timestamps are supplied by the caller (simulated
+     seconds); this library never reads a clock itself. *)
+
+(* {1 Conflict-edge sources}
+
+   Where an rw-antidependency edge was detected (§3 of the paper); splitting
+   the counters by source makes the §6.1.5 false-positive discussion (page
+   stamps vs true row conflicts) directly measurable. *)
+
+type conflict_source =
+  | Newer_version (* read ignored a version newer than the snapshot *)
+  | Siread_vs_x (* SIREAD met a concurrent X lock (either order) *)
+  | Page_stamp (* page updated after the snapshot (Berkeley DB mode) *)
+  | Gap (* edge on a next-key gap resource (phantom protection) *)
+  | Unknown_writer (* writer's record already gone; conservative self-edge *)
+
+let conflict_source_to_string = function
+  | Newer_version -> "newer-version"
+  | Siread_vs_x -> "siread-x"
+  | Page_stamp -> "page-stamp"
+  | Gap -> "gap"
+  | Unknown_writer -> "unknown-writer"
+
+(* {1 Log-bucket histograms}
+
+   Fixed array of power-of-two buckets starting at 1ns; recording is
+   allocation-free. Bucket [i] covers [2^i, 2^{i+1}) nanoseconds. *)
+
+let hist_buckets = 64
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_max : float;
+  h_b : int array;
+}
+
+let hist_create () = { h_count = 0; h_sum = 0.0; h_max = 0.0; h_b = Array.make hist_buckets 0 }
+
+let bucket_of v =
+  if v <= 1e-9 then 0
+  else
+    let i = int_of_float (Float.log2 (v *. 1e9)) in
+    if i < 0 then 0 else if i >= hist_buckets then hist_buckets - 1 else i
+
+let hist_add h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v > h.h_max then h.h_max <- v;
+  let i = bucket_of v in
+  h.h_b.(i) <- h.h_b.(i) + 1
+
+let hist_count h = h.h_count
+
+let hist_mean h = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+
+let hist_max h = h.h_max
+
+(* Upper edge of the bucket where the cumulative count first reaches
+   [p * count]; a conservative (over-)estimate of the p-quantile. *)
+let hist_percentile h p =
+  if h.h_count = 0 then 0.0
+  else begin
+    let target =
+      let t = int_of_float (ceil (p *. float_of_int h.h_count)) in
+      if t < 1 then 1 else if t > h.h_count then h.h_count else t
+    in
+    let cum = ref 0 in
+    let result = ref h.h_max in
+    (try
+       for i = 0 to hist_buckets - 1 do
+         cum := !cum + h.h_b.(i);
+         if !cum >= target then begin
+           result := min h.h_max (1e-9 *. Float.pow 2.0 (float_of_int (i + 1)));
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let hist_copy h = { h with h_b = Array.copy h.h_b }
+
+let hist_merge ~into h =
+  into.h_count <- into.h_count + h.h_count;
+  into.h_sum <- into.h_sum +. h.h_sum;
+  if h.h_max > into.h_max then into.h_max <- h.h_max;
+  Array.iteri (fun i n -> into.h_b.(i) <- into.h_b.(i) + n) h.h_b
+
+(* {1 Metrics} *)
+
+type metrics = {
+  m_commit_latency : hist; (* begin -> commit, simulated seconds *)
+  m_abort_latency : hist; (* begin -> rollback *)
+  m_lock_wait : hist; (* per blocking lock acquisition *)
+  mutable m_conflict_newer_version : int;
+  mutable m_conflict_siread_x : int;
+  mutable m_conflict_page_stamp : int;
+  mutable m_conflict_gap : int;
+  mutable m_conflict_unknown : int;
+  mutable m_doomed : int; (* victims doomed by another transaction *)
+  mutable m_wal_flushes : int;
+  mutable m_cleanup_runs : int; (* cleanup passes that released something *)
+  mutable m_cleanup_released : int; (* committed records released *)
+  mutable m_siread_hwm : int; (* max SIREAD locks held by one txn *)
+  mutable m_retained_hwm : int; (* max retained committed-txn records *)
+}
+
+let metrics_create () =
+  {
+    m_commit_latency = hist_create ();
+    m_abort_latency = hist_create ();
+    m_lock_wait = hist_create ();
+    m_conflict_newer_version = 0;
+    m_conflict_siread_x = 0;
+    m_conflict_page_stamp = 0;
+    m_conflict_gap = 0;
+    m_conflict_unknown = 0;
+    m_doomed = 0;
+    m_wal_flushes = 0;
+    m_cleanup_runs = 0;
+    m_cleanup_released = 0;
+    m_siread_hwm = 0;
+    m_retained_hwm = 0;
+  }
+
+let metrics_copy m =
+  {
+    m with
+    m_commit_latency = hist_copy m.m_commit_latency;
+    m_abort_latency = hist_copy m.m_abort_latency;
+    m_lock_wait = hist_copy m.m_lock_wait;
+  }
+
+let metrics_merge ~into m =
+  hist_merge ~into:into.m_commit_latency m.m_commit_latency;
+  hist_merge ~into:into.m_abort_latency m.m_abort_latency;
+  hist_merge ~into:into.m_lock_wait m.m_lock_wait;
+  into.m_conflict_newer_version <- into.m_conflict_newer_version + m.m_conflict_newer_version;
+  into.m_conflict_siread_x <- into.m_conflict_siread_x + m.m_conflict_siread_x;
+  into.m_conflict_page_stamp <- into.m_conflict_page_stamp + m.m_conflict_page_stamp;
+  into.m_conflict_gap <- into.m_conflict_gap + m.m_conflict_gap;
+  into.m_conflict_unknown <- into.m_conflict_unknown + m.m_conflict_unknown;
+  into.m_doomed <- into.m_doomed + m.m_doomed;
+  into.m_wal_flushes <- into.m_wal_flushes + m.m_wal_flushes;
+  into.m_cleanup_runs <- into.m_cleanup_runs + m.m_cleanup_runs;
+  into.m_cleanup_released <- into.m_cleanup_released + m.m_cleanup_released;
+  if m.m_siread_hwm > into.m_siread_hwm then into.m_siread_hwm <- m.m_siread_hwm;
+  if m.m_retained_hwm > into.m_retained_hwm then into.m_retained_hwm <- m.m_retained_hwm
+
+let conflict_sources m =
+  [
+    (Newer_version, m.m_conflict_newer_version);
+    (Siread_vs_x, m.m_conflict_siread_x);
+    (Page_stamp, m.m_conflict_page_stamp);
+    (Gap, m.m_conflict_gap);
+    (Unknown_writer, m.m_conflict_unknown);
+  ]
+
+let conflict_total m =
+  m.m_conflict_newer_version + m.m_conflict_siread_x + m.m_conflict_page_stamp + m.m_conflict_gap
+  + m.m_conflict_unknown
+
+let pp_metrics fmt m =
+  let us v = v *. 1e6 in
+  Format.fprintf fmt "commit latency: n=%d mean=%.1fus p95=%.1fus max=%.1fus@."
+    (hist_count m.m_commit_latency)
+    (us (hist_mean m.m_commit_latency))
+    (us (hist_percentile m.m_commit_latency 0.95))
+    (us (hist_max m.m_commit_latency));
+  Format.fprintf fmt "abort latency:  n=%d mean=%.1fus@." (hist_count m.m_abort_latency)
+    (us (hist_mean m.m_abort_latency));
+  Format.fprintf fmt "lock waits:     n=%d mean=%.1fus max=%.1fus@." (hist_count m.m_lock_wait)
+    (us (hist_mean m.m_lock_wait))
+    (us (hist_max m.m_lock_wait));
+  Format.fprintf fmt "conflict edges: %s (total %d)@."
+    (String.concat ", "
+       (List.map
+          (fun (s, n) -> Printf.sprintf "%s=%d" (conflict_source_to_string s) n)
+          (conflict_sources m)))
+    (conflict_total m);
+  Format.fprintf fmt "doomed victims: %d; wal flushes: %d; cleanup: %d passes / %d released@."
+    m.m_doomed m.m_wal_flushes m.m_cleanup_runs m.m_cleanup_released;
+  Format.fprintf fmt "high-water:     siread/txn=%d retained-records=%d@." m.m_siread_hwm
+    m.m_retained_hwm
+
+(* {1 Events} *)
+
+type event =
+  | Txn_begin of { txn : int; iso : string; ro : bool }
+  | Txn_commit of { txn : int; start : float; commit_ts : int; n_writes : int }
+  | Txn_abort of { txn : int; start : float; reason : string }
+  | Lock_acquire of { owner : int; mode : string; resource : string }
+  | Lock_block of { owner : int; mode : string; resource : string }
+  | Lock_grant of { owner : int; mode : string; resource : string; waited : float }
+  | Lock_release_all of { owner : int; kept_siread : bool }
+  | Deadlock of { victim : int; resource : string }
+  | Wal_flush of { epoch : int; latency : float }
+  | Conflict_edge of { reader : int; writer : int; source : conflict_source }
+  | Victim_doomed of { victim : int; by : int; reason : string }
+  | Cleanup of { released : int; retained : int }
+
+type t = {
+  t_tracing : bool;
+  t_metrics : bool;
+  mutable t_events : (float * event) list; (* newest first *)
+  mutable t_event_count : int;
+  t_m : metrics;
+}
+
+let create ?(trace = false) ?(metrics = true) () =
+  { t_tracing = trace; t_metrics = metrics; t_events = []; t_event_count = 0; t_m = metrics_create () }
+
+let disabled = create ~trace:false ~metrics:false ()
+
+let tracing t = t.t_tracing [@@inline]
+
+let metrics_on t = t.t_metrics [@@inline]
+
+let enabled t = t.t_tracing || t.t_metrics
+
+let emit t ~ts e =
+  if t.t_tracing then begin
+    t.t_events <- (ts, e) :: t.t_events;
+    t.t_event_count <- t.t_event_count + 1
+  end
+
+let event_count t = t.t_event_count
+
+let events t = List.rev t.t_events
+
+let metrics t = t.t_m
+
+let metrics_snapshot t = metrics_copy t.t_m
+
+(* {2 Metric recorders} — each checks [t_metrics] so call sites may skip the
+   guard when no argument computation is needed. *)
+
+let record_commit t ~latency = if t.t_metrics then hist_add t.t_m.m_commit_latency latency
+
+let record_abort t ~latency = if t.t_metrics then hist_add t.t_m.m_abort_latency latency
+
+let record_lock_wait t w = if t.t_metrics then hist_add t.t_m.m_lock_wait w
+
+let record_conflict t source =
+  if t.t_metrics then
+    match source with
+    | Newer_version -> t.t_m.m_conflict_newer_version <- t.t_m.m_conflict_newer_version + 1
+    | Siread_vs_x -> t.t_m.m_conflict_siread_x <- t.t_m.m_conflict_siread_x + 1
+    | Page_stamp -> t.t_m.m_conflict_page_stamp <- t.t_m.m_conflict_page_stamp + 1
+    | Gap -> t.t_m.m_conflict_gap <- t.t_m.m_conflict_gap + 1
+    | Unknown_writer -> t.t_m.m_conflict_unknown <- t.t_m.m_conflict_unknown + 1
+
+let record_doomed t = if t.t_metrics then t.t_m.m_doomed <- t.t_m.m_doomed + 1
+
+let record_wal_flush t = if t.t_metrics then t.t_m.m_wal_flushes <- t.t_m.m_wal_flushes + 1
+
+let record_cleanup t ~released ~retained =
+  if t.t_metrics then begin
+    if released > 0 then begin
+      t.t_m.m_cleanup_runs <- t.t_m.m_cleanup_runs + 1;
+      t.t_m.m_cleanup_released <- t.t_m.m_cleanup_released + released
+    end;
+    if retained > t.t_m.m_retained_hwm then t.t_m.m_retained_hwm <- retained
+  end
+
+let note_siread t n =
+  if t.t_metrics && n > t.t_m.m_siread_hwm then t.t_m.m_siread_hwm <- n
+
+let note_retained t n =
+  if t.t_metrics && n > t.t_m.m_retained_hwm then t.t_m.m_retained_hwm <- n
+
+(* {1 Chrome-trace export}
+
+   One JSON array of trace events (the "JSON array format" accepted by
+   chrome://tracing and https://ui.perfetto.dev). Simulated seconds map to
+   trace microseconds; tid is the transaction (or lock owner) id. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* ph "i" = instant, ph "X" = complete (with dur); ts in microseconds. *)
+let trace_record buf ~name ~cat ~ph ~ts ?dur ~tid args =
+  Buffer.add_string buf
+    (Printf.sprintf {|{"name":"%s","cat":"%s","ph":"%s","ts":%.3f|} (json_escape name)
+       (json_escape cat) ph (ts *. 1e6));
+  (match dur with
+  | Some d -> Buffer.add_string buf (Printf.sprintf {|,"dur":%.3f|} (Float.max 0.0 d *. 1e6))
+  | None -> ());
+  Buffer.add_string buf (Printf.sprintf {|,"pid":1,"tid":%d|} tid);
+  if ph = "i" then Buffer.add_string buf {|,"s":"t"|};
+  (match args with
+  | [] -> ()
+  | args ->
+      Buffer.add_string buf {|,"args":{|};
+      Buffer.add_string buf
+        (String.concat "," (List.map (fun (k, v) -> Printf.sprintf {|"%s":%s|} (json_escape k) v) args));
+      Buffer.add_char buf '}');
+  Buffer.add_char buf '}'
+
+let str v = "\"" ^ json_escape v ^ "\""
+
+let bool_ b = if b then "true" else "false"
+
+let event_to_buf buf (ts, e) =
+  match e with
+  | Txn_begin { txn; iso; ro } ->
+      trace_record buf ~name:"begin" ~cat:"txn" ~ph:"i" ~ts ~tid:txn
+        [ ("iso", str iso); ("read_only", bool_ ro) ]
+  | Txn_commit { txn; start; commit_ts; n_writes } ->
+      trace_record buf ~name:"txn" ~cat:"txn" ~ph:"X" ~ts:start ~dur:(ts -. start) ~tid:txn
+        [ ("outcome", str "commit"); ("commit_ts", string_of_int commit_ts);
+          ("writes", string_of_int n_writes) ]
+  | Txn_abort { txn; start; reason } ->
+      trace_record buf ~name:"txn" ~cat:"txn" ~ph:"X" ~ts:start ~dur:(ts -. start) ~tid:txn
+        [ ("outcome", str "abort"); ("reason", str reason) ]
+  | Lock_acquire { owner; mode; resource } ->
+      trace_record buf ~name:"acquire" ~cat:"lock" ~ph:"i" ~ts ~tid:owner
+        [ ("mode", str mode); ("resource", str resource) ]
+  | Lock_block { owner; mode; resource } ->
+      trace_record buf ~name:"block" ~cat:"lock" ~ph:"i" ~ts ~tid:owner
+        [ ("mode", str mode); ("resource", str resource) ]
+  | Lock_grant { owner; mode; resource; waited } ->
+      trace_record buf ~name:"lock-wait" ~cat:"lock" ~ph:"X" ~ts:(ts -. waited) ~dur:waited
+        ~tid:owner
+        [ ("mode", str mode); ("resource", str resource) ]
+  | Lock_release_all { owner; kept_siread } ->
+      trace_record buf ~name:"release-all" ~cat:"lock" ~ph:"i" ~ts ~tid:owner
+        [ ("kept_siread", bool_ kept_siread) ]
+  | Deadlock { victim; resource } ->
+      trace_record buf ~name:"deadlock" ~cat:"lock" ~ph:"i" ~ts ~tid:victim
+        [ ("resource", str resource) ]
+  | Wal_flush { epoch; latency } ->
+      trace_record buf ~name:"flush" ~cat:"wal" ~ph:"X" ~ts:(ts -. latency) ~dur:latency ~tid:0
+        [ ("epoch", string_of_int epoch) ]
+  | Conflict_edge { reader; writer; source } ->
+      trace_record buf ~name:"rw-edge" ~cat:"ssi" ~ph:"i" ~ts ~tid:reader
+        [ ("writer", string_of_int writer); ("source", str (conflict_source_to_string source)) ]
+  | Victim_doomed { victim; by; reason } ->
+      trace_record buf ~name:"doomed" ~cat:"ssi" ~ph:"i" ~ts ~tid:victim
+        [ ("by", string_of_int by); ("reason", str reason) ]
+  | Cleanup { released; retained } ->
+      trace_record buf ~name:"cleanup" ~cat:"gc" ~ph:"i" ~ts ~tid:0
+        [ ("released", string_of_int released); ("retained", string_of_int retained) ]
+
+let write_trace oc t =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "[";
+  let first = ref true in
+  List.iter
+    (fun ev ->
+      if !first then first := false else Buffer.add_string buf ",\n";
+      event_to_buf buf ev)
+    (events t);
+  Buffer.add_string buf "]\n";
+  Buffer.output_buffer oc buf
+
+let write_trace_file path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_trace oc t)

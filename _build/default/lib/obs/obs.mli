@@ -1,0 +1,163 @@
+(** Observability: structured engine events with a Chrome-trace exporter,
+    plus allocation-free metrics (log-bucket latency histograms, conflict
+    counters, high-water marks).
+
+    Everything recorded derives only from simulated time, transaction ids
+    and resource names; recording never touches the simulator or any RNG, so
+    benchmark results are byte-identical with tracing on or off. Hot-path
+    call sites must guard with {!tracing}/{!metrics_on} before building
+    events, making a disabled sink cost a single branch. *)
+
+(** {1 Conflict-edge sources} *)
+
+(** Where an rw-antidependency was detected; splitting counters by source
+    makes the paper's §6.1.5 false-positive discussion measurable. *)
+type conflict_source =
+  | Newer_version  (** read ignored a version newer than the snapshot *)
+  | Siread_vs_x  (** SIREAD met a concurrent X lock (either order) *)
+  | Page_stamp  (** page updated after the snapshot (Berkeley DB mode) *)
+  | Gap  (** edge on a next-key gap resource (phantom protection) *)
+  | Unknown_writer  (** writer's record gone; conservative self-edge *)
+
+val conflict_source_to_string : conflict_source -> string
+
+(** {1 Log-bucket histograms} *)
+
+(** Fixed power-of-two buckets from 1ns; {!hist_add} allocates nothing. *)
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_max : float;
+  h_b : int array;
+}
+
+val hist_create : unit -> hist
+
+val hist_add : hist -> float -> unit
+
+val hist_count : hist -> int
+
+val hist_mean : hist -> float
+
+val hist_max : hist -> float
+
+(** Conservative p-quantile estimate (upper bucket edge). *)
+val hist_percentile : hist -> float -> float
+
+val hist_copy : hist -> hist
+
+val hist_merge : into:hist -> hist -> unit
+
+(** {1 Metrics} *)
+
+type metrics = {
+  m_commit_latency : hist;  (** begin to commit, simulated seconds *)
+  m_abort_latency : hist;  (** begin to rollback *)
+  m_lock_wait : hist;  (** per blocking lock acquisition *)
+  mutable m_conflict_newer_version : int;
+  mutable m_conflict_siread_x : int;
+  mutable m_conflict_page_stamp : int;
+  mutable m_conflict_gap : int;
+  mutable m_conflict_unknown : int;
+  mutable m_doomed : int;  (** victims doomed by another transaction *)
+  mutable m_wal_flushes : int;
+  mutable m_cleanup_runs : int;  (** cleanup passes that released records *)
+  mutable m_cleanup_released : int;  (** committed records released *)
+  mutable m_siread_hwm : int;  (** max SIREAD locks held by one txn *)
+  mutable m_retained_hwm : int;  (** max retained committed-txn records *)
+}
+
+val metrics_create : unit -> metrics
+
+val metrics_copy : metrics -> metrics
+
+val metrics_merge : into:metrics -> metrics -> unit
+
+val conflict_sources : metrics -> (conflict_source * int) list
+
+val conflict_total : metrics -> int
+
+val pp_metrics : Format.formatter -> metrics -> unit
+
+(** {1 Events} *)
+
+type event =
+  | Txn_begin of { txn : int; iso : string; ro : bool }
+  | Txn_commit of { txn : int; start : float; commit_ts : int; n_writes : int }
+  | Txn_abort of { txn : int; start : float; reason : string }
+  | Lock_acquire of { owner : int; mode : string; resource : string }
+  | Lock_block of { owner : int; mode : string; resource : string }
+  | Lock_grant of { owner : int; mode : string; resource : string; waited : float }
+  | Lock_release_all of { owner : int; kept_siread : bool }
+  | Deadlock of { victim : int; resource : string }
+  | Wal_flush of { epoch : int; latency : float }
+  | Conflict_edge of { reader : int; writer : int; source : conflict_source }
+  | Victim_doomed of { victim : int; by : int; reason : string }
+  | Cleanup of { released : int; retained : int }
+
+(** {1 The sink} *)
+
+type t
+
+(** [create ~trace ~metrics ()]: [trace] buffers structured events for
+    {!write_trace}; [metrics] enables the counters/histograms. Defaults:
+    trace off, metrics on. *)
+val create : ?trace:bool -> ?metrics:bool -> unit -> t
+
+(** A shared, permanently-off sink; the default carried by a database. *)
+val disabled : t
+
+val tracing : t -> bool
+
+val metrics_on : t -> bool
+
+val enabled : t -> bool
+
+(** Append an event at simulated time [ts]. No-op unless {!tracing}; call
+    sites should still guard to avoid building the event. *)
+val emit : t -> ts:float -> event -> unit
+
+val event_count : t -> int
+
+(** Chronological event list. *)
+val events : t -> (float * event) list
+
+(** The live metrics record (mutated in place as the engine runs). *)
+val metrics : t -> metrics
+
+(** An independent copy of the current metrics. *)
+val metrics_snapshot : t -> metrics
+
+(** {2 Metric recorders} — each is a no-op unless {!metrics_on}. *)
+
+val record_commit : t -> latency:float -> unit
+
+val record_abort : t -> latency:float -> unit
+
+val record_lock_wait : t -> float -> unit
+
+val record_conflict : t -> conflict_source -> unit
+
+val record_doomed : t -> unit
+
+val record_wal_flush : t -> unit
+
+(** [record_cleanup ~released ~retained] after a suspended-list cleanup pass;
+    also advances the retained-record high-water mark. *)
+val record_cleanup : t -> released:int -> retained:int -> unit
+
+(** Advance the per-transaction SIREAD-count high-water mark. *)
+val note_siread : t -> int -> unit
+
+(** Advance the retained-record high-water mark. *)
+val note_retained : t -> int -> unit
+
+(** {1 Chrome-trace export}
+
+    One JSON array of trace events (the array format accepted by
+    chrome://tracing and ui.perfetto.dev). Simulated seconds map to trace
+    microseconds; [tid] is the transaction (or lock owner) id. *)
+
+val write_trace : out_channel -> t -> unit
+
+val write_trace_file : string -> t -> unit

@@ -1,1 +1,1 @@
-lib/sim/wal.ml: Sim
+lib/sim/wal.ml: Obs Sim

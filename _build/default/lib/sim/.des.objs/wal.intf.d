@@ -1,1 +1,1 @@
-lib/sim/wal.mli: Sim
+lib/sim/wal.mli: Obs Sim

@@ -19,6 +19,7 @@ type t = {
   flushed_cond : Sim.cond;
   mutable appends : int;
   mutable flushes : int;
+  mutable obs : Obs.t; (* observability sink; Obs.disabled costs one branch *)
 }
 
 let create sim ~mode =
@@ -31,7 +32,10 @@ let create sim ~mode =
     flushed_cond = Sim.cond ();
     appends = 0;
     flushes = 0;
+    obs = Obs.disabled;
   }
+
+let set_obs t obs = t.obs <- obs
 
 let mode t = t.mode
 
@@ -53,6 +57,9 @@ let rec ensure_flushed t ~latency ~upto =
     Sim.delay t.sim latency;
     t.flushes <- t.flushes + 1;
     t.flushed <- target;
+    Obs.record_wal_flush t.obs;
+    if Obs.tracing t.obs then
+      Obs.emit t.obs ~ts:(Sim.now t.sim) (Obs.Wal_flush { epoch = target; latency });
     t.flusher_active <- false;
     Sim.broadcast t.sim t.flushed_cond;
     ensure_flushed t ~latency ~upto

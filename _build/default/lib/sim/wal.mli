@@ -14,6 +14,10 @@ type t
 
 val create : Sim.t -> mode:mode -> t
 
+(** Attach an observability sink (flush events and the flush counter).
+    Default {!Obs.disabled}. *)
+val set_obs : t -> Obs.t -> unit
+
 val mode : t -> mode
 
 (** Buffer one log record into the open batch. *)

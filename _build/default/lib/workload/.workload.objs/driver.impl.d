@@ -1,1 +1,1 @@
-lib/workload/driver.ml: Core Db List Random Sim Stats Txn Types
+lib/workload/driver.ml: Core Db Hashtbl List Obs Random Sim Stats Txn Types

@@ -1,1 +1,1 @@
-lib/workload/driver.mli: Core Random Sim
+lib/workload/driver.mli: Core Obs Random Sim

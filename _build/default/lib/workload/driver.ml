@@ -17,14 +17,26 @@ type program = {
 let program ?(weight = 1.0) ?(read_only = false) name body =
   { p_name = name; p_weight = weight; p_read_only = read_only; p_body = body }
 
+(* Per-program measurement: commits (completed work, including application
+   rollbacks), the application-rollback subset, error-abort attempts, and a
+   response-time histogram over completed transactions. *)
+type program_stats = {
+  ps_name : string;
+  mutable ps_commits : int;
+  mutable ps_user_aborts : int;
+  mutable ps_aborts : int;
+  ps_latency : Obs.hist;
+}
+
 type counters = {
   mutable commits : int;
+  mutable user_aborts : int;
   mutable deadlocks : int;
   mutable conflicts : int;
   mutable unsafe : int;
   mutable other_aborts : int;
   mutable response_sum : float;
-  mutable per_program : (string * int) list;
+  by_program : (string, program_stats) Hashtbl.t;
 }
 
 type result = {
@@ -33,6 +45,7 @@ type result = {
   elapsed : float;
   commits : int;
   throughput : float; (* commits per simulated second *)
+  user_aborts : int; (* application rollbacks among [commits] *)
   deadlocks : int;
   conflicts : int;
   unsafe : int;
@@ -40,6 +53,8 @@ type result = {
   mean_response : float;
   aborts_per_commit : float;
   per_program : (string * int) list; (* commits by program name *)
+  programs : program_stats list; (* full per-program stats, sorted by name *)
+  metrics : Obs.metrics; (* engine metrics (zeros unless [obs] was passed) *)
   end_lock_table : int; (* lock-table entries when the window closed *)
   end_retained : int; (* committed transaction records still retained *)
 }
@@ -75,12 +90,32 @@ let pick mix st =
   in
   go 0.0 mix
 
+let program_stats c name =
+  match Hashtbl.find_opt c.by_program name with
+  | Some ps -> ps
+  | None ->
+      let ps =
+        {
+          ps_name = name;
+          ps_commits = 0;
+          ps_user_aborts = 0;
+          ps_aborts = 0;
+          ps_latency = Obs.hist_create ();
+        }
+      in
+      Hashtbl.replace c.by_program name ps;
+      ps
+
 (* Run one (db, mix, config) measurement: returns counters over the window
    [warmup, warmup + duration]. [make_db] builds and populates the database
-   (fresh per run so seeds are independent). *)
-let run_once ~make_db ~mix (cfg : config) : result =
+   (fresh per run so seeds are independent). When [obs] is given it is
+   attached to the database (Db.set_obs) and its metrics snapshot lands in
+   [result.metrics]; recording never perturbs the simulation, so results
+   are identical with or without it. *)
+let run_once ?obs ~make_db ~mix (cfg : config) : result =
   let sim = Sim.create () in
   let db : Db.t = make_db sim in
+  (match obs with Some o -> Db.set_obs db o | None -> ());
   (* Progress guarantee: a transaction that consumed no simulated time at
      all (e.g. an immediate application rollback) must not let the client
      loop spin forever at one instant. *)
@@ -89,35 +124,41 @@ let run_once ~make_db ~mix (cfg : config) : result =
   let c =
     {
       commits = 0;
+      user_aborts = 0;
       deadlocks = 0;
       conflicts = 0;
       unsafe = 0;
       other_aborts = 0;
       response_sum = 0.0;
-      per_program = [];
+      by_program = Hashtbl.create 8;
     }
   in
   let in_window () =
     let now = Sim.now sim in
     now >= cfg.warmup && now < horizon
   in
-  let count_abort reason =
-    if in_window () then
+  let count_abort name reason =
+    if in_window () then begin
+      let ps = program_stats c name in
+      ps.ps_aborts <- ps.ps_aborts + 1;
       match reason with
       | Types.Deadlock -> c.deadlocks <- c.deadlocks + 1
       | Types.Update_conflict -> c.conflicts <- c.conflicts + 1
       | Types.Unsafe -> c.unsafe <- c.unsafe + 1
       | Types.Duplicate_key | Types.User_abort | Types.Internal_error _ ->
           c.other_aborts <- c.other_aborts + 1
+    end
   in
-  let count_commit name started =
+  let count_commit ?(user_abort = false) name started =
     if in_window () then begin
+      let latency = Sim.now sim -. started in
       c.commits <- c.commits + 1;
-      c.response_sum <- c.response_sum +. (Sim.now sim -. started);
-      c.per_program <-
-        (match List.assoc_opt name c.per_program with
-        | Some n -> (name, n + 1) :: List.remove_assoc name c.per_program
-        | None -> (name, 1) :: c.per_program)
+      c.response_sum <- c.response_sum +. latency;
+      if user_abort then c.user_aborts <- c.user_aborts + 1;
+      let ps = program_stats c name in
+      ps.ps_commits <- ps.ps_commits + 1;
+      if user_abort then ps.ps_user_aborts <- ps.ps_user_aborts + 1;
+      Obs.hist_add ps.ps_latency latency
     end
   in
   for client = 1 to cfg.mpl do
@@ -133,10 +174,11 @@ let run_once ~make_db ~mix (cfg : config) : result =
               | Ok () -> count_commit prog.p_name started
               | Error Types.User_abort ->
                   (* Application rollback (e.g. SmallBank insufficient
-                     funds): completed work, not an error. *)
-                  count_commit prog.p_name started
+                     funds): completed work, not an error — but counted
+                     apart so abort accounting stays honest. *)
+                  count_commit ~user_abort:true prog.p_name started
               | Error reason ->
-                  count_abort reason;
+                  count_abort prog.p_name reason;
                   if retries < cfg.max_retries && Sim.now sim < horizon then attempt (retries + 1)
             in
             attempt 0;
@@ -147,6 +189,10 @@ let run_once ~make_db ~mix (cfg : config) : result =
         session ())
   done;
   Sim.run ~until:horizon sim;
+  let programs =
+    Hashtbl.fold (fun _ ps acc -> ps :: acc) c.by_program []
+    |> List.sort (fun a b -> compare a.ps_name b.ps_name)
+  in
   {
     end_lock_table = Db.lock_table_size db;
     end_retained = Db.retained_count db;
@@ -155,12 +201,16 @@ let run_once ~make_db ~mix (cfg : config) : result =
     elapsed = cfg.duration;
     commits = c.commits;
     throughput = float_of_int c.commits /. cfg.duration;
+    user_aborts = c.user_aborts;
     deadlocks = c.deadlocks;
     conflicts = c.conflicts;
     unsafe = c.unsafe;
     other_aborts = c.other_aborts;
     mean_response = (if c.commits = 0 then 0.0 else c.response_sum /. float_of_int c.commits);
-    per_program = List.sort compare c.per_program;
+    per_program = List.map (fun ps -> (ps.ps_name, ps.ps_commits)) programs;
+    programs;
+    metrics =
+      (match obs with Some o -> Obs.metrics_snapshot o | None -> Obs.metrics_create ());
     aborts_per_commit =
       (let aborts = c.deadlocks + c.conflicts + c.unsafe + c.other_aborts in
        if c.commits = 0 then float_of_int aborts
@@ -174,19 +224,45 @@ type summary = {
   s_deadlock_rate : float; (* per commit *)
   s_conflict_rate : float;
   s_unsafe_rate : float;
-  s_mean_response : float;
+  s_user_abort_rate : float; (* application rollbacks per commit *)
+  s_mean_response : float; (* weighted by per-seed commit counts *)
   s_lock_table : float; (* mean lock-table entries at window close *)
+  s_metrics : Obs.metrics option; (* merged engine metrics (with_metrics) *)
 }
 
-(* Run the same configuration across several seeds and aggregate. *)
-let run_seeds ~make_db ~mix ~seeds (cfg : config) : summary =
-  let results = List.map (fun seed -> run_once ~make_db ~mix { cfg with seed }) seeds in
+(* Run the same configuration across several seeds and aggregate. With
+   [with_metrics] each run carries a metrics-only Obs sink and the merged
+   metrics land in [s_metrics]. *)
+let run_seeds ?(with_metrics = false) ~make_db ~mix ~seeds (cfg : config) : summary =
+  let results =
+    List.map
+      (fun seed ->
+        let obs = if with_metrics then Some (Obs.create ~metrics:true ()) else None in
+        run_once ?obs ~make_db ~mix { cfg with seed })
+      seeds
+  in
   let tps = List.map (fun r -> r.throughput) results in
   let m, ci = Stats.ci95 tps in
   let total_commits = List.fold_left (fun a r -> a + r.commits) 0 results in
   let rate f =
     if total_commits = 0 then 0.0
     else float_of_int (List.fold_left (fun a r -> a + f r) 0 results) /. float_of_int total_commits
+  in
+  (* Mean response weighted by per-seed commit counts: the plain mean of
+     per-seed means over-weighted seeds that happened to commit little. *)
+  let mean_response =
+    if total_commits = 0 then 0.0
+    else
+      List.fold_left (fun a r -> a +. (r.mean_response *. float_of_int r.commits)) 0.0 results
+      /. float_of_int total_commits
+  in
+  let merged_metrics =
+    if with_metrics then begin
+      let into = Obs.metrics_create () in
+      List.iter (fun r -> Obs.metrics_merge ~into r.metrics) results;
+      Some into
+    end
+    else None
   in
   {
     s_mpl = cfg.mpl;
@@ -195,6 +271,8 @@ let run_seeds ~make_db ~mix ~seeds (cfg : config) : summary =
     s_deadlock_rate = rate (fun r -> r.deadlocks);
     s_conflict_rate = rate (fun r -> r.conflicts);
     s_unsafe_rate = rate (fun r -> r.unsafe);
-    s_mean_response = Stats.mean (List.map (fun r -> r.mean_response) results);
+    s_user_abort_rate = rate (fun r -> r.user_aborts);
+    s_mean_response = mean_response;
     s_lock_table = Stats.mean (List.map (fun r -> float_of_int r.end_lock_table) results);
+    s_metrics = merged_metrics;
   }

@@ -19,19 +19,32 @@ val program :
 (** Weighted random choice from a mix. *)
 val pick : program list -> Random.State.t -> program
 
+(** Per-program measurement over the window. *)
+type program_stats = {
+  ps_name : string;
+  mutable ps_commits : int;  (** completed (incl. application rollbacks) *)
+  mutable ps_user_aborts : int;  (** application rollbacks among commits *)
+  mutable ps_aborts : int;  (** error-abort attempts (deadlock/conflict/unsafe) *)
+  ps_latency : Obs.hist;  (** response time over completed transactions *)
+}
+
 type result = {
   mpl : int;
   seed : int;
   elapsed : float;
-  commits : int;
+  commits : int;  (** completed transactions in the window *)
   throughput : float;  (** commits per simulated second *)
+  user_aborts : int;  (** application rollbacks among [commits] *)
   deadlocks : int;
   conflicts : int;  (** first-committer-wins aborts *)
   unsafe : int;  (** Serializable SI dangerous-structure aborts *)
   other_aborts : int;
   mean_response : float;
-  aborts_per_commit : float;
+  aborts_per_commit : float;  (** error aborts only; user aborts excluded *)
   per_program : (string * int) list;  (** commits by program name *)
+  programs : program_stats list;  (** full per-program stats, sorted by name *)
+  metrics : Obs.metrics;
+      (** engine metrics snapshot (all zero unless [obs] was passed) *)
   end_lock_table : int;  (** lock-table entries when the window closed *)
   end_retained : int;  (** committed transaction records still retained *)
 }
@@ -50,8 +63,11 @@ val default_config : config
 
 (** One measurement: build a fresh database via [make_db], run [mix] with
     [cfg.mpl] clients and count commits/aborts in the measurement window.
-    Deterministic given the seed. *)
-val run_once : make_db:(Sim.t -> Core.Db.t) -> mix:program list -> config -> result
+    Deterministic given the seed; passing [obs] (attached via
+    {!Core.Db.set_obs}) changes no benchmark number, only fills
+    [result.metrics] and, if the sink traces, its event buffer. *)
+val run_once :
+  ?obs:Obs.t -> make_db:(Sim.t -> Core.Db.t) -> mix:program list -> config -> result
 
 type summary = {
   s_mpl : int;
@@ -60,10 +76,19 @@ type summary = {
   s_deadlock_rate : float;  (** aborts per commit *)
   s_conflict_rate : float;
   s_unsafe_rate : float;
-  s_mean_response : float;
+  s_user_abort_rate : float;  (** application rollbacks per commit *)
+  s_mean_response : float;  (** weighted by per-seed commit counts *)
   s_lock_table : float;  (** mean lock-table entries at window close *)
+  s_metrics : Obs.metrics option;  (** merged engine metrics (with_metrics) *)
 }
 
-(** Run the same configuration across several seeds and aggregate. *)
+(** Run the same configuration across several seeds and aggregate. With
+    [with_metrics] each run carries a metrics-only {!Obs.t} and the merged
+    metrics appear in [s_metrics]. *)
 val run_seeds :
-  make_db:(Sim.t -> Core.Db.t) -> mix:program list -> seeds:int list -> config -> summary
+  ?with_metrics:bool ->
+  make_db:(Sim.t -> Core.Db.t) ->
+  mix:program list ->
+  seeds:int list ->
+  config ->
+  summary

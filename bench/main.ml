@@ -4,7 +4,9 @@
    the DESIGN.md ablations via the Experiments library, then runs Bechamel
    micro-benchmarks of the engine primitives. Pass figure ids to restrict
    (e.g. `dune exec bench/main.exe -- fig6.1 fig6.8`), `--quick` for a fast
-   smoke pass, `--micro-only` / `--figures-only` to skip a half. *)
+   smoke pass, `--micro-only` / `--figures-only` to skip a half,
+   `--metrics` to add engine-metrics tables to each figure, and
+   `--trace FILE` to capture a Chrome trace of one SmallBank run. *)
 
 (* Three seeds give meaningful 95% confidence intervals; MPL up to 50 as in
    the paper's Berkeley DB charts. *)
@@ -111,13 +113,56 @@ let run_micro () =
 
 (* {1 Main} *)
 
+(* One traced SmallBank run (SSI, MPL 10): the Chrome-trace companion to the
+   figure tables. Tracing never changes benchmark numbers. *)
+let run_traced file =
+  let obs = Obs.create ~trace:true () in
+  let make_db sim =
+    let db = Core.Db.create ~config:(Core.Config.bdb ()) sim in
+    Smallbank.setup db ~customers:20_000 ();
+    db
+  in
+  let cfg =
+    {
+      Driver.default_config with
+      Driver.isolation = Core.Types.Serializable;
+      mpl = 10;
+      warmup = 0.1;
+      duration = 0.5;
+    }
+  in
+  let r = Driver.run_once ~obs ~make_db ~mix:(Smallbank.mix ~customers:20_000 ()) cfg in
+  Obs.write_trace_file file obs;
+  Printf.printf "trace: SmallBank SSI mpl=10, %d commits; %d events written to %s\n%!"
+    r.Driver.commits (Obs.event_count obs) file
+
+let rec trace_file = function
+  | "--trace" :: file :: _ -> Some file
+  | _ :: rest -> trace_file rest
+  | [] -> None
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
   let micro_only = List.mem "--micro-only" args in
   let figures_only = List.mem "--figures-only" args in
+  let with_metrics = List.mem "--metrics" args in
+  let trace = trace_file args in
+  let args =
+    (* drop `--trace FILE` so FILE is not mistaken for a figure id *)
+    let rec strip = function
+      | "--trace" :: _ :: rest -> strip rest
+      | a :: rest -> a :: strip rest
+      | [] -> []
+    in
+    strip args
+  in
   let requested = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
-  let budget = if quick then Experiments.quick_budget else bench_budget in
+  let budget =
+    let b = if quick then Experiments.quick_budget else bench_budget in
+    { b with Experiments.with_metrics }
+  in
+  (match trace with Some file -> run_traced file | None -> ());
   let ids = if requested <> [] then requested else List.map fst Experiments.all_figures in
   if not micro_only then begin
     Printf.printf

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Formatting gate: `dune build @fmt` against the committed .ocamlformat.
+#
+# The build container does not ship the ocamlformat binary (only the dune
+# side of the toolchain), so the check is gated: when ocamlformat is
+# missing we skip with a notice instead of failing every build. CI images
+# that do install ocamlformat get the real check.
+set -e
+cd "$(dirname "$0")/.."
+if command -v ocamlformat >/dev/null 2>&1; then
+  exec dune build @fmt
+else
+  echo "check_fmt: ocamlformat not installed; skipping format check" >&2
+  exit 0
+fi
