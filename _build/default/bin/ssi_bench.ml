@@ -4,11 +4,14 @@
    - [run IDS..]    run experiments and print their tables
    - [sdg NAME]     static dependency graph analysis (§2.6/§2.8)
    - [interleave]   exhaustive interleaving sweeps (§4.7)
+   - [fuzz]         differential history fuzzing with the MVSG oracle
 
    Examples:
      ssi_bench run fig6.1 fig6.8 --seeds 3 --duration 1.0
      ssi_bench sdg smallbank
-     ssi_bench interleave --spec write-skew --isolation si *)
+     ssi_bench interleave --spec write-skew --isolation si
+     ssi_bench fuzz --cases 10000 --seed 1 --matrix full --shrink-anomalies
+     ssi_bench fuzz --replay fuzz-001.repro *)
 
 open Cmdliner
 
@@ -252,9 +255,170 @@ let interleave_cmd =
        ~doc:"Exhaustively execute all interleavings of a transaction set (§4.7)")
     Term.(const run $ spec_arg $ iso_arg)
 
+let fuzz_cmd =
+  let cases_arg =
+    Arg.(value & opt int 1000 & info [ "cases" ] ~doc:"Number of generated cases")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign seed") in
+  let matrix_arg =
+    Arg.(
+      value & opt string "full"
+      & info [ "matrix" ]
+          ~doc:"Configuration matrix: full (all knob combinations) | default (paper profiles)")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR" ~doc:"Write a repro file per oracle violation into $(docv)")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink-anomalies" ]
+          ~doc:"Also minimise committed SI anomalies and print one repro per class")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay a repro file and verify the recorded history digests; ignores other flags")
+  in
+  let demo_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "demo-repro" ] ~docv:"FILE"
+          ~doc:
+            "Write the shrunk write-skew SI anomaly found by the campaign to $(docv) (implies \
+             --shrink-anomalies)")
+  in
+  let read_file f =
+    let ic = open_in_bin f in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let write_file f s =
+    let oc = open_out_bin f in
+    output_string oc s;
+    close_out oc
+  in
+  let print_case c = print_string (Fuzzcase.to_string c) in
+  let do_replay file =
+    match Fuzz.replay_string (read_file file) with
+    | Error e ->
+        Printf.eprintf "replay %s: %s\n" file e;
+        exit 1
+    | Ok r ->
+        List.iter
+          (fun rc ->
+            Printf.printf "%-4s expected=%s got=%s %s\n" rc.Fuzz.rc_level rc.Fuzz.rc_expected
+              rc.Fuzz.rc_got
+              (if rc.Fuzz.rc_ok then "OK" else "MISMATCH"))
+          r.Fuzz.rp_checks;
+        (match r.Fuzz.rp_violation with
+        | Some v -> Printf.printf "oracle violation: %s\n" (Fuzzrun.violation_to_string v)
+        | None -> ());
+        if not r.Fuzz.rp_ok then
+          List.iter
+            (fun lr ->
+              Printf.printf "-- %s history --\n%s\n"
+                (Fuzzrun.level_name lr.Fuzzrun.l_isolation)
+                lr.Fuzzrun.l_history_text)
+            r.Fuzz.rp_reports;
+        if r.Fuzz.rp_ok then print_endline "replay OK: histories identical at every level"
+        else begin
+          print_endline "replay FAILED";
+          exit 1
+        end
+  in
+  let campaign cases seed matrix_name out shrink demo =
+    let matrix =
+      match Fuzzcase.matrix_of_string matrix_name with
+      | Some m -> m
+      | None ->
+          prerr_endline ("unknown matrix: " ^ matrix_name);
+          exit 1
+    in
+    let on_progress p =
+      Printf.eprintf "  %d/%d cases (si anomalies %d, unsafe %d)\n%!" p.Fuzz.pr_done
+        p.Fuzz.pr_total p.Fuzz.pr_anomalies p.Fuzz.pr_unsafe
+    in
+    let shrink_anomalies = shrink || demo <> None in
+    let s = Fuzz.run_campaign ~shrink_anomalies ~on_progress ~seed ~cases ~matrix () in
+    Printf.printf
+      "fuzz seed=%d matrix=%s (%d points): %d cases\n\
+      \  si anomalies:     %d\n\
+      \  ssi unsafe:       %d\n\
+      \  false positives:  %d (%.1f%% of unsafe)\n\
+      \  oracle failures:  %d\n"
+      seed matrix_name (List.length matrix) s.Fuzz.s_cases s.Fuzz.s_si_anomalies
+      s.Fuzz.s_ssi_unsafe s.Fuzz.s_false_positives
+      (if s.Fuzz.s_ssi_unsafe = 0 then 0.0
+       else 100.0 *. float_of_int s.Fuzz.s_false_positives /. float_of_int s.Fuzz.s_ssi_unsafe)
+      (List.length s.Fuzz.s_failures);
+    (match out with
+    | Some dir when s.Fuzz.s_failures <> [] ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iteri
+          (fun i f ->
+            let file = Filename.concat dir (Printf.sprintf "fuzz-%03d.repro" i) in
+            write_file file
+              (Fuzz.repro_string
+                 ~comment:[ Fuzzrun.violation_to_string f.Fuzz.f_violation ]
+                 f.Fuzz.f_shrunk);
+            Printf.printf "  wrote %s (%s)\n" file
+              (Fuzzrun.violation_to_string f.Fuzz.f_violation))
+          s.Fuzz.s_failures
+    | _ -> ());
+    if shrink_anomalies then
+      List.iter
+        (fun (cls, c) ->
+          Printf.printf "\nshrunk SI anomaly [%s]:\n" cls;
+          print_case c)
+        s.Fuzz.s_anomalies;
+    (match demo with
+    | Some file -> (
+        match
+          match List.assoc_opt "write-skew" s.Fuzz.s_anomalies with
+          | Some c -> Some ("write-skew", c)
+          | None -> (
+              match s.Fuzz.s_anomalies with a :: _ -> Some a | [] -> None)
+        with
+        | Some (cls, c) ->
+            write_file file (Fuzz.repro_string ~comment:[ "shrunk SI anomaly: " ^ cls ] c);
+            Printf.printf "\ndemo repro [%s] written to %s\n" cls file
+        | None ->
+            prerr_endline "no SI anomaly found to write as demo repro";
+            exit 1)
+    | None -> ());
+    List.iter
+      (fun f ->
+        Printf.printf "\nVIOLATION: %s\nshrunk case:\n"
+          (Fuzzrun.violation_to_string f.Fuzz.f_violation);
+        print_case f.Fuzz.f_shrunk)
+      s.Fuzz.s_failures;
+    if s.Fuzz.s_failures <> [] then exit 1
+  in
+  let run cases seed matrix out shrink replay demo =
+    match replay with Some file -> do_replay file | None -> campaign cases seed matrix out shrink demo
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential history fuzzing: random transaction programs executed under SSI/SI/S2PL \
+          and judged by the MVSG oracle")
+    Term.(
+      const run $ cases_arg $ seed_arg $ matrix_arg $ out_arg $ shrink_arg $ replay_arg
+      $ demo_arg)
+
 let () =
   let info =
     Cmd.info "ssi_bench" ~version:"1.0"
       ~doc:"Reproduction toolkit for 'Serializable Isolation for Snapshot Databases'"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; bench_cmd; sdg_cmd; interleave_cmd ]))
+  exit
+    (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; bench_cmd; sdg_cmd; interleave_cmd; fuzz_cmd ]))

@@ -38,9 +38,10 @@ type access = {
   path : int list; (* page ids on the descent, root first *)
   leaves : int list; (* leaf pages visited (scans may visit several) *)
   modified : int list; (* pages structurally modified by splits *)
+  splits : (int * int) list; (* (old page, new sibling) pairs from splits *)
 }
 
-let no_access = { path = []; leaves = []; modified = [] }
+let no_access = { path = []; leaves = []; modified = []; splits = [] }
 
 let node_id = function Leaf l -> l.lid | Internal n -> n.iid
 
@@ -103,7 +104,7 @@ let find_path t key =
   let leaf, path = descend_to_leaf t.root key [] in
   let i, found = search_keys leaf.lkeys key in
   let v = if found then Some leaf.lvals.(i) else None in
-  (v, { path; leaves = [ leaf.lid ]; modified = [] })
+  (v, { path; leaves = [ leaf.lid ]; modified = []; splits = [] })
 
 let find t key = fst (find_path t key)
 
@@ -144,55 +145,67 @@ let split_internal t n : string * 'a node =
   n.ichildren <- Array.sub n.ichildren 0 (mid + 1);
   (promoted, Internal right)
 
-(* [insert_rec] returns (replaced_existing, split, modified_ids). *)
-let rec insert_rec t node key v : bool * 'a split * int list =
+(* [insert_rec] returns (replaced_existing, split, modified_ids, splits).
+   [splits] pairs each split page with its freshly allocated right sibling so
+   the engine above can carry page stamps and SIREAD locks across the split
+   (entries that lived on the old page may now live on the new one). *)
+let rec insert_rec t node key v : bool * 'a split * int list * (int * int) list =
   match node with
   | Leaf l ->
       let i, found = search_keys l.lkeys key in
       if found then begin
         l.lvals.(i) <- v;
-        (true, None, [])
+        (true, None, [], [])
       end
       else begin
         l.lkeys <- array_insert l.lkeys i key;
         l.lvals <- array_insert l.lvals i v;
         if Array.length l.lkeys > t.fanout then begin
           let sep, right = split_leaf t l in
-          (false, Some (sep, right), [ l.lid; node_id right ])
+          (false, Some (sep, right), [ l.lid; node_id right ], [ (l.lid, node_id right) ])
         end
-        else (false, None, [])
+        else (false, None, [], [])
       end
   | Internal n -> (
       let ci = child_index n key in
-      let replaced, split, modified = insert_rec t n.ichildren.(ci) key v in
+      let replaced, split, modified, splits = insert_rec t n.ichildren.(ci) key v in
       match split with
-      | None -> (replaced, None, modified)
+      | None -> (replaced, None, modified, splits)
       | Some (sep, right) ->
           n.ikeys <- array_insert n.ikeys ci sep;
           n.ichildren <- array_insert n.ichildren (ci + 1) right;
           if Array.length n.ichildren > t.fanout then begin
             let sep', right' = split_internal t n in
-            (replaced, Some (sep', right'), (n.iid :: node_id right' :: modified))
+            ( replaced,
+              Some (sep', right'),
+              n.iid :: node_id right' :: modified,
+              (n.iid, node_id right') :: splits )
           end
-          else (replaced, None, n.iid :: modified))
+          else (replaced, None, n.iid :: modified, splits))
 
 let insert t key v =
   let _, path_acc = descend_to_leaf t.root key [] in
-  let replaced, split, modified = insert_rec t t.root key v in
+  let replaced, split, modified, splits = insert_rec t t.root key v in
   if not replaced then t.size <- t.size + 1;
-  let modified =
+  let modified, splits =
     match split with
-    | None -> modified
+    | None -> (modified, splits)
     | Some (sep, right) ->
         (* Root split: the tree grows a level. *)
+        let old_root_id = node_id t.root in
         let new_root =
           Internal { iid = fresh_id t; ikeys = [| sep |]; ichildren = [| t.root; right |] }
         in
         let id = node_id new_root in
         t.root <- new_root;
-        id :: modified
+        (id :: modified, (old_root_id, id) :: splits)
   in
-  { path = path_acc; leaves = [ List.nth path_acc (List.length path_acc - 1) ]; modified }
+  {
+    path = path_acc;
+    leaves = [ List.nth path_acc (List.length path_acc - 1) ];
+    modified;
+    splits;
+  }
 
 let remove t key =
   let rec go node =
@@ -281,7 +294,7 @@ let iter_range_access t ?lo ?hi f =
   (* [f] may raise [Exit] to stop the scan early (LIMIT queries); the access
      footprint then covers only the pages actually visited. *)
   (try walk leaf 0 with Exit -> ());
-  { path; leaves = List.rev !leaves; modified = [] }
+  { path; leaves = List.rev !leaves; modified = []; splits = [] }
 
 let iter_range t ?lo ?hi f = ignore (iter_range_access t ?lo ?hi f)
 
@@ -333,6 +346,8 @@ let check_invariants t =
     | Leaf l ->
         if level <> d then fail "leaf at level %d, expected %d" level d;
         if Array.length l.lkeys <> Array.length l.lvals then fail "leaf key/val mismatch";
+        if Array.length l.lkeys > t.fanout then
+          fail "leaf overflow: %d keys for fanout %d" (Array.length l.lkeys) t.fanout;
         check_sorted l.lkeys "leaf";
         Array.iter
           (fun k ->

@@ -144,6 +144,39 @@ let page_newer_than db table_name page snap =
   | Some (ts, _) -> ts > snap
   | None -> false
 
+(* Carry page-level conflict state across B+tree splits (the paper's
+   Berkeley DB change #3, §4.4: "propagate SIREAD locks appropriately during
+   Btree page splits"). A split moves entries to a freshly allocated sibling
+   page, where neither the old page's version stamp nor the SIREAD locks of
+   transactions that read those entries would be found — later writers of the
+   moved entries would escape both detection mechanisms. Copy the stamp and
+   re-grant every SIREAD onto the new page. Splits are performed by whichever
+   insert overflows the page and survive even if that transaction aborts (the
+   index restructuring is not versioned), so propagation must happen at split
+   time, not at the splitter's commit. SIREAD grants never block, so this is
+   safe from any context. *)
+let propagate_splits db table_name (access : Btree.access) =
+  if db.config.Config.granularity = Config.Page then
+    List.iter
+      (fun (old_page, new_page) ->
+        (match Hashtbl.find_opt db.page_stamps (table_name, old_page) with
+        | Some stamp -> Hashtbl.replace db.page_stamps (table_name, new_page) stamp
+        | None -> ());
+        let new_r = page_resource table_name new_page in
+        List.iter
+          (fun (owner, mode) ->
+            if
+              mode = Lockmgr.Siread
+              && not (List.mem Lockmgr.Siread (Lockmgr.holds_of db.locks ~owner new_r))
+            then begin
+              Lockmgr.acquire db.locks ~owner ~mode:Lockmgr.Siread new_r;
+              match find_txn db owner with
+              | Some reader -> reader.siread_count <- reader.siread_count + 1
+              | None -> ()
+            end)
+          (Lockmgr.holders db.locks (page_resource table_name old_page)))
+      access.Btree.splits
+
 let is_ssi t = t.isolation = Serializable
 
 let log_read t table_name key version =
@@ -209,12 +242,22 @@ let do_read t table_name key =
               log_read t table_name key (version_ts v);
               visible_value v
           | S2pl ->
-              let chain, access = Mvstore.find_chain_path table key in
+              (* The S acquisition can block behind a writer's X; everything
+                 observed before the wait is stale once we resume (the writer
+                 may have created the key's chain or split its leaf), so
+                 re-descend after locking until the leaf set is stable. *)
+              let rec locked_access () =
+                let _, access = Mvstore.find_chain_path table key in
+                (match db.config.Config.granularity with
+                | Config.Row -> acquire t Lockmgr.S (row_resource table_name key)
+                | Config.Page -> lock_pages_for_read t table_name access);
+                let _, access' = Mvstore.find_chain_path table key in
+                if access'.Btree.leaves <> access.Btree.leaves then locked_access ()
+                else access'
+              in
+              let access = locked_access () in
               touch_pages db table_name access;
-              (match db.config.Config.granularity with
-              | Config.Row -> acquire t Lockmgr.S (row_resource table_name key)
-              | Config.Page -> lock_pages_for_read t table_name access);
-              let v = Option.bind chain Mvstore.latest in
+              let v = Option.bind (Mvstore.find_chain table key) Mvstore.latest in
               log_read t table_name key (version_ts v);
               visible_value v
           | Snapshot | Serializable ->
@@ -242,8 +285,17 @@ let do_read t table_name key =
 
 (* Acquire the X lock protecting [key]'s row or page, honouring the SIREAD
    upgrade optimisation (§3.7.3), then run first-committer-wins and the
-   write-side conflict checks. Returns the chain to buffer against. *)
-let lock_for_write t table_name key ~for_insert =
+   write-side conflict checks. Returns the chain to buffer against.
+
+   [will_write] tells us the caller is certain to buffer a write: only then
+   may an existing SIREAD be discarded under §3.7.3, because the upgrade is
+   sound only once a version is actually installed — the installed version
+   lets later concurrent writers fail first-committer-wins and later
+   concurrent readers mark the rw-edge via [mark_newer_versions]. A locking
+   read (or a delete that finds nothing) installs no version, so dropping
+   its SIREAD would erase the read from conflict tracking the moment the X
+   lock is released at commit. *)
+let lock_for_write t table_name key ~will_write =
   let db = t.db in
   let table = table_exn db table_name in
   let config = db.config in
@@ -251,7 +303,7 @@ let lock_for_write t table_name key ~for_insert =
   | Config.Row ->
       let r = row_resource table_name key in
       if
-        config.Config.upgrade_siread && is_ssi t
+        config.Config.upgrade_siread && is_ssi t && will_write
         && List.mem Lockmgr.Siread (Lockmgr.holds_of db.locks ~owner:t.id r)
       then begin
         Lockmgr.release_one db.locks ~owner:t.id ~mode:Lockmgr.Siread r;
@@ -264,7 +316,7 @@ let lock_for_write t table_name key ~for_insert =
         (fun p ->
           let r = page_resource table_name p in
           if
-            config.Config.upgrade_siread && is_ssi t
+            config.Config.upgrade_siread && is_ssi t && will_write
             && List.mem Lockmgr.Siread (Lockmgr.holds_of db.locks ~owner:t.id r)
           then begin
             Lockmgr.release_one db.locks ~owner:t.id ~mode:Lockmgr.Siread r;
@@ -277,6 +329,7 @@ let lock_for_write t table_name key ~for_insert =
   let snap = ensure_snapshot t in
   check_doom t;
   let chain, access = Mvstore.ensure_chain table key in
+  propagate_splits db table_name access;
   touch_pages ~dirty:true db table_name access;
   (* Page-mode structural changes (index entry creation, splits) X-lock the
      modified pages; a root split therefore conflicts with every reader.
@@ -307,8 +360,19 @@ let lock_for_write t table_name key ~for_insert =
           (fun p -> mark_siread_holders t (page_resource table_name p))
           (access.Btree.leaves @ access.Btree.modified))
   end;
-  ignore for_insert;
   chain
+
+(* The SIREAD trace of a locking read that installs no version: the X lock
+   subsumes SIREAD only while held, and write locks are released at commit.
+   No [mark_x_holders] pass is needed — we hold the X lock ourselves, so no
+   concurrent writer can. *)
+let siread_after_x t table_name key =
+  match t.db.config.Config.granularity with
+  | Config.Row -> acquire_siread t (row_resource table_name key)
+  | Config.Page ->
+      let table = table_exn t.db table_name in
+      let _, access = Mvstore.find_chain_path table key in
+      List.iter (fun p -> acquire_siread t (page_resource table_name p)) access.Btree.leaves
 
 (* Locking read (SELECT ... FOR UPDATE / the read half of an UPDATE): takes
    the exclusive lock first, then reads. Under SI/SSI this is the §4.5 fast
@@ -325,7 +389,8 @@ let do_read_for_update t table_name key =
       match own_write t table_name key with
       | Some v -> v
       | None ->
-          let chain = lock_for_write t table_name key ~for_insert:false in
+          let chain = lock_for_write t table_name key ~will_write:false in
+          if is_ssi t then siread_after_x t table_name key;
           let v =
             match t.isolation with
             | Read_committed | S2pl -> Mvstore.latest chain
@@ -344,7 +409,7 @@ let do_write t table_name key value =
       charge_cpu db db.config.Config.cost.Config.c_write;
       charge_row_io db 1;
       check_doom t;
-      let _chain = lock_for_write t table_name key ~for_insert:false in
+      let _chain = lock_for_write t table_name key ~will_write:true in
       buffer_write t table_name key (Some value))
 
 (* {1 Insert / Delete with phantom protection (Fig 3.7)} *)
@@ -371,8 +436,18 @@ let lock_gap_for_write t table_name key =
   let db = t.db in
   if db.config.Config.gap_locking && db.config.Config.granularity = Config.Row then begin
     let table = table_exn db table_name in
-    let gap = gap_of_successor table_name (committed_successor table key) in
-    acquire t Lockmgr.X gap;
+    (* Acquiring the gap lock can block behind another inserter into the
+       same gap; once it commits, the committed successor — and therefore
+       the gap resource protecting [key] — may have changed. Re-resolve
+       until the name is stable under the lock (next-key locking's standard
+       re-check). *)
+    let rec locked_gap () =
+      let gap = gap_of_successor table_name (committed_successor table key) in
+      acquire t Lockmgr.X gap;
+      let gap' = gap_of_successor table_name (committed_successor table key) in
+      if gap' <> gap then locked_gap () else gap
+    in
+    let gap = locked_gap () in
     if is_ssi t then mark_siread_holders ~source:Obs.Gap t gap
   end
 
@@ -384,7 +459,7 @@ let do_insert t table_name key value =
       check_doom t;
       (* Gap lock first (before the index entry appears), then the row. *)
       lock_gap_for_write t table_name key;
-      let chain = lock_for_write t table_name key ~for_insert:true in
+      let chain = lock_for_write t table_name key ~will_write:true in
       (* Duplicate detection: a live committed latest version, or our own
          buffered live write; our own buffered delete makes the key free. *)
       (match own_write t table_name key with
@@ -403,21 +478,25 @@ let do_delete t table_name key =
       charge_cpu db db.config.Config.cost.Config.c_write;
       check_doom t;
       lock_gap_for_write t table_name key;
-      let chain = lock_for_write t table_name key ~for_insert:false in
+      let chain = lock_for_write t table_name key ~will_write:false in
+      (* A delete is a locking read of the row's visibility followed by a
+         conditional write; the read is logged so the MVSG checker sees the
+         rw-edge when someone re-creates the key. *)
       let existed =
         match own_write t table_name key with
         | Some (Some _) -> true
         | Some None -> false
-        | None -> (
-            match t.isolation with
-            | Read_committed | S2pl -> (
-                match Mvstore.latest chain with Some { value = Some _; _ } -> true | _ -> false)
-            | Snapshot | Serializable -> (
-                match Mvstore.visible chain ~snapshot:(snapshot_exn t) with
-                | Some { value = Some _; _ } -> true
-                | _ -> false))
+        | None ->
+            let v =
+              match t.isolation with
+              | Read_committed | S2pl -> Mvstore.latest chain
+              | Snapshot | Serializable -> Mvstore.visible chain ~snapshot:(snapshot_exn t)
+            in
+            log_read t table_name key (version_ts v);
+            (match v with Some { value = Some _; _ } -> true | _ -> false)
       in
-      if existed then buffer_write t table_name key None;
+      if existed then buffer_write t table_name key None
+      else if is_ssi t then siread_after_x t table_name key;
       existed)
 
 (* {1 Predicate read (range scan) with next-key gap locking (Fig 3.6)} *)
@@ -542,15 +621,21 @@ let do_scan ?lo ?hi ?limit t table_name =
          scan early — the examined range ends at the last visited row. *)
       let exhausted = match limit with None -> true | Some n -> !visible_seen < n in
       if exhausted && gap_lockable && (t.isolation = S2pl || is_ssi t) then begin
-        let terminal =
-          let from = match hi with Some h -> h | None -> "\xff\xff(sup)" in
-          gap_of_successor table_name (committed_successor table from)
-        in
+        let from = match hi with Some h -> h | None -> "\xff\xff(sup)" in
+        let resolve () = gap_of_successor table_name (committed_successor table from) in
         match t.isolation with
         | S2pl ->
-            Lockmgr.acquire db.locks ~owner:t.id ~mode:Lockmgr.S terminal;
+            (* Blocking acquire: re-resolve the gap name until stable, as in
+               [lock_gap_for_write]. *)
+            let rec locked_terminal () =
+              let terminal = resolve () in
+              Lockmgr.acquire db.locks ~owner:t.id ~mode:Lockmgr.S terminal;
+              if resolve () <> terminal then locked_terminal ()
+            in
+            locked_terminal ();
             check_doom t
         | _ ->
+            let terminal = resolve () in
             acquire_siread ~charge:false t terminal;
             mark_x_holders ~source:Obs.Gap t terminal
       end;
@@ -585,7 +670,8 @@ let install_writes t commit_ts =
       if not (Hashtbl.mem seen (table_name, key)) then begin
         Hashtbl.add seen (table_name, key) ();
         let table = table_exn db table_name in
-        let chain, _ = Mvstore.ensure_chain table key in
+        let chain, access = Mvstore.ensure_chain table key in
+        propagate_splits db table_name access;
         let value = Hashtbl.find t.writes (table_name, key) in
         Mvstore.install chain ~value ~commit_ts ~creator:t.id;
         if db.config.Config.granularity = Config.Page then begin

@@ -1,0 +1,1 @@
+lib/fuzz/fuzz.ml: Array Core Fuzzcase Fuzzgen Fuzzrun Fuzzshrink Interleave List Mvsg Option Random Result

@@ -1,0 +1,1 @@
+lib/fuzz/fuzzcase.ml: Array Buffer Config Core Interleave List Lockmgr Printf Result String

@@ -1,0 +1,1 @@
+lib/fuzz/fuzzgen.ml: Array Fun Fuzzcase Interleave List Printf Random

@@ -1,0 +1,1 @@
+lib/fuzz/fuzzrun.ml: Core Digest Fuzzcase Interleave List Mvsg Printf String

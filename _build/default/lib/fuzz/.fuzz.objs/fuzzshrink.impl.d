@@ -1,0 +1,1 @@
+lib/fuzz/fuzzshrink.ml: Fun Fuzzcase List

@@ -1,0 +1,148 @@
+(* Campaign driver: generate → differential check → shrink → repro file.
+
+   A campaign is fully determined by (seed, cases, matrix, profile): the
+   generator state is seeded once and each case runs under the next matrix
+   point round-robin, so a failing seed replays the exact campaign. Any
+   oracle violation is delta-debugged against the same violation class and
+   kept as a (original, shrunk) pair for repro emission.
+
+   With [shrink_anomalies] the driver additionally minimises committed SI
+   anomalies and classifies the result — write skew (two-transaction rw
+   cycle) and the read-only anomaly of Fekete et al. (a cycle through a
+   transaction that wrote nothing) — until one example of each named class
+   has been collected; these are the paper's two motivating histories,
+   rediscovered from noise rather than hand-coded. *)
+
+type failure = {
+  f_case : Fuzzcase.t;
+  f_violation : Fuzzrun.violation;
+  f_shrunk : Fuzzcase.t;
+}
+
+type summary = {
+  s_cases : int;
+  s_si_anomalies : int;  (** SI committed a non-serializable history *)
+  s_ssi_unsafe : int;  (** cases with at least one Unsafe abort under SSI *)
+  s_false_positives : int;  (** §6.1.5: unnecessary unsafe aborts *)
+  s_failures : failure list;
+  s_anomalies : (string * Fuzzcase.t) list;  (** class name → shrunk SI example *)
+}
+
+(* Name the shape of a (shrunk) SI anomaly from its MVSG cycle. *)
+let classify_anomaly (c : Fuzzcase.t) : string =
+  let r = Fuzzrun.run_case ~isolation:Core.Types.Snapshot c in
+  let g = Mvsg.build r.Interleave.history in
+  match Mvsg.find_cycle g with
+  | None -> "none"
+  | Some cycle ->
+      let distinct = List.sort_uniq compare cycle in
+      let read_only t =
+        match Mvsg.txn g t with Some h -> h.Core.Types.h_writes = [] | None -> false
+      in
+      if List.exists read_only distinct then "read-only-anomaly"
+      else if List.length distinct = 2 then "write-skew"
+      else "other"
+
+type progress = { pr_done : int; pr_total : int; pr_anomalies : int; pr_unsafe : int }
+
+let run_campaign ?(profile = Fuzzgen.default_profile) ?(shrink_anomalies = false)
+    ?(on_progress = fun (_ : progress) -> ()) ~seed ~cases ~matrix () : summary =
+  let st = Random.State.make [| 0x5551f; seed |] in
+  let points = Array.of_list matrix in
+  if Array.length points = 0 then invalid_arg "run_campaign: empty matrix";
+  let si_anomalies = ref 0 and unsafe = ref 0 and false_pos = ref 0 in
+  let failures = ref [] in
+  let anomalies = ref [] in
+  let missing cls = List.assoc_opt cls !anomalies = None in
+  for i = 0 to cases - 1 do
+    let cfg = points.(i mod Array.length points) in
+    let c = Fuzzgen.case ~profile st ~cfg in
+    let v = Fuzzrun.check c in
+    if v.Fuzzrun.v_si_anomaly then incr si_anomalies;
+    if v.Fuzzrun.v_ssi_unsafe then incr unsafe;
+    if v.Fuzzrun.v_false_positive then incr false_pos;
+    (match v.Fuzzrun.v_violation with
+    | Some viol ->
+        let shrunk = Fuzzshrink.shrink ~keeps:(Fuzzrun.reproduces viol) c in
+        failures := { f_case = c; f_violation = viol; f_shrunk = shrunk } :: !failures
+    | None -> ());
+    if
+      shrink_anomalies && v.Fuzzrun.v_si_anomaly
+      && (missing "write-skew" || missing "read-only-anomaly")
+    then begin
+      let shrunk = Fuzzshrink.shrink ~keeps:Fuzzrun.si_nonserializable c in
+      let cls = classify_anomaly shrunk in
+      if cls <> "none" && missing cls then anomalies := (cls, shrunk) :: !anomalies
+    end;
+    if (i + 1) mod 500 = 0 then
+      on_progress
+        { pr_done = i + 1; pr_total = cases; pr_anomalies = !si_anomalies; pr_unsafe = !unsafe }
+  done;
+  {
+    s_cases = cases;
+    s_si_anomalies = !si_anomalies;
+    s_ssi_unsafe = !unsafe;
+    s_false_positives = !false_pos;
+    s_failures = List.rev !failures;
+    s_anomalies = List.rev !anomalies;
+  }
+
+(* {1 Repro files} *)
+
+(* Serialize a case together with the history digests the three levels
+   produce right now; replay verifies the digests byte-for-byte. *)
+let repro_string ?(comment = []) (c : Fuzzcase.t) =
+  let v = Fuzzrun.check c in
+  let expect =
+    List.map
+      (fun r -> (Fuzzrun.level_name r.Fuzzrun.l_isolation, r.Fuzzrun.l_digest))
+      v.Fuzzrun.v_reports
+  in
+  Fuzzcase.to_string ~expect ~comment c
+
+type replay_check = {
+  rc_level : string;
+  rc_expected : string;
+  rc_got : string;
+  rc_ok : bool;
+}
+
+type replay_outcome = {
+  rp_case : Fuzzcase.t;
+  rp_checks : replay_check list;
+  rp_violation : Fuzzrun.violation option;
+  rp_reports : Fuzzrun.level_report list;
+  rp_ok : bool;  (** all digests matched and no oracle violation *)
+}
+
+let replay_string content : (replay_outcome, string) result =
+  Result.bind (Fuzzcase.of_string content) (fun (c, expect) ->
+      let v = Fuzzrun.check c in
+      let report lvl =
+        List.find_opt
+          (fun r -> Fuzzrun.level_name r.Fuzzrun.l_isolation = lvl)
+          v.Fuzzrun.v_reports
+      in
+      match List.find_opt (fun (lvl, _) -> report lvl = None) expect with
+      | Some (lvl, _) -> Error ("expect line references unknown level: " ^ lvl)
+      | None ->
+          let checks =
+            List.map
+              (fun (lvl, d) ->
+                let r = Option.get (report lvl) in
+                {
+                  rc_level = lvl;
+                  rc_expected = d;
+                  rc_got = r.Fuzzrun.l_digest;
+                  rc_ok = d = r.Fuzzrun.l_digest;
+                })
+              expect
+          in
+          Ok
+            {
+              rp_case = c;
+              rp_checks = checks;
+              rp_violation = v.Fuzzrun.v_violation;
+              rp_reports = v.Fuzzrun.v_reports;
+              rp_ok = List.for_all (fun rc -> rc.rc_ok) checks && v.Fuzzrun.v_violation = None;
+            })

@@ -1,0 +1,71 @@
+(* Greedy delta-debugging of failing cases.
+
+   [shrink ~keeps c] repeatedly tries structural reductions — drop a whole
+   transaction, drop one operation, drop one initial row — accepting any
+   candidate for which [keeps] still holds, until no single reduction
+   applies. Each accepted candidate strictly decreases the total number of
+   operations plus initial rows, so the fixpoint terminates.
+
+   The predicate re-runs the whole differential matrix (or one SI run for
+   anomaly minimisation), so cases are kept tiny by the generator and this
+   pass mostly strips incidental noise: transactions not in the cycle, ops
+   that never conflicted, rows nobody read. *)
+
+(* Remove the [n]-th occurrence (0-based) of [x] from [l]. *)
+let remove_occurrence x n l =
+  let rec go n = function
+    | [] -> []
+    | y :: tl when y = x -> if n = 0 then tl else y :: go (n - 1) tl
+    | y :: tl -> y :: go n tl
+  in
+  go n l
+
+(* Drop transaction [i]: its spec, its ro flag, all its turns, and renumber
+   schedule indices above [i]. Invalid if fewer than one txn would remain. *)
+let drop_txn (c : Fuzzcase.t) i : Fuzzcase.t option =
+  if List.length c.Fuzzcase.specs <= 1 then None
+  else
+    let drop_nth l = List.filteri (fun j _ -> j <> i) l in
+    let schedule =
+      List.filter_map
+        (fun j -> if j = i then None else Some (if j > i then j - 1 else j))
+        c.Fuzzcase.schedule
+    in
+    Some { c with Fuzzcase.specs = drop_nth c.Fuzzcase.specs; ro = drop_nth c.Fuzzcase.ro; schedule }
+
+(* Drop operation [p] of transaction [j] and the matching turn: the (p+1)-th
+   occurrence of [j] in the schedule corresponds to op [p] because turns are
+   consumed in program order. Invalid if the txn would become empty (empty
+   scripts are legal for the engine but never shrink-relevant; dropping the
+   whole txn covers that). *)
+let drop_op (c : Fuzzcase.t) j p : Fuzzcase.t option =
+  let spec = List.nth c.Fuzzcase.specs j in
+  if List.length spec <= 1 then None
+  else
+    let specs =
+      List.mapi
+        (fun idx s -> if idx = j then List.filteri (fun q _ -> q <> p) s else s)
+        c.Fuzzcase.specs
+    in
+    Some { c with Fuzzcase.specs; schedule = remove_occurrence j p c.Fuzzcase.schedule }
+
+let drop_init (c : Fuzzcase.t) p : Fuzzcase.t option =
+  Some { c with Fuzzcase.init = List.filteri (fun q _ -> q <> p) c.Fuzzcase.init }
+
+(* All single-step reductions of [c], cheapest-to-test first: whole
+   transactions, then ops, then init rows. *)
+let candidates (c : Fuzzcase.t) : Fuzzcase.t list =
+  let txns = List.filter_map (fun i -> drop_txn c i) (List.init (List.length c.Fuzzcase.specs) Fun.id) in
+  let ops =
+    List.concat
+      (List.mapi
+         (fun j spec -> List.filter_map (fun p -> drop_op c j p) (List.init (List.length spec) Fun.id))
+         c.Fuzzcase.specs)
+  in
+  let inits = List.filter_map (fun p -> drop_init c p) (List.init (List.length c.Fuzzcase.init) Fun.id) in
+  txns @ ops @ inits
+
+let rec shrink ~keeps (c : Fuzzcase.t) : Fuzzcase.t =
+  match List.find_opt keeps (candidates c) with
+  | Some c' -> shrink ~keeps c'
+  | None -> c

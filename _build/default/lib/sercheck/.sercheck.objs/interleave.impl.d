@@ -1,1 +1,1 @@
-lib/sercheck/interleave.ml: Array Config Core Db List Mvsg Printf Random Sim Txn Types
+lib/sercheck/interleave.ml: Array Config Core Db List Lockmgr Mvsg Printf Random Sim String Txn Types

@@ -1,21 +1,60 @@
-(* Exhaustive interleaving tester, replicating the methodology of §4.7:
-   generate every interleaving of a set of small transactions, execute each
-   against a fresh database, and check that (a) the committed prefix is
-   always serializable under SSI/S2PL, and (b) the known anomalies appear
-   under SI.
+(* Interleaving tester, replicating and generalising the methodology of
+   §4.7: execute a chosen interleaving of small transaction scripts against
+   a fresh database and check that (a) the committed history is always
+   serializable under SSI/S2PL, and (b) the known anomalies appear under SI.
 
-   Transactions here are straight-line read/write scripts with no
-   write-write conflicts across transactions (like the paper's test sets),
-   so no operation blocks and the whole interleaving can be driven from a
-   single simulator process. *)
+   Scheduling is blocking-capable. Every transaction runs in its own
+   simulator process; a scheduler process hands out one-operation turns
+   following the requested order. An operation that blocks (a write-write
+   lock wait, S2PL read locks, gap locks, page locks) parks its transaction
+   inside the lock manager; the scheduler detects this via
+   {!Lockmgr.is_waiting} and moves on to the next runnable turn, so scripts
+   with cross-transaction write-write conflicts — which the original §4.7
+   harness could not express — execute deterministically. Blocked
+   transactions resume when their lock is granted (or the deadlock detector
+   kills them) and consume any remaining turns in a final drain phase. *)
 
 open Core
 
-type op = R of string | W of string (* keys in a single table "t" *)
+type op =
+  | R of string  (** point read *)
+  | W of string  (** blind write *)
+  | Rfu of string  (** SELECT ... FOR UPDATE (§4.5 fast path) *)
+  | Insert of string
+  | Delete of string
+  | Scan of string option * string option * int option  (** lo, hi, limit *)
+  | Abort_op  (** user-requested rollback; ends the script *)
 
 type spec = op list
 
 let table = "t"
+
+let op_to_string = function
+  | R k -> "r(" ^ k ^ ")"
+  | W k -> "w(" ^ k ^ ")"
+  | Rfu k -> "u(" ^ k ^ ")"
+  | Insert k -> "ins(" ^ k ^ ")"
+  | Delete k -> "del(" ^ k ^ ")"
+  | Scan (lo, hi, limit) ->
+      let b = function Some k -> k | None -> "-" in
+      let l = match limit with Some n -> string_of_int n | None -> "-" in
+      "scan(" ^ b lo ^ "," ^ b hi ^ "," ^ l ^ ")"
+  | Abort_op -> "abort"
+
+let spec_to_string spec = String.concat ";" (List.map op_to_string spec)
+
+(* Keys a script expects to exist: everything read, written or deleted by
+   name. Insert targets and scan bounds are intentionally excluded, so
+   inserts have free keys to create. *)
+let default_init (specs : spec list) =
+  let keys =
+    List.concat_map
+      (List.concat_map (function
+        | R k | W k | Rfu k | Delete k -> [ k ]
+        | Insert _ | Scan _ | Abort_op -> []))
+      specs
+  in
+  List.map (fun k -> (k, "0")) (List.sort_uniq compare keys)
 
 (* All merges of the transactions' op sequences, each op tagged with its
    transaction index. Count = multinomial coefficient; keep specs small. *)
@@ -37,77 +76,164 @@ let interleavings (specs : spec list) : (int * op) list list =
   go (List.mapi (fun i s -> (i, s)) specs)
 
 (* A single random merge of the op sequences, for sampled sweeps where the
-   full interleaving set is too large. *)
+   full interleaving set is too large.
+
+   The transaction supplying the next operation is chosen with probability
+   proportional to its *remaining* operation count, not uniformly over
+   nonempty transactions: a complete merge is then drawn with probability
+   (Π len_i!) / total!, i.e. uniformly over the multinomial set of
+   interleavings. (The old uniform-over-transactions rule oversampled
+   orders that exhaust short transactions late.) *)
 let random_order st (specs : spec list) : (int * op) list =
   let pending = Array.of_list (List.map (fun s -> ref s) specs) in
+  let remaining = Array.of_list (List.map List.length specs) in
+  let total = ref (Array.fold_left ( + ) 0 remaining) in
   let order = ref [] in
-  let total = List.fold_left (fun a s -> a + List.length s) 0 specs in
-  for _ = 1 to total do
-    let nonempty =
-      Array.to_list pending
-      |> List.mapi (fun i r -> (i, r))
-      |> List.filter (fun (_, r) -> !r <> [])
-    in
-    let i, r = List.nth nonempty (Random.State.int st (List.length nonempty)) in
-    match !r with
+  while !total > 0 do
+    let u = Random.State.int st !total in
+    let i = ref 0 and acc = ref 0 in
+    while u >= !acc + remaining.(!i) do
+      acc := !acc + remaining.(!i);
+      incr i
+    done;
+    let i = !i in
+    (match !(pending.(i)) with
     | op :: rest ->
-        r := rest;
+        pending.(i) := rest;
+        remaining.(i) <- remaining.(i) - 1;
         order := (i, op) :: !order
-    | [] -> assert false
+    | [] -> assert false);
+    decr total
   done;
   List.rev !order
 
 type result = {
-  outcomes : (Types.abort_reason option) list; (* None = committed, per txn *)
+  outcomes : Types.abort_reason option list; (* None = committed, per txn *)
   history : Types.committed_record list;
   serializable : bool;
 }
 
-(* Execute one interleaving at [isolation]; initial value "0" for every key
-   mentioned. Each transaction commits right after its last operation. *)
-let run_interleaving ?config ~isolation (specs : spec list) (order : (int * op) list) : result =
+(* Execute one interleaving at [isolation]. [init] rows are bulk-loaded
+   first (default: value "0" for every key named by a read/write/delete).
+   Each transaction commits right after its last operation; [ro] marks
+   transactions declared READ ONLY at begin (enabling the read-only
+   refinement when configured).
+
+   The [order] list is a sequence of turns: each entry grants its
+   transaction permission to run its *next* pending operation (the op
+   component of the pair is advisory — execution always follows the
+   script). A turn offered to a transaction that is still blocked inside a
+   previous operation is skipped; leftover operations run in a round-robin
+   drain phase after the schedule is exhausted, so every transaction always
+   finishes (commit or abort) before the function returns. *)
+let run_interleaving ?config ?init ?ro ~isolation (specs : spec list) (order : (int * op) list)
+    : result =
   let config =
     match config with Some c -> c | None -> { (Config.test ()) with Config.record_history = true }
   in
   let sim = Sim.create () in
   let db = Db.create ~config sim in
   ignore (Db.create_table db table);
-  let keys =
-    List.sort_uniq compare
-      (List.concat_map (List.map (function R k | W k -> k)) specs)
-  in
-  Db.load db table (List.map (fun k -> (k, "0")) keys);
+  let init = match init with Some rows -> rows | None -> default_init specs in
+  if init <> [] then Db.load db table init;
   let n = List.length specs in
+  let ro = match ro with Some l -> Array.of_list l | None -> Array.make n false in
+  if Array.length ro <> n then invalid_arg "run_interleaving: ro length mismatch";
   let outcomes = Array.make n None in
-  let remaining = Array.of_list (List.map List.length specs) in
-  Sim.spawn sim (fun () ->
-      let txns = Array.init n (fun _ -> None) in
-      List.iter
-        (fun (i, op) ->
-          match outcomes.(i) with
-          | Some _ -> remaining.(i) <- remaining.(i) - 1 (* already aborted; skip *)
-          | None -> (
-              let txn =
-                match txns.(i) with
-                | Some t -> t
-                | None ->
-                    let t = Db.begin_txn db isolation in
-                    txns.(i) <- Some t;
-                    t
-              in
-              match
+  let finished = Array.make n false in
+  let pending = Array.of_list (List.map (fun s -> ref s) specs) in
+  let granted = Array.make n 0 in
+  let completed = Array.make n 0 in
+  let txn_ids = Array.make n (-1) in
+  let turn = Sim.cond () in
+  for i = 0 to n - 1 do
+    Sim.spawn sim (fun () ->
+        let txn = ref None in
+        let get_txn () =
+          match !txn with
+          | Some t -> t
+          | None ->
+              let t = Db.begin_txn ~read_only:ro.(i) db isolation in
+              txn_ids.(i) <- Txn.id t;
+              txn := Some t;
+              t
+        in
+        try
+          while not finished.(i) do
+            while granted.(i) <= completed.(i) do
+              Sim.wait sim turn
+            done;
+            (match !(pending.(i)) with
+            | [] ->
+                (* empty script: a begin/commit pair *)
+                Txn.commit (get_txn ());
+                finished.(i) <- true
+            | op :: rest ->
+                let t = get_txn () in
+                pending.(i) := rest;
                 (match op with
-                | R k -> ignore (Txn.read txn table k)
-                | W k -> Txn.write txn table k (Printf.sprintf "t%d" i));
-                remaining.(i) <- remaining.(i) - 1;
-                if remaining.(i) = 0 then Txn.commit txn
-              with
-              | () -> ()
-              | exception Types.Abort r ->
-                  outcomes.(i) <- Some r;
-                  remaining.(i) <- remaining.(i) - 1))
-        order);
+                | R k -> ignore (Txn.read t table k)
+                | W k -> Txn.write t table k (Printf.sprintf "t%d" i)
+                | Rfu k -> ignore (Txn.read_for_update t table k)
+                | Insert k -> Txn.insert t table k (Printf.sprintf "t%d" i)
+                | Delete k -> ignore (Txn.delete t table k)
+                | Scan (lo, hi, limit) -> ignore (Txn.scan ?lo ?hi ?limit t table)
+                | Abort_op ->
+                    Txn.abort t;
+                    outcomes.(i) <- Some Types.User_abort;
+                    finished.(i) <- true);
+                if rest = [] && not finished.(i) then begin
+                  Txn.commit t;
+                  finished.(i) <- true
+                end);
+            completed.(i) <- completed.(i) + 1
+          done
+        with Types.Abort r ->
+          outcomes.(i) <- Some r;
+          finished.(i) <- true;
+          completed.(i) <- completed.(i) + 1)
+  done;
+  let locks = Db.locks db in
+  let unfinished () = Array.exists not finished in
+  let idle i = (not finished.(i)) && granted.(i) = completed.(i) in
+  let tick = 1.0e-6 in
+  (* Grant one turn and wait until the operation settles: completes, aborts,
+     or parks in the lock manager. Operation work is simulated CPU/IO time,
+     so settling is driven by small clock ticks. *)
+  let issue i =
+    granted.(i) <- granted.(i) + 1;
+    Sim.broadcast sim turn;
+    while
+      (not finished.(i))
+      && completed.(i) < granted.(i)
+      && not (txn_ids.(i) >= 0 && Lockmgr.is_waiting locks txn_ids.(i))
+    do
+      Sim.delay sim tick
+    done
+  in
+  Sim.spawn sim (fun () ->
+      List.iter (fun (i, _) -> if idle i then issue i) order;
+      (* Drain: run turns that were skipped while their transaction was
+         blocked. When every remaining transaction is mid-operation, advance
+         time so lock grants and the (possibly periodic) deadlock detector
+         can make progress. *)
+      while unfinished () do
+        let made = ref false in
+        for i = 0 to n - 1 do
+          if idle i then begin
+            made := true;
+            issue i
+          end
+        done;
+        if (not !made) && unfinished () then Sim.delay sim 0.01
+      done);
   Sim.run ~until:1.0e6 sim;
+  (* A transaction that never finished would mean the harness or engine
+     hung; surface it as an abort the oracle will flag. *)
+  for i = 0 to n - 1 do
+    if not finished.(i) then
+      outcomes.(i) <- Some (Types.Internal_error "interleave: transaction never finished")
+  done;
   let history = Db.history db in
   {
     outcomes = Array.to_list outcomes;

@@ -1,22 +1,47 @@
-(** Exhaustive interleaving tester, replicating §4.7: run every (or a random
-    sample of) interleavings of small transaction scripts against a fresh
-    engine and verify serializability outcomes per isolation level.
+(** Interleaving tester, replicating and generalising §4.7: run every (or a
+    chosen / randomly sampled) interleaving of small transaction scripts
+    against a fresh engine and verify serializability outcomes per isolation
+    level.
 
-    Scripts must have no cross-transaction write-write conflicts so that no
-    operation blocks (like the paper's test sets); a single simulator process
-    then drives any interleaving. *)
+    Scheduling is blocking-capable: each transaction runs in its own
+    simulator process and a scheduler process grants one-operation turns in
+    the requested order. Operations that block (write-write lock waits, S2PL
+    read locks, gap and page locks) park their transaction; its remaining
+    turns are skipped until the lock is granted and any leftovers run in a
+    final drain phase, so scripts with cross-transaction write-write
+    conflicts execute deterministically and always terminate. *)
 
-type op = R of string | W of string  (** keys in the single table "t" *)
+type op =
+  | R of string  (** point read *)
+  | W of string  (** blind write *)
+  | Rfu of string  (** SELECT ... FOR UPDATE (§4.5 fast path) *)
+  | Insert of string  (** insert a fresh key (gap-locked, Fig 3.7) *)
+  | Delete of string  (** delete (tombstone write) *)
+  | Scan of string option * string option * int option
+      (** range scan [lo, hi] with optional LIMIT (next-key locking,
+          Fig 3.6) *)
+  | Abort_op  (** user-requested rollback; ends the script *)
 
 type spec = op list
 
 val table : string
 
+val op_to_string : op -> string
+
+(** Ops joined with ";", e.g. ["r(x);w(y)"]. *)
+val spec_to_string : spec -> string
+
+(** The rows loaded by default before an interleaving runs: value ["0"] for
+    every key named by a read, write, locking read or delete. Insert targets
+    are excluded so inserts have fresh keys to create. *)
+val default_init : spec list -> (string * string) list
+
 (** All merges of the scripts' operation sequences (multinomial count —
     keep the specs small), each op tagged with its transaction index. *)
 val interleavings : spec list -> (int * op) list list
 
-(** One random merge, for sampled sweeps. *)
+(** One random merge, uniform over the multinomial interleaving set (the
+    next transaction is weighted by its remaining-operation count). *)
 val random_order : Random.State.t -> spec list -> (int * op) list
 
 type result = {
@@ -25,10 +50,16 @@ type result = {
   serializable : bool;
 }
 
-(** Execute one interleaving at the given isolation; every key starts at
-    "0"; each transaction commits after its last operation. *)
+(** Execute one interleaving at the given isolation. [init] overrides the
+    {!default_init} rows; [ro] declares transactions READ ONLY at begin
+    (must match the spec count). Each transaction commits right after its
+    last operation. Turns offered to a blocked transaction are skipped and
+    its remaining operations run in a drain phase, so every transaction
+    terminates (commit or abort) before the call returns. *)
 val run_interleaving :
   ?config:Core.Config.t ->
+  ?init:(string * string) list ->
+  ?ro:bool list ->
   isolation:Core.Types.isolation ->
   spec list ->
   (int * op) list ->

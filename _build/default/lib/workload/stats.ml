@@ -14,7 +14,10 @@ let stddev xs =
       let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
       sqrt (ss /. (n -. 1.0))
 
-(* Two-sided Student t critical values at 95% for n-1 degrees of freedom. *)
+(* Two-sided Student t critical values at 95% for n-1 degrees of freedom,
+   tabulated through n = 30; beyond that the distribution is close enough to
+   normal that we use 2.0 (vs the asymptotic 1.960) as a slightly
+   conservative fallback. *)
 let t95 n =
   match n with
   | 0 | 1 -> 0.0
@@ -27,6 +30,26 @@ let t95 n =
   | 8 -> 2.365
   | 9 -> 2.306
   | 10 -> 2.262
+  | 11 -> 2.228
+  | 12 -> 2.201
+  | 13 -> 2.179
+  | 14 -> 2.160
+  | 15 -> 2.145
+  | 16 -> 2.131
+  | 17 -> 2.120
+  | 18 -> 2.110
+  | 19 -> 2.101
+  | 20 -> 2.093
+  | 21 -> 2.086
+  | 22 -> 2.080
+  | 23 -> 2.074
+  | 24 -> 2.069
+  | 25 -> 2.064
+  | 26 -> 2.060
+  | 27 -> 2.056
+  | 28 -> 2.052
+  | 29 -> 2.048
+  | 30 -> 2.045
   | _ -> 2.0
 
 (* Mean and 95% confidence half-width. *)

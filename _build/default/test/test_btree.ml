@@ -267,12 +267,105 @@ let prop_successor_matches_model ops =
       Btree.successor t (key probe) = expected)
     (List.init 20 (fun i -> i * 10))
 
+(* Range scans after a random insert/remove script agree with the sorted
+   assoc-list model, for a grid of [lo, hi) probes including empty, point,
+   partial and full ranges. *)
+let prop_scan_matches_model ops =
+  let t = Btree.create ~fanout:4 () in
+  let model = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Insert (k, v) ->
+          ignore (Btree.insert t (key k) v);
+          Hashtbl.replace model (key k) v
+      | Remove k ->
+          ignore (Btree.remove t (key k));
+          Hashtbl.remove model (key k)
+      | Find _ -> ())
+    ops;
+  let sorted = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []) in
+  let probes =
+    (None, None)
+    :: List.concat_map
+         (fun lo -> List.map (fun hi -> (Some (key lo), Some (key hi))) [ lo - 1; lo; lo + 17; 300 ])
+         [ 0; 13; 100; 199 ]
+  in
+  List.for_all
+    (fun (lo, hi) ->
+      let expected =
+        List.filter
+          (fun (k, _) ->
+            (match lo with None -> true | Some l -> k >= l)
+            && match hi with None -> true | Some h -> k <= h)
+          sorted
+      in
+      let got =
+        List.rev (Btree.fold_range t ?lo ?hi ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+      in
+      got = expected)
+    probes
+
+(* Structural bounds for insert-only scripts: splits leave every page at
+   least half full, so an N-key tree with fanout f has at most
+   ~N / floor((f+1)/2) leaves and logarithmic height. (Removal voids the
+   occupancy bound by design — deletion is lazy — so the bound is only
+   asserted before any Remove.) *)
+let prop_insert_only_bounds keys =
+  let fanout = 4 in
+  let t = Btree.create ~fanout () in
+  List.iter (fun k -> ignore (Btree.insert t (key k) k)) keys;
+  Btree.check_invariants t;
+  let n = Btree.length t in
+  let min_fill = (fanout + 1) / 2 in
+  let max_leaves = max 1 (n / min_fill * 2) in
+  (* height h implies at least 2^(h-2) leaves (internal nodes keep >= 2
+     children after a split), so h <= 2 + log2(leaves). *)
+  let max_height = 2 + int_of_float (ceil (log (float_of_int (max 2 max_leaves)) /. log 2.0)) in
+  Btree.page_count t <= (2 * max_leaves) + max_height
+  && Btree.height t <= max_height
+  && n = List.length (List.sort_uniq compare keys)
+
+(* Every page id other than the initial root 0 is allocated by a split, and
+   every split must be reported in the access footprint: the union of
+   reported (old, new) pairs accounts for every page in the tree. The engine
+   relies on this to carry SIREAD locks and page stamps across splits. *)
+let prop_splits_reported keys =
+  let t = Btree.create ~fanout:4 () in
+  let reported = Hashtbl.create 64 in
+  Hashtbl.replace reported 0 ();
+  List.for_all
+    (fun k ->
+      let access = Btree.insert t (key k) k in
+      List.for_all
+        (fun (old_id, new_id) ->
+          let fresh = not (Hashtbl.mem reported new_id) in
+          Hashtbl.replace reported new_id ();
+          (* the old side must already be a known page, and both must be
+             listed as structurally modified *)
+          fresh && Hashtbl.mem reported old_id
+          && List.mem old_id access.Btree.modified
+          && List.mem new_id access.Btree.modified)
+        access.Btree.splits)
+    keys
+  && List.for_all (Hashtbl.mem reported) (Btree.all_pages t)
+
+let arb_keys =
+  QCheck.make
+    ~print:QCheck.Print.(list int)
+    QCheck.Gen.(list_size (int_bound 500) (int_bound 300))
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [
       QCheck.Test.make ~count:200 ~name:"btree agrees with assoc model" arb_ops prop_model;
       QCheck.Test.make ~count:100 ~name:"successor agrees with model" arb_ops
         prop_successor_matches_model;
+      QCheck.Test.make ~count:100 ~name:"range scans agree with model" arb_ops
+        prop_scan_matches_model;
+      QCheck.Test.make ~count:100 ~name:"insert-only occupancy and height bounds" arb_keys
+        prop_insert_only_bounds;
+      QCheck.Test.make ~count:100 ~name:"splits fully reported in access" arb_keys
+        prop_splits_reported;
     ]
 
 let suite =

@@ -1,0 +1,165 @@
+(* Tests for the differential fuzzer: generator validity, repro codec
+   roundtrips, campaign determinism, the oracle smoke (no violations on a
+   fixed seed), anomaly rediscovery + shrinking, and replay.
+
+   The campaign tests double as the fixed-seed fuzz smoke wired into
+   [dune runtest]: several hundred cases across the full configuration
+   matrix in well under the suite's time budget. *)
+
+let gen_cases ~seed ~n =
+  let st = Random.State.make [| 0x5551f; seed |] in
+  let points = Array.of_list Fuzzcase.matrix_full in
+  List.init n (fun i -> Fuzzgen.case st ~cfg:points.(i mod Array.length points))
+
+let test_generator_produces_valid_cases () =
+  List.iteri
+    (fun i c ->
+      (match Fuzzcase.validate c with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "case %d invalid: %s" i e);
+      Alcotest.(check bool) "at least two txns" true (List.length c.Fuzzcase.specs >= 2);
+      Alcotest.(check int) "ro flags match" (List.length c.Fuzzcase.specs)
+        (List.length c.Fuzzcase.ro);
+      Alcotest.(check int) "schedule covers all ops" (Fuzzcase.total_ops c)
+        (List.length c.Fuzzcase.schedule))
+    (gen_cases ~seed:3 ~n:200)
+
+let test_codec_roundtrip () =
+  List.iteri
+    (fun i c ->
+      let expect = [ ("ssi", "0123456789abcdef0123456789abcdef"); ("si", "00000000000000000000000000000000") ] in
+      let s = Fuzzcase.to_string ~expect ~comment:[ "roundtrip"; "case" ] c in
+      match Fuzzcase.of_string s with
+      | Error e -> Alcotest.failf "case %d failed to parse: %s" i e
+      | Ok (c', expect') ->
+          if c' <> c then
+            Alcotest.failf "case %d did not roundtrip:\n%s\nvs\n%s" i s (Fuzzcase.to_string c');
+          Alcotest.(check (list (pair string string))) "expect lines preserved" expect expect')
+    (gen_cases ~seed:4 ~n:200)
+
+let test_codec_rejects_garbage () =
+  let bad = [ ""; "not a repro"; "ssi-fuzz-repro v0\ncfg x"; Fuzzcase.magic ^ "\nbogus line here" ] in
+  List.iter
+    (fun s ->
+      match Fuzzcase.of_string s with
+      | Ok _ -> Alcotest.failf "parsed garbage: %S" s
+      | Error _ -> ())
+    bad
+
+(* The headline oracle property: a fixed-seed campaign across the full
+   96-point matrix finds NO violations — SSI and S2PL never commit a
+   non-serializable history, SI anomalies always match Theorem 2, and abort
+   reasons respect each level's taxonomy — while still exercising the
+   interesting space (SI anomalies and unsafe aborts both occur). *)
+let campaign = lazy (Fuzz.run_campaign ~seed:1 ~cases:600 ~matrix:Fuzzcase.matrix_full ())
+
+let test_campaign_smoke () =
+  let s = Lazy.force campaign in
+  Alcotest.(check int) "cases run" 600 s.Fuzz.s_cases;
+  (match s.Fuzz.s_failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "oracle violation: %s\n%s"
+        (Fuzzrun.violation_to_string f.Fuzz.f_violation)
+        (Fuzzcase.to_string f.Fuzz.f_shrunk));
+  Alcotest.(check bool) "SI anomalies occur" true (s.Fuzz.s_si_anomalies > 0);
+  Alcotest.(check bool) "SSI unsafe aborts occur" true (s.Fuzz.s_ssi_unsafe > 0);
+  Alcotest.(check bool) "false positives are a subset of unsafe" true
+    (s.Fuzz.s_false_positives <= s.Fuzz.s_ssi_unsafe)
+
+let test_campaign_deterministic () =
+  let run () =
+    let s = Fuzz.run_campaign ~seed:7 ~cases:150 ~matrix:Fuzzcase.matrix_default () in
+    (s.Fuzz.s_si_anomalies, s.Fuzz.s_ssi_unsafe, s.Fuzz.s_false_positives,
+     List.length s.Fuzz.s_failures)
+  in
+  Alcotest.(check bool) "same seed, same campaign" true (run () = run ())
+
+(* §2: the paper's two motivating histories, rediscovered from random noise
+   and delta-debugged down to minimal examples. *)
+let anomalies =
+  lazy
+    (Fuzz.run_campaign ~shrink_anomalies:true ~seed:1 ~cases:3000 ~matrix:Fuzzcase.matrix_full ())
+      .Fuzz.s_anomalies
+
+let check_anomaly cls =
+  match List.assoc_opt cls (Lazy.force anomalies) with
+  | None -> Alcotest.failf "campaign did not rediscover %s" cls
+  | Some c ->
+      Alcotest.(check bool) "minimal: at most 3 transactions" true
+        (List.length c.Fuzzcase.specs <= 3);
+      Alcotest.(check bool) "still an SI anomaly" true (Fuzzrun.si_nonserializable c);
+      (* shrunken = no single reduction keeps the anomaly *)
+      Alcotest.(check bool) "1-minimal" true
+        (not (List.exists Fuzzrun.si_nonserializable (Fuzzshrink.candidates c)))
+
+let test_rediscovers_write_skew () = check_anomaly "write-skew"
+
+let test_rediscovers_read_only_anomaly () = check_anomaly "read-only-anomaly"
+
+let test_shrunk_failures_reproduce () =
+  (* The shrinker must preserve the violation class it minimises: check on a
+     synthetic predicate (op-count parity), independent of engine bugs. *)
+  List.iter
+    (fun c ->
+      let keeps c = Fuzzcase.total_ops c mod 2 = List.length c.Fuzzcase.init mod 2 in
+      if keeps c then begin
+        let c' = Fuzzshrink.shrink ~keeps c in
+        Alcotest.(check bool) "predicate preserved" true (keeps c');
+        Alcotest.(check bool) "no smaller candidate" true
+          (not (List.exists keeps (Fuzzshrink.candidates c')));
+        Alcotest.(check bool) "still valid" true (Result.is_ok (Fuzzcase.validate c'))
+      end)
+    (gen_cases ~seed:11 ~n:60)
+
+let test_replay_roundtrip () =
+  List.iter
+    (fun c ->
+      let s = Fuzz.repro_string ~comment:[ "replay test" ] c in
+      match Fuzz.replay_string s with
+      | Error e -> Alcotest.failf "replay parse error: %s" e
+      | Ok r ->
+          Alcotest.(check int) "three digest checks" 3 (List.length r.Fuzz.rp_checks);
+          Alcotest.(check bool) "digests match byte-for-byte" true r.Fuzz.rp_ok)
+    (gen_cases ~seed:5 ~n:40)
+
+let test_replay_detects_divergence () =
+  let c = List.hd (gen_cases ~seed:6 ~n:1) in
+  let s = Fuzz.repro_string c in
+  (* Corrupt one digest: replay must parse but flag the mismatch. *)
+  let corrupted =
+    String.concat "\n"
+      (List.map
+         (fun l ->
+           if String.length l > 7 && String.sub l 0 7 = "expect " then
+             String.sub l 0 (String.length l - 4) ^ "beef"
+           else l)
+         (String.split_on_char '\n' s))
+  in
+  (match Fuzz.replay_string corrupted with
+  | Error e -> Alcotest.failf "corrupted digest should still parse: %s" e
+  | Ok r ->
+      Alcotest.(check bool) "mismatch detected" false r.Fuzz.rp_ok;
+      Alcotest.(check bool) "some check failed" true
+        (List.exists (fun rc -> not rc.Fuzz.rc_ok) r.Fuzz.rp_checks));
+  (* An unknown level name is a parse-level error. *)
+  let unknown = s ^ "expect bogus 0123456789abcdef0123456789abcdef\n" in
+  match Fuzz.replay_string unknown with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown expect level should be rejected"
+
+let suite =
+  [
+    ("generator produces valid cases", `Quick, test_generator_produces_valid_cases);
+    ("codec roundtrip", `Quick, test_codec_roundtrip);
+    ("codec rejects garbage", `Quick, test_codec_rejects_garbage);
+    ("campaign smoke: no oracle violations", `Quick, test_campaign_smoke);
+    ("campaign deterministic", `Quick, test_campaign_deterministic);
+    ("rediscovers write skew", `Slow, test_rediscovers_write_skew);
+    ("rediscovers read-only anomaly", `Slow, test_rediscovers_read_only_anomaly);
+    ("shrinker minimises and preserves", `Quick, test_shrunk_failures_reproduce);
+    ("replay roundtrip", `Quick, test_replay_roundtrip);
+    ("replay detects divergence", `Quick, test_replay_detects_divergence);
+  ]
+
+let () = Alcotest.run "fuzz" [ ("fuzz", suite) ]

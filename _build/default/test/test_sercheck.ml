@@ -149,6 +149,122 @@ let test_basic_mode_more_aborts_than_precise () =
   Alcotest.(check bool) "precise never aborts more than basic" true
     (precise.Interleave.unsafe_aborts <= basic.Interleave.unsafe_aborts)
 
+let test_sweep_matrix_granularity_variant () =
+  (* The §4.7 methodology across the full prototype matrix: both lock
+     granularities (InnoDB rows, Berkeley DB pages) and both SSI variants
+     must admit no non-serializable execution of any motivating spec, and
+     Precise (§3.6) must never abort more interleavings than Basic — its
+     commit-time refinement only suppresses aborts. *)
+  let specs =
+    [
+      ("paper", Interleave.paper_spec);
+      ("write-skew", Interleave.write_skew_spec);
+      ("read-only", Interleave.read_only_anomaly_spec);
+    ]
+  in
+  List.iter
+    (fun (gname, gran) ->
+      let config variant =
+        {
+          (Config.test ()) with
+          Config.granularity = gran;
+          ssi = variant;
+          detection =
+            (match gran with
+            | Config.Row -> Lockmgr.Immediate
+            | Config.Page -> Lockmgr.Periodic 0.05);
+          record_history = true;
+          btree_fanout = 4;
+        }
+      in
+      List.iter
+        (fun (sname, spec) ->
+          let basic = Interleave.sweep ~config:(config Config.Basic) ~isolation:Serializable spec in
+          let precise =
+            Interleave.sweep ~config:(config Config.Precise) ~isolation:Serializable spec
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s basic admits no anomaly" gname sname)
+            0 basic.Interleave.non_serializable;
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s precise admits no anomaly" gname sname)
+            0 precise.Interleave.non_serializable;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s precise aborts (%d) <= basic aborts (%d)" gname sname
+               precise.Interleave.unsafe_aborts basic.Interleave.unsafe_aborts)
+            true
+            (precise.Interleave.unsafe_aborts <= basic.Interleave.unsafe_aborts))
+        specs)
+    [ ("row", Config.Row); ("page", Config.Page) ]
+
+(* {1 Blocking schedules} *)
+
+let test_blocking_deadlock () =
+  (* Crossed write orders: T0 holds x and wants y, T1 holds y and wants x.
+     The scheduler must park both, the detector must kill exactly one, and
+     the survivor's history must be serializable. *)
+  let spec = [ [ Interleave.W "x"; Interleave.W "y" ]; [ Interleave.W "y"; Interleave.W "x" ] ] in
+  let order =
+    [ (0, Interleave.W "x"); (1, Interleave.W "y"); (0, Interleave.W "y"); (1, Interleave.W "x") ]
+  in
+  List.iter
+    (fun isolation ->
+      let r = Interleave.run_interleaving ~isolation spec order in
+      let commits = List.length (List.filter (( = ) None) r.Interleave.outcomes) in
+      let deadlocks = List.length (List.filter (( = ) (Some Deadlock)) r.Interleave.outcomes) in
+      Alcotest.(check int) "one commit" 1 commits;
+      Alcotest.(check int) "one deadlock victim" 1 deadlocks;
+      Alcotest.(check bool) "survivor history serializable" true r.Interleave.serializable)
+    [ S2pl; Snapshot; Serializable ]
+
+let test_blocking_fcw_after_wait () =
+  (* T1 takes its snapshot, then blocks behind T0's X lock on x; when T0
+     commits and the lock is granted, first-committer-wins must see T0's
+     newly committed version and abort T1 — the resumed transaction may not
+     act on its pre-wait view. *)
+  let spec = [ [ Interleave.W "x"; Interleave.R "y" ]; [ Interleave.R "y"; Interleave.W "x" ] ] in
+  let order =
+    [ (0, Interleave.W "x"); (1, Interleave.R "y"); (1, Interleave.W "x"); (0, Interleave.R "y") ]
+  in
+  let r = Interleave.run_interleaving ~isolation:Snapshot spec order in
+  Alcotest.(check bool) "T0 commits" true (List.nth r.Interleave.outcomes 0 = None);
+  Alcotest.(check bool) "T1 aborts on first-committer-wins" true
+    (List.nth r.Interleave.outcomes 1 = Some Update_conflict);
+  Alcotest.(check bool) "serializable" true r.Interleave.serializable
+
+(* {1 Random-order sampling uniformity} *)
+
+let test_random_order_uniform () =
+  (* Scripts of lengths (2,1,1): 4!/2! = 12 equally likely interleavings.
+     [random_order] weights the next transaction by its remaining-operation
+     count, which makes each complete merge uniform over the multinomial
+     set; the old uniform-over-transactions rule oversampled orders that
+     exhaust the short transactions late, badly enough that this chi-square
+     check rejects it with certainty at this sample size. Fixed seed, so the
+     test is deterministic. *)
+  let spec =
+    [ [ Interleave.R "a"; Interleave.W "a" ]; [ Interleave.R "b" ]; [ Interleave.R "c" ] ]
+  in
+  Alcotest.(check int) "12 interleavings" 12 (List.length (Interleave.interleavings spec));
+  let counts = Hashtbl.create 12 in
+  let n = 12_000 in
+  let st = Random.State.make [| 42 |] in
+  for _ = 1 to n do
+    let key =
+      String.concat "" (List.map (fun (i, _) -> string_of_int i) (Interleave.random_order st spec))
+    in
+    Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  done;
+  Alcotest.(check int) "every interleaving sampled" 12 (Hashtbl.length counts);
+  let expected = float_of_int n /. 12.0 in
+  let chi2 =
+    Hashtbl.fold
+      (fun _ c acc -> acc +. (((float_of_int c -. expected) ** 2.0) /. expected))
+      counts 0.0
+  in
+  (* 99.9th percentile of chi-square with 11 degrees of freedom. *)
+  Alcotest.(check bool) (Printf.sprintf "chi2 = %.2f < 31.26" chi2) true (chi2 < 31.26)
+
 (* {1 Random transaction sets} *)
 
 (* Generate a random 3-transaction spec in which each key has at most one
@@ -178,8 +294,7 @@ let show_spec spec =
   String.concat " || "
     (List.map
        (fun ops ->
-         String.concat ";"
-           (List.map (function Interleave.R k -> "r" ^ k | Interleave.W k -> "w" ^ k) ops))
+         String.concat ";" (List.map Interleave.op_to_string ops))
        spec)
 
 let arb_spec = QCheck.make ~print:show_spec spec_gen
@@ -273,6 +388,10 @@ let suite =
     ("write skew spec sweep", `Quick, test_write_skew_spec_sweep);
     ("SI cycles satisfy theorem 2", `Quick, test_si_cycles_satisfy_theorem2);
     ("basic vs precise abort counts", `Quick, test_basic_mode_more_aborts_than_precise);
+    ("sweep matrix: granularity x variant", `Quick, test_sweep_matrix_granularity_variant);
+    ("blocking: crossed writes deadlock", `Quick, test_blocking_deadlock);
+    ("blocking: FCW after lock wait", `Quick, test_blocking_fcw_after_wait);
+    ("random_order is uniform (chi-square)", `Quick, test_random_order_uniform);
     ("random SSI always serializable", `Slow, test_random_ssi_always_serializable);
     ("random S2PL always serializable", `Slow, test_random_s2pl_always_serializable);
     ("random SI eventually anomalous", `Slow, test_random_si_eventually_anomalous);

@@ -22,6 +22,10 @@ type access = {
   path : int list;  (** descent path, root first *)
   leaves : int list;  (** leaf pages visited (scans may visit several) *)
   modified : int list;  (** pages structurally modified by splits *)
+  splits : (int * int) list;
+      (** (old page, new right sibling) for each split performed: entries that
+          lived on the old page may now live on the new one, so page-level
+          conflict state (stamps, SIREAD locks) must be carried across. *)
 }
 
 val no_access : access

@@ -1,0 +1,83 @@
+(* Random transaction-program generator.
+
+   Programs are straight-line scripts over a small key domain k0..k{d-1}:
+   point reads and blind writes, locking reads, inclusive range scans with
+   optional LIMIT, inserts of possibly-fresh keys, deletes, and
+   user-requested rollbacks. Domains are kept tiny (2-5 keys, 2-4
+   transactions, 1-4 operations each) so contention — write skew shapes,
+   phantom windows, dangerous structures — is the common case rather than
+   the rare one, and so counterexample shrinking has little left to do.
+
+   Everything is drawn from an explicit [Random.State.t]; a campaign seeded
+   once replays byte-identically. *)
+
+type profile = {
+  p_max_txns : int;  (** 2..n transactions per case *)
+  p_max_ops : int;  (** 1..n operations per transaction *)
+  p_max_keys : int;  (** key domain size 2..n *)
+}
+
+let default_profile = { p_max_txns = 4; p_max_ops = 4; p_max_keys = 5 }
+
+let key_name i = Printf.sprintf "k%d" i
+
+(* One operation. Read-only scripts draw only reads and scans. *)
+let gen_op st ~nkeys ~ro : Interleave.op =
+  let key () = key_name (Random.State.int st nkeys) in
+  let scan () =
+    let bound () = if Random.State.bool st then Some (key ()) else None in
+    let lo = bound () and hi = bound () in
+    let limit = if Random.State.int st 3 = 0 then Some (1 + Random.State.int st 2) else None in
+    Interleave.Scan (lo, hi, limit)
+  in
+  if ro then if Random.State.int st 4 = 0 then scan () else Interleave.R (key ())
+  else
+    match Random.State.int st 100 with
+    | x when x < 32 -> Interleave.R (key ())
+    | x when x < 58 -> Interleave.W (key ())
+    | x when x < 64 -> Interleave.Rfu (key ())
+    | x when x < 76 -> scan ()
+    | x when x < 88 -> Interleave.Insert (key ())
+    | _ -> Interleave.Delete (key ())
+
+let gen_spec st ~nkeys ~max_ops ~ro : Interleave.spec =
+  let n_ops = 1 + Random.State.int st max_ops in
+  let ops = List.init n_ops (fun _ -> gen_op st ~nkeys ~ro) in
+  (* occasionally end with a user rollback (work that must leave no trace) *)
+  if Random.State.int st 12 = 0 then ops @ [ Interleave.Abort_op ] else ops
+
+(* A uniform random merge of the scripts' turn sequences: the next turn goes
+   to transaction [i] with probability remaining_i / total_remaining (see
+   Interleave.random_order for why this is uniform over interleavings). *)
+let gen_schedule st (lengths : int list) : int list =
+  let remaining = Array.of_list lengths in
+  let total = ref (Array.fold_left ( + ) 0 remaining) in
+  let order = ref [] in
+  while !total > 0 do
+    let u = Random.State.int st !total in
+    let i = ref 0 and acc = ref 0 in
+    while u >= !acc + remaining.(!i) do
+      acc := !acc + remaining.(!i);
+      incr i
+    done;
+    remaining.(!i) <- remaining.(!i) - 1;
+    order := !i :: !order;
+    decr total
+  done;
+  List.rev !order
+
+(* One case under the given matrix point. *)
+let case ?(profile = default_profile) st ~(cfg : Fuzzcase.cfg_point) : Fuzzcase.t =
+  let nkeys = 2 + Random.State.int st (max 1 (profile.p_max_keys - 1)) in
+  let n_txns = 2 + Random.State.int st (max 1 (profile.p_max_txns - 1)) in
+  let ro = List.init n_txns (fun _ -> Random.State.int st 5 = 0) in
+  let specs = List.map (fun ro -> gen_spec st ~nkeys ~max_ops:profile.p_max_ops ~ro) ro in
+  (* Preload most keys so reads/deletes usually find rows; leave some
+     absent so inserts create fresh keys and scans cross real gaps. *)
+  let init =
+    List.filter_map
+      (fun i -> if Random.State.int st 4 < 3 then Some (key_name i, "0") else None)
+      (List.init nkeys Fun.id)
+  in
+  let schedule = gen_schedule st (List.map List.length specs) in
+  { Fuzzcase.specs; ro; init; schedule; cfg }

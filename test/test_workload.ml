@@ -100,6 +100,49 @@ let test_stats_t95_monotone () =
     (Stats.t95 2 > Stats.t95 3 && Stats.t95 3 > Stats.t95 5 && Stats.t95 5 > Stats.t95 30);
   Alcotest.(check (float 1e-9)) "single sample has no interval" 0.0 (snd (Stats.ci95 [ 42.0 ]))
 
+let test_stats_t95_table () =
+  (* Pin the tabulated two-sided 95% critical values (df = n-1). *)
+  let pins = [ (2, 12.706); (5, 2.776); (10, 2.262); (15, 2.145); (20, 2.093); (25, 2.064); (30, 2.045) ] in
+  List.iter
+    (fun (n, expect) ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "t95 %d" n) expect (Stats.t95 n))
+    pins;
+  (* Degenerate sample sizes and the large-n fallback. *)
+  Alcotest.(check (float 1e-9)) "t95 0" 0.0 (Stats.t95 0);
+  Alcotest.(check (float 1e-9)) "t95 1" 0.0 (Stats.t95 1);
+  Alcotest.(check (float 1e-9)) "t95 31 falls back" 2.0 (Stats.t95 31);
+  Alcotest.(check (float 1e-9)) "t95 1000 falls back" 2.0 (Stats.t95 1000);
+  (* The whole table is strictly decreasing from n = 2 through 30 and the
+     fallback does not jump above the last tabulated value. *)
+  for n = 2 to 29 do
+    Alcotest.(check bool) (Printf.sprintf "t95 %d > t95 %d" n (n + 1)) true
+      (Stats.t95 n > Stats.t95 (n + 1))
+  done;
+  Alcotest.(check bool) "fallback below t95 30" true (Stats.t95 31 < Stats.t95 30)
+
+let test_stats_stddev_ci95_edges () =
+  (* stddev: degenerate and known-answer cases. *)
+  Alcotest.(check (float 1e-9)) "stddev []" 0.0 (Stats.stddev []);
+  Alcotest.(check (float 1e-9)) "stddev [x]" 0.0 (Stats.stddev [ 7.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev constant" 0.0 (Stats.stddev [ 3.0; 3.0; 3.0; 3.0 ]);
+  (* Sample (n-1) stddev of {1,3} is sqrt(2); of {2,4,4,4,5,5,7,9} is
+     sqrt(32/7). *)
+  Alcotest.(check (float 1e-9)) "stddev two-sample" (sqrt 2.0) (Stats.stddev [ 1.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev known eight-sample" (sqrt (32.0 /. 7.0))
+    (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ]);
+  (* ci95: empty and singleton collapse to (mean, 0). *)
+  Alcotest.(check (float 1e-9)) "ci95 [] mean" 0.0 (fst (Stats.ci95 []));
+  Alcotest.(check (float 1e-9)) "ci95 [] halfwidth" 0.0 (snd (Stats.ci95 []));
+  Alcotest.(check (float 1e-9)) "ci95 [x] mean" 42.0 (fst (Stats.ci95 [ 42.0 ]));
+  (* Two samples: halfwidth = t95(2) * stddev / sqrt 2 = 12.706 * sqrt 2 / sqrt 2. *)
+  let m, hw = Stats.ci95 [ 1.0; 3.0 ] in
+  Alcotest.(check (float 1e-9)) "ci95 two-sample mean" 2.0 m;
+  Alcotest.(check (float 1e-9)) "ci95 two-sample halfwidth" 12.706 hw;
+  (* Constant samples have a zero-width interval at the mean. *)
+  let m, hw = Stats.ci95 [ 5.0; 5.0; 5.0 ] in
+  Alcotest.(check (float 1e-9)) "ci95 constant mean" 5.0 m;
+  Alcotest.(check (float 1e-9)) "ci95 constant halfwidth" 0.0 hw
+
 let suite =
   [
     ("pick respects weights", `Quick, test_pick_respects_weights);
@@ -110,6 +153,8 @@ let suite =
     ("run_seeds aggregates", `Quick, test_run_seeds_aggregates);
     ("user abort counts as completed", `Quick, test_user_abort_counts_as_completed);
     ("stats t95 monotone", `Quick, test_stats_t95_monotone);
+    ("stats t95 table pins", `Quick, test_stats_t95_table);
+    ("stats stddev/ci95 edges", `Quick, test_stats_stddev_ci95_edges);
   ]
 
 let () = Alcotest.run "workload" [ ("workload", suite) ]
