@@ -1,0 +1,329 @@
+(* [ssi_bench perf]: hot-path microbenchmarks plus a timed end-to-end sweep,
+   emitted as machine-readable BENCH_ssi.json for the perf-regression gate
+   (tools/check_bench.sh).
+
+   Two different contracts coexist here and must not be confused:
+
+   - Wall-clock numbers (wall_s, rate, the -j speedup curve) measure *this
+     machine right now*; they vary run to run and are compared against a
+     checked-in baseline only up to a generous regression factor.
+
+   - The [check] value of each microbench and the end-to-end summary carried
+     by the speedup sweep are *simulated* results: fully deterministic, and
+     required to be identical at every -j. A mismatch is a correctness bug
+     and fails the run immediately (exit 2), independent of any baseline. *)
+
+open Cmdliner
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let check = f () in
+  (Unix.gettimeofday () -. t0, check)
+
+type entry = { e_name : string; e_runs : int; e_wall : float; e_check : float }
+
+let rate e = if e.e_wall > 0.0 then float_of_int e.e_runs /. e.e_wall else 0.0
+
+(* {1 Microbenchmarks} *)
+
+(* Full read+update transactions against a populated table: begin, snapshot
+   read, write, first-committer-wins check, commit. *)
+let bench_commit_path runs () =
+  let sim = Sim.create () in
+  let db = Core.Db.create ~config:(Core.Config.bdb ()) sim in
+  let rows = List.init 256 (fun i -> (Printf.sprintf "k%03d" i, "0")) in
+  ignore (Core.Db.create_table db "t");
+  Core.Db.load db "t" rows;
+  Sim.spawn sim (fun () ->
+      for i = 0 to runs - 1 do
+        let key = Printf.sprintf "k%03d" (i mod 256) in
+        match
+          Core.Db.run db Core.Types.Serializable (fun t ->
+              let v = Core.Txn.read_exn t "t" key in
+              Core.Txn.write t "t" key (string_of_int (String.length v)))
+        with
+        | Ok () -> ()
+        | Error _ -> ()
+      done);
+  Sim.run sim;
+  float_of_int (Core.Db.stats db).Core.Internal.commits
+
+(* Raw lock-manager work: S grant, S->X upgrade, release, over a small hot
+   set of resources (uncontended: measures table/queue bookkeeping). *)
+let bench_lock_path runs () =
+  let sim = Sim.create () in
+  let lm = Lockmgr.create sim in
+  Sim.spawn sim (fun () ->
+      for i = 0 to runs - 1 do
+        let r = "r" ^ string_of_int (i mod 64) in
+        Lockmgr.acquire lm ~owner:i ~mode:Lockmgr.S r;
+        Lockmgr.acquire lm ~owner:i ~mode:Lockmgr.X r;
+        Lockmgr.release_all lm i
+      done);
+  Sim.run sim;
+  float_of_int runs
+
+(* Read-only SSI transactions: every read takes a SIREAD lock and the commit
+   path suspends/cleans the transaction record (§3.3 bookkeeping). *)
+let bench_siread_path runs () =
+  let sim = Sim.create () in
+  let db = Core.Db.create ~config:(Core.Config.bdb ()) sim in
+  let rows = List.init 256 (fun i -> (Printf.sprintf "k%03d" i, "v")) in
+  ignore (Core.Db.create_table db "t");
+  Core.Db.load db "t" rows;
+  Sim.spawn sim (fun () ->
+      for i = 0 to runs - 1 do
+        let key = Printf.sprintf "k%03d" (i mod 256) in
+        match
+          Core.Db.run db Core.Types.Serializable (fun t ->
+              ignore (Core.Txn.read t "t" key);
+              ignore (Core.Txn.read t "t" "k000"))
+        with
+        | Ok () -> ()
+        | Error _ -> ()
+      done);
+  Sim.run sim;
+  float_of_int (Core.Db.stats db).Core.Internal.commits
+
+(* B+tree inserts in pseudo-random key order (forcing splits at fanout 16)
+   followed by a full range scan. *)
+let bench_btree runs () =
+  let t = Btree.create ~fanout:16 () in
+  let x = ref 12345 in
+  for _ = 1 to runs do
+    (* deterministic LCG so the split pattern is fixed *)
+    x := ((!x * 1103515245) + 12345) land 0xFFFFFF;
+    ignore (Btree.insert t (Printf.sprintf "k%08d" !x) !x)
+  done;
+  let n = ref 0 in
+  Btree.iter_range t (fun _ _ -> incr n);
+  float_of_int !n
+
+(* MVSG build + cycle search over a synthetic 100-transaction history with a
+   read/write overlap pattern dense enough to produce real edges. *)
+let bench_mvsg runs () =
+  let txns = 100 in
+  let history =
+    List.init txns (fun i ->
+        let key j = Printf.sprintf "k%02d" (j mod 17) in
+        {
+          Core.Types.h_id = i + 1;
+          h_isolation = Core.Types.Serializable;
+          h_snapshot = 2 * i;
+          h_commit = (2 * i) + 3;
+          h_reads =
+            [
+              { Core.Types.r_table = "t"; r_key = key i; r_version = i };
+              { Core.Types.r_table = "t"; r_key = key (i + 5); r_version = i };
+            ];
+          h_writes = [ ("t", key (i + 1)); ("t", key (i + 9)) ];
+        })
+  in
+  let cycles = ref 0 in
+  for _ = 1 to runs do
+    let g = Mvsg.build history in
+    if Mvsg.find_cycle g <> None then incr cycles
+  done;
+  float_of_int !cycles /. float_of_int runs
+
+let micros ~quick =
+  let s = if quick then 1 else 8 in
+  [
+    ("commit-path", 1000 * s, bench_commit_path);
+    ("lock-acquire-release", 5000 * s, bench_lock_path);
+    ("siread-bookkeeping", 1000 * s, bench_siread_path);
+    ("btree-insert-scan", 20000 * s, bench_btree);
+    ("mvsg-check", 50 * s, bench_mvsg);
+  ]
+
+(* {1 End-to-end sweep: wall time and determinism across -j} *)
+
+type sweep_point = { sp_j : int; sp_wall : float; sp_speedup : float }
+
+(* Run the same fuzz campaign at each -j: wall time gives the speedup curve;
+   the summaries must be identical or the harness itself is broken. *)
+let sweep ~quick =
+  let cases = if quick then 400 else 2000 in
+  let campaign pool =
+    Fuzz.run_campaign ?pool ~seed:3 ~cases ~matrix:Fuzzcase.matrix_full ()
+  in
+  let fingerprint (s : Fuzz.summary) =
+    (s.Fuzz.s_cases, s.Fuzz.s_si_anomalies, s.Fuzz.s_ssi_unsafe, s.Fuzz.s_false_positives,
+     List.length s.Fuzz.s_failures)
+  in
+  let points =
+    List.map
+      (fun j ->
+        let wall, s =
+          time (fun () ->
+              if j = 1 then campaign None else Par.with_pool ~j (fun p -> campaign (Some p)))
+        in
+        (j, wall, fingerprint s))
+      [ 1; 2; 4 ]
+  in
+  let _, base_wall, base_fp = List.hd points in
+  List.iter
+    (fun (j, _, fp) ->
+      if fp <> base_fp then begin
+        Printf.eprintf "FATAL: end-to-end sweep result differs between -j 1 and -j %d\n" j;
+        exit 2
+      end)
+    points;
+  List.map
+    (fun (j, wall, _) ->
+      { sp_j = j; sp_wall = wall; sp_speedup = (if wall > 0.0 then base_wall /. wall else 0.0) })
+    points
+
+(* {1 JSON emission and baseline parsing} *)
+
+(* One bench object per line, so the baseline comparison (here and in
+   tools/check_bench.sh) can parse without a JSON library. *)
+let emit_json oc ~quick entries sweep_points =
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"ssi-bench/1\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" quick;
+  Printf.fprintf oc "  \"recommended_domains\": %d,\n" (Par.recommended ());
+  Printf.fprintf oc "  \"benches\": [\n";
+  let n = List.length entries in
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"runs\": %d, \"wall_s\": %.6f, \"rate\": %.1f, \"check\": %.6f}%s\n"
+        e.e_name e.e_runs e.e_wall (rate e) e.e_check
+        (if i = n - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"speedup\": [\n";
+  let m = List.length sweep_points in
+  List.iteri
+    (fun i p ->
+      Printf.fprintf oc "    {\"j\": %d, \"wall_s\": %.6f, \"speedup\": %.3f}%s\n" p.sp_j
+        p.sp_wall p.sp_speedup
+        (if i = m - 1 then "" else ","))
+    sweep_points;
+  Printf.fprintf oc "  ]\n";
+  Printf.fprintf oc "}\n"
+
+(* Tiny substring scanners so the baseline loads without a JSON library. *)
+let after line marker =
+  let ml = String.length marker in
+  let n = String.length line in
+  let rec go i =
+    if i + ml > n then None
+    else if String.sub line i ml = marker then Some (i + ml)
+    else go (i + 1)
+  in
+  go 0
+
+let find_quoted line marker =
+  match after line marker with
+  | None -> None
+  | Some i -> (
+      match String.index_from_opt line i '"' with
+      | None -> None
+      | Some j -> Some (String.sub line i (j - i)))
+
+let find_float line marker =
+  match after line marker with
+  | None -> None
+  | Some i ->
+      let n = String.length line in
+      let j = ref i in
+      while
+        !j < n
+        && (match line.[!j] with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true | _ -> false)
+      do
+        incr j
+      done;
+      float_of_string_opt (String.sub line i (!j - i))
+
+(* Extract ("name", rate) pairs from a BENCH_ssi.json written by [emit_json]
+   (or hand-maintained in the same one-object-per-line shape). *)
+let parse_baseline file : (string * float) list =
+  let ic = open_in file in
+  let out = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       (* only bench lines carry both a name and a rate *)
+       match (find_quoted line "\"name\": \"", find_float line "\"rate\": ") with
+       | Some name, Some r -> out := (name, r) :: !out
+       | _ -> ()
+     done
+   with End_of_file -> close_in ic);
+  List.rev !out
+
+let compare_baseline ~max_regress entries baseline =
+  let failures = ref 0 in
+  List.iter
+    (fun e ->
+      match List.assoc_opt e.e_name baseline with
+      | None -> Printf.printf "  %-22s %10.0f /s  (no baseline)\n" e.e_name (rate e)
+      | Some base_rate ->
+          let r = rate e in
+          let factor = if r > 0.0 then base_rate /. r else infinity in
+          let flag = factor > max_regress in
+          if flag then incr failures;
+          Printf.printf "  %-22s %10.0f /s  baseline %10.0f /s  x%.2f%s\n" e.e_name r base_rate
+            factor
+            (if flag then "  REGRESSION" else ""))
+    entries;
+  !failures
+
+let run quick out baseline max_regress =
+  let entries =
+    List.map
+      (fun (name, runs, f) ->
+        let wall, check = time (fun () -> f runs ()) in
+        let e = { e_name = name; e_runs = runs; e_wall = wall; e_check = check } in
+        Printf.printf "  %-22s %8d runs  %8.3fs  %10.0f /s  check=%g\n%!" name runs wall
+          (rate e) check;
+        e)
+      (micros ~quick)
+  in
+  print_endline "  end-to-end fuzz sweep (identical results required at every -j):";
+  let sw = sweep ~quick in
+  List.iter
+    (fun p -> Printf.printf "    -j %d  %8.3fs  speedup x%.2f\n%!" p.sp_j p.sp_wall p.sp_speedup)
+    sw;
+  let oc = open_out out in
+  emit_json oc ~quick entries sw;
+  close_out oc;
+  Printf.printf "  wrote %s\n" out;
+  match baseline with
+  | None -> ()
+  | Some file ->
+      Printf.printf "  baseline %s (max regression factor %.1f):\n" file max_regress;
+      let failures = compare_baseline ~max_regress entries (parse_baseline file) in
+      if failures > 0 then begin
+        Printf.printf "  %d bench(es) regressed more than %.1fx\n" failures max_regress;
+        exit 1
+      end
+
+let cmd =
+  let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced iteration counts") in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_ssi.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON report")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Compare against a previous report; exit 1 on regression")
+  in
+  let regress_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "max-regress" ] ~docv:"F"
+          ~doc:"Maximum allowed slowdown factor vs the baseline (wall clock is noisy; keep generous)")
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:
+         "Hot-path microbenchmarks and a timed end-to-end sweep; writes BENCH_ssi.json and \
+          optionally gates on a baseline")
+    Term.(const run $ quick_arg $ out_arg $ baseline_arg $ regress_arg)

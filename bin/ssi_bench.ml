@@ -29,6 +29,19 @@ let ids_arg =
 
 let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Fast smoke budget")
 
+(* Shared [-j N]: run independent jobs (experiment points, per-seed runs,
+   fuzz shards) on a domain pool. The output contract is that results are
+   byte-identical for every N; the dune rules in bin/dune diff -j 1 against
+   -j N runs to enforce it. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Run independent jobs on $(docv) domains (output is identical for any $(docv))")
+
+let with_jobs j f =
+  if j <= 1 then f None else Par.with_pool ~j (fun p -> f (Some p))
+
 let seeds_arg =
   Arg.(value & opt int 2 & info [ "seeds" ] ~doc:"Number of random seeds per point")
 
@@ -48,7 +61,7 @@ let metrics_arg =
         ~doc:"Collect and print engine metrics (conflict-edge sources, lock waits, high-water marks)")
 
 let run_cmd =
-  let run ids quick seeds duration mpls metrics =
+  let run ids quick seeds duration mpls metrics jobs =
     let budget =
       if quick then { Experiments.quick_budget with Experiments.with_metrics = metrics }
       else
@@ -61,11 +74,13 @@ let run_cmd =
         }
     in
     let ids = if ids = [] then List.map fst Experiments.all_figures else ids in
-    List.iter (Experiments.run_and_print ~budget Fmt.stdout) ids
+    with_jobs jobs (fun pool -> Experiments.run_many ?pool ~budget Fmt.stdout ids)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run experiments and print throughput/abort tables")
-    Term.(const run $ ids_arg $ quick_arg $ seeds_arg $ duration_arg $ mpl_arg $ metrics_arg)
+    Term.(
+      const run $ ids_arg $ quick_arg $ seeds_arg $ duration_arg $ mpl_arg $ metrics_arg
+      $ jobs_arg)
 
 (* One measured benchmark run, with optional Chrome-trace capture. The
    stdout report is byte-identical with or without --trace: tracing records
@@ -97,7 +112,15 @@ let bench_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Write a Chrome-trace JSON array (chrome://tracing, ui.perfetto.dev) to $(docv)")
   in
-  let run workload mpl duration warmup seed iso trace metrics =
+  let bench_seeds_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:
+            "Aggregate over $(docv) seeds (base seed, base+1, ...) instead of one detailed run; \
+             pairs with -j to run the seeds in parallel")
+  in
+  let run workload mpl duration warmup seed iso trace metrics nseeds jobs =
     let isolation =
       match iso with
       | "si" -> Core.Types.Snapshot
@@ -126,12 +149,39 @@ let bench_cmd =
           prerr_endline ("unknown workload: " ^ workload);
           exit 1
     in
+    let cfg =
+      { Driver.default_config with Driver.isolation; mpl; warmup; duration; seed }
+    in
+    if nseeds > 1 then begin
+      (* Aggregate mode: several independent seeds, optionally in parallel.
+         Per-run traces would interleave, so --trace is single-run only. *)
+      if trace <> None then begin
+        prerr_endline "--trace requires --seeds 1 (a trace captures one run)";
+        exit 1
+      end;
+      let seeds = List.init nseeds (fun i -> seed + i) in
+      let s =
+        with_jobs jobs (fun pool ->
+            Driver.run_seeds ?pool ~with_metrics:metrics ~make_db ~mix ~seeds cfg)
+      in
+      Printf.printf "workload=%s isolation=%s mpl=%d seeds=%d..%d window=%.2fs\n" workload iso
+        mpl seed (seed + nseeds - 1) duration;
+      Printf.printf "  throughput:       %.1f +/- %.1f tps (95%% ci)\n" s.Driver.s_throughput
+        s.Driver.s_ci;
+      Printf.printf "  deadlocks/commit: %.4f\n" s.Driver.s_deadlock_rate;
+      Printf.printf "  conflicts/commit: %.4f\n" s.Driver.s_conflict_rate;
+      Printf.printf "  unsafe/commit:    %.4f\n" s.Driver.s_unsafe_rate;
+      Printf.printf "  user aborts:      %.4f /commit\n" s.Driver.s_user_abort_rate;
+      Printf.printf "  mean response:    %.6fs\n" s.Driver.s_mean_response;
+      Printf.printf "  lock table:       %.1f entries at close\n" s.Driver.s_lock_table;
+      match s.Driver.s_metrics with
+      | Some m when metrics -> Fmt.pr "%a@." Obs.pp_metrics m
+      | _ -> ()
+    end
+    else begin
     let obs =
       if trace <> None || metrics then Some (Obs.create ~trace:(trace <> None) ())
       else None
-    in
-    let cfg =
-      { Driver.default_config with Driver.isolation; mpl; warmup; duration; seed }
     in
     let r = Driver.run_once ?obs ~make_db ~mix cfg in
     Printf.printf "workload=%s isolation=%s mpl=%d seed=%d window=%.2fs\n" workload iso mpl
@@ -158,13 +208,14 @@ let bench_cmd =
         (* stderr, so stdout stays identical with and without --trace *)
         Printf.eprintf "trace: %d events written to %s\n%!" (Obs.event_count o) file
     | _ -> ())
+    end
   in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"One measured benchmark run; optionally capture a Chrome trace and engine metrics")
     Term.(
       const run $ workload_arg $ mpl_arg $ duration_arg $ warmup_arg $ seed_arg $ iso_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ bench_seeds_arg $ jobs_arg)
 
 let sdg_cmd =
   let name_arg =
@@ -335,7 +386,7 @@ let fuzz_cmd =
           exit 1
         end
   in
-  let campaign cases seed matrix_name out shrink demo =
+  let campaign cases seed matrix_name out shrink demo jobs =
     let matrix =
       match Fuzzcase.matrix_of_string matrix_name with
       | Some m -> m
@@ -348,7 +399,10 @@ let fuzz_cmd =
         p.Fuzz.pr_total p.Fuzz.pr_anomalies p.Fuzz.pr_unsafe
     in
     let shrink_anomalies = shrink || demo <> None in
-    let s = Fuzz.run_campaign ~shrink_anomalies ~on_progress ~seed ~cases ~matrix () in
+    let s =
+      with_jobs jobs (fun pool ->
+          Fuzz.run_campaign ?pool ~shrink_anomalies ~on_progress ~seed ~cases ~matrix ())
+    in
     Printf.printf
       "fuzz seed=%d matrix=%s (%d points): %d cases\n\
       \  si anomalies:     %d\n\
@@ -403,8 +457,10 @@ let fuzz_cmd =
       s.Fuzz.s_failures;
     if s.Fuzz.s_failures <> [] then exit 1
   in
-  let run cases seed matrix out shrink replay demo =
-    match replay with Some file -> do_replay file | None -> campaign cases seed matrix out shrink demo
+  let run cases seed matrix out shrink replay demo jobs =
+    match replay with
+    | Some file -> do_replay file
+    | None -> campaign cases seed matrix out shrink demo jobs
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -413,7 +469,7 @@ let fuzz_cmd =
           and judged by the MVSG oracle")
     Term.(
       const run $ cases_arg $ seed_arg $ matrix_arg $ out_arg $ shrink_arg $ replay_arg
-      $ demo_arg)
+      $ demo_arg $ jobs_arg)
 
 let () =
   let info =
@@ -421,4 +477,6 @@ let () =
       ~doc:"Reproduction toolkit for 'Serializable Isolation for Snapshot Databases'"
   in
   exit
-    (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; bench_cmd; sdg_cmd; interleave_cmd; fuzz_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; bench_cmd; sdg_cmd; interleave_cmd; fuzz_cmd; Perf_cmd.cmd ]))

@@ -118,15 +118,19 @@ let mark ~source ~self ~reader ~writer =
             | Config.Prefer_pivot ->
                 (* the endpoint that is itself the pivot; reader first when
                    both are (deterministic tie-break) *)
-                if reader_dangerous then reader else writer
-            | Config.Prefer_younger ->
-                let candidates =
-                  List.filter (fun t -> t.state = Active) [ reader; writer ]
-                in
-                List.fold_left (fun a b -> if b.id > a.id then b else a)
-                  (List.hd candidates) candidates
+                if reader_dangerous then Some reader else Some writer
+            | Config.Prefer_younger -> (
+                (* Total by construction: selection must stay well-defined
+                   even if an endpoint left [Active] between danger
+                   detection and victim choice (the former [List.hd] here
+                   raised on an empty candidate list). With no Active
+                   candidate there is nothing left to break. *)
+                match List.filter (fun t -> t.state = Active) [ reader; writer ] with
+                | [] -> None
+                | c :: cs ->
+                    Some (List.fold_left (fun a b -> if b.id > a.id then b else a) c cs))
           in
-          claim_victim ~self victim Unsafe
+          match victim with Some v -> claim_victim ~self v Unsafe | None -> ()
       end
     in
     match config.Config.ssi with

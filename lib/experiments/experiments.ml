@@ -43,24 +43,77 @@ type figure = {
   series : series list;
 }
 
-let sweep ?(levels = levels) ~make_db ~mix (budget : budget) : series list =
+(* {1 Plans: figures as data, evaluated as one parallel batch}
+
+   A [plan] is a figure whose measurement points have not run yet: each
+   series is a label plus a closure from MPL to a summary. [eval_plans]
+   flattens every (figure, series, MPL) point of a whole batch of plans
+   into one job list for the domain pool — points parallelise within a
+   sweep *and* across figures — and re-assembles the results in submission
+   order, so the printed tables are byte-identical to a sequential run.
+
+   The point closures must not touch the pool themselves (nested
+   submission is rejected); each builds its own simulated world via
+   [Driver.run_seeds]/[Driver.run_once]. *)
+
+type plan = {
+  pl_id : string;
+  pl_title : string;
+  pl_expected : string;
+  pl_mpls : int list;
+  pl_series : (string * (int -> Driver.summary)) list; (* label, mpl -> point *)
+}
+
+let eval_plans ?pool (plans : plan list) : figure list =
+  let jobs =
+    List.concat_map
+      (fun p ->
+        List.concat_map
+          (fun (_, point) -> List.map (fun mpl () -> point mpl) p.pl_mpls)
+          p.pl_series)
+      plans
+  in
+  let results = ref (Par.map ?pool (fun job -> job ()) jobs) in
+  let take n =
+    let rec go n acc =
+      if n = 0 then List.rev acc
+      else
+        match !results with
+        | [] -> invalid_arg "eval_plans: job/result mismatch"
+        | r :: rest ->
+            results := rest;
+            go (n - 1) (r :: acc)
+    in
+    go n []
+  in
   List.map
-    (fun (label, isolation) ->
+    (fun p ->
       {
-        label;
-        points =
+        fig_id = p.pl_id;
+        title = p.pl_title;
+        expected = p.pl_expected;
+        mpls = p.pl_mpls;
+        series =
           List.map
-            (fun mpl ->
-              Driver.run_seeds ~with_metrics:budget.with_metrics ~make_db ~mix ~seeds:budget.seeds
-                {
-                  Driver.default_config with
-                  Driver.isolation;
-                  mpl;
-                  warmup = budget.warmup;
-                  duration = budget.duration;
-                })
-            budget.mpls;
+            (fun (label, _) -> { label; points = take (List.length p.pl_mpls) })
+            p.pl_series;
       })
+    plans
+
+(* One measurement point: [run_seeds] over the budget's seed list. *)
+let point ~budget ~make_db ~mix ~isolation mpl =
+  Driver.run_seeds ~with_metrics:budget.with_metrics ~make_db ~mix ~seeds:budget.seeds
+    {
+      Driver.default_config with
+      Driver.isolation;
+      mpl;
+      warmup = budget.warmup;
+      duration = budget.duration;
+    }
+
+let sweep_series ?(levels = levels) ~make_db ~mix (budget : budget) =
+  List.map
+    (fun (label, isolation) -> (label, point ~budget ~make_db ~mix ~isolation))
     levels
 
 let print_figure fmt f =
@@ -147,27 +200,27 @@ let smallbank_db ?(customers = 20_000) ?(wal_mode = Wal.No_flush) () =
 let fig6_1 (budget : budget) =
   let budget = bdb_budget budget in
   {
-    fig_id = "fig6.1";
-    title = "Berkeley DB SmallBank, no log flush (throughput vs MPL)";
-    expected =
+    pl_id = "fig6.1";
+    pl_title = "Berkeley DB SmallBank, no log flush (throughput vs MPL)";
+    pl_expected =
       "SI and SSI track each other and far exceed S2PL (~10x at MPL 20); S2PL errors are \
        deadlocks, SSI adds unsafe aborts";
-    mpls = budget.mpls;
-    series =
-      sweep ~make_db:(smallbank_db ()) ~mix:(Smallbank.mix ~customers:20_000 ()) budget;
+    pl_mpls = budget.mpls;
+    pl_series =
+      sweep_series ~make_db:(smallbank_db ()) ~mix:(Smallbank.mix ~customers:20_000 ()) budget;
   }
 
 let fig6_2 (budget : budget) =
   let budget = bdb_budget budget in
   {
-    fig_id = "fig6.2";
-    title = "Berkeley DB SmallBank, log flushed at commit";
-    expected =
+    pl_id = "fig6.2";
+    pl_title = "Berkeley DB SmallBank, log flushed at commit";
+    pl_expected =
       "I/O-bound: throughput rises with MPL via group commit; levels close until S2PL's \
        deadlock stalls bite at high MPL";
-    mpls = budget.mpls;
-    series =
-      sweep
+    pl_mpls = budget.mpls;
+    pl_series =
+      sweep_series
         ~make_db:(smallbank_db ~wal_mode:(Wal.Flush_per_commit 0.01) ())
         ~mix:(Smallbank.mix ~customers:20_000 ())
         budget;
@@ -176,12 +229,12 @@ let fig6_2 (budget : budget) =
 let fig6_3 (budget : budget) =
   let budget = bdb_budget budget in
   {
-    fig_id = "fig6.3";
-    title = "Berkeley DB SmallBank, complex transactions (10 ops), log flush";
-    expected = "still I/O-bound; results mirror Fig 6.2 though each txn does 10x the work";
-    mpls = budget.mpls;
-    series =
-      sweep
+    pl_id = "fig6.3";
+    pl_title = "Berkeley DB SmallBank, complex transactions (10 ops), log flush";
+    pl_expected = "still I/O-bound; results mirror Fig 6.2 though each txn does 10x the work";
+    pl_mpls = budget.mpls;
+    pl_series =
+      sweep_series
         ~make_db:(smallbank_db ~wal_mode:(Wal.Flush_per_commit 0.01) ())
         ~mix:(Smallbank.mix ~customers:20_000 ~ops_per_txn:10 ())
         budget;
@@ -190,14 +243,14 @@ let fig6_3 (budget : budget) =
 let fig6_4 (budget : budget) =
   let budget = bdb_budget budget in
   {
-    fig_id = "fig6.4";
-    title = "Berkeley DB SmallBank, 1/10th contention (10x accounts), log flush";
-    expected =
+    pl_id = "fig6.4";
+    pl_title = "Berkeley DB SmallBank, 1/10th contention (10x accounts), log flush";
+    pl_expected =
       "S2PL and SI nearly identical; SSI 10-15% below due to page-level false positives \
        (higher unsafe rate than true conflicts would justify)";
-    mpls = budget.mpls;
-    series =
-      sweep
+    pl_mpls = budget.mpls;
+    pl_series =
+      sweep_series
         ~make_db:(smallbank_db ~customers:200_000 ~wal_mode:(Wal.Flush_per_commit 0.01) ())
         ~mix:(Smallbank.mix ~customers:200_000 ())
         budget;
@@ -206,12 +259,12 @@ let fig6_4 (budget : budget) =
 let fig6_5 (budget : budget) =
   let budget = bdb_budget budget in
   {
-    fig_id = "fig6.5";
-    title = "Berkeley DB SmallBank, complex transactions + low contention";
-    expected = "like Fig 6.4 with 10x work per txn; SSI overhead stays in the 10-15% band";
-    mpls = budget.mpls;
-    series =
-      sweep
+    pl_id = "fig6.5";
+    pl_title = "Berkeley DB SmallBank, complex transactions + low contention";
+    pl_expected = "like Fig 6.4 with 10x work per txn; SSI overhead stays in the 10-15% band";
+    pl_mpls = budget.mpls;
+    pl_series =
+      sweep_series
         ~make_db:(smallbank_db ~customers:200_000 ~wal_mode:(Wal.Flush_per_commit 0.01) ())
         ~mix:(Smallbank.mix ~customers:200_000 ~ops_per_txn:10 ())
         budget;
@@ -227,14 +280,14 @@ let sibench_db ?(config = Config.innodb ()) ~items () =
 
 let sibench_fig ~fig_id ~items ~queries_per_update ~expected (budget : budget) =
   {
-    fig_id;
-    title =
+    pl_id = fig_id;
+    pl_title =
       Printf.sprintf "InnoDB sibench, %d items, %d quer%s per update" items queries_per_update
         (if queries_per_update = 1 then "y" else "ies");
-    expected;
-    mpls = budget.mpls;
-    series =
-      sweep
+    pl_expected = expected;
+    pl_mpls = budget.mpls;
+    pl_series =
+      sweep_series
         ~make_db:(sibench_db ~items ())
         ~mix:(Sibench.mix ~items ~queries_per_update ())
         budget;
@@ -273,11 +326,11 @@ let tpcc_fig ~fig_id ~title ~expected ~scale ?(read_miss = 0.0) ?(skip_ytd = fal
     ?(stock_level = false) (budget : budget) =
   let mix = if stock_level then Tpcc.stock_level_mix scale else Tpcc.mix ~skip_ytd scale in
   {
-    fig_id;
-    title;
-    expected;
-    mpls = budget.mpls;
-    series = sweep ~make_db:(tpcc_db ~read_miss ~scale ()) ~mix budget;
+    pl_id = fig_id;
+    pl_title = title;
+    pl_expected = expected;
+    pl_mpls = budget.mpls;
+    pl_series = sweep_series ~make_db:(tpcc_db ~read_miss ~scale ()) ~mix budget;
   }
 
 let fig6_12 (budget : budget) =
@@ -341,30 +394,18 @@ let ablation_precise (budget : budget) =
     db
   in
   {
-    fig_id = "ablation-precise";
-    title = "SSI basic flags (§3.2) vs precise conflict references (§3.6), SmallBank";
-    expected = "precise mode (conflict references + commit-time tests) has a lower unsafe \
+    pl_id = "ablation-precise";
+    pl_title = "SSI basic flags (§3.2) vs precise conflict references (§3.6), SmallBank";
+    pl_expected = "precise mode (conflict references + commit-time tests) has a lower unsafe \
                 rate than the boolean flags at equal or better throughput";
-    mpls = budget.mpls;
-    series =
+    pl_mpls = budget.mpls;
+    pl_series =
       List.map
         (fun (label, variant) ->
-          {
-            label;
-            points =
-              List.map
-                (fun mpl ->
-                  Driver.run_seeds ~with_metrics:budget.with_metrics ~make_db:(make_db variant)
-                    ~mix:(Smallbank.mix ~customers:1_000 ()) ~seeds:budget.seeds
-                    {
-                      Driver.default_config with
-                      Driver.isolation = Types.Serializable;
-                      mpl;
-                      warmup = budget.warmup;
-                      duration = budget.duration;
-                    })
-                budget.mpls;
-          })
+          ( label,
+            point ~budget ~make_db:(make_db variant)
+              ~mix:(Smallbank.mix ~customers:1_000 ())
+              ~isolation:Types.Serializable ))
         [ ("SSI-basic", Config.Basic); ("SSI-precise", Config.Precise) ];
   }
 
@@ -378,30 +419,18 @@ let ablation_upgrade (budget : budget) =
     db
   in
   {
-    fig_id = "ablation-upgrade";
-    title = "SIREAD->X upgrade optimisation (§3.7.3) on vs off, SmallBank SSI";
-    expected = "upgrade reduces retained locks and suspended transactions; throughput equal \
+    pl_id = "ablation-upgrade";
+    pl_title = "SIREAD->X upgrade optimisation (§3.7.3) on vs off, SmallBank SSI";
+    pl_expected = "upgrade reduces retained locks and suspended transactions; throughput equal \
                 or better";
-    mpls = budget.mpls;
-    series =
+    pl_mpls = budget.mpls;
+    pl_series =
       List.map
         (fun (label, upgrade) ->
-          {
-            label;
-            points =
-              List.map
-                (fun mpl ->
-                  Driver.run_seeds ~with_metrics:budget.with_metrics ~make_db:(make_db upgrade)
-                    ~mix:(Smallbank.mix ~customers:20_000 ()) ~seeds:budget.seeds
-                    {
-                      Driver.default_config with
-                      Driver.isolation = Types.Serializable;
-                      mpl;
-                      warmup = budget.warmup;
-                      duration = budget.duration;
-                    })
-                budget.mpls;
-          })
+          ( label,
+            point ~budget ~make_db:(make_db upgrade)
+              ~mix:(Smallbank.mix ~customers:20_000 ())
+              ~isolation:Types.Serializable ))
         [ ("upgrade-on", true); ("upgrade-off", false) ];
   }
 
@@ -415,32 +444,17 @@ let ablation_fixes (budget : budget) =
     db
   in
   let series_of label isolation fix =
-    {
-      label;
-      points =
-        List.map
-          (fun mpl ->
-            Driver.run_seeds ~with_metrics:budget.with_metrics ~make_db ~mix:(Smallbank.mix ~fix ~customers:20_000 ())
-              ~seeds:budget.seeds
-              {
-                Driver.default_config with
-                Driver.isolation;
-                mpl;
-                warmup = budget.warmup;
-                duration = budget.duration;
-              })
-          budget.mpls;
-    }
+    (label, point ~budget ~make_db ~mix:(Smallbank.mix ~fix ~customers:20_000 ()) ~isolation)
   in
   {
-    fig_id = "ablation-fixes";
-    title = "Making SmallBank serializable: static fixes at SI vs Serializable SI (§2.8.5)";
-    expected = "which fix wins is platform-dependent (Alomari 2008): here promotion beats \
+    pl_id = "ablation-fixes";
+    pl_title = "Making SmallBank serializable: static fixes at SI vs Serializable SI (§2.8.5)";
+    pl_expected = "which fix wins is platform-dependent (Alomari 2008): here promotion beats \
                 materialization (as on PostgreSQL) and PromoteBW adds the most conflicts \
                 (it turns the read-only Bal into an update); SSI is competitive with the \
                 best fix without any application change";
-    mpls = budget.mpls;
-    series =
+    pl_mpls = budget.mpls;
+    pl_series =
       [
         series_of "SSI" Types.Serializable Smallbank.No_fix;
         series_of "SI+MatWT" Types.Snapshot Smallbank.Materialize_wt;
@@ -460,30 +474,18 @@ let ablation_lock_mutex (budget : budget) =
     db
   in
   {
-    fig_id = "ablation-mutex";
-    title = "InnoDB kernel mutex on/off, sibench 1000 items, SSI";
-    expected = "serialised lock manager caps SSI scan throughput (§6.3); removing it \
+    pl_id = "ablation-mutex";
+    pl_title = "InnoDB kernel mutex on/off, sibench 1000 items, SSI";
+    pl_expected = "serialised lock manager caps SSI scan throughput (§6.3); removing it \
                 recovers most of the gap to SI";
-    mpls = budget.mpls;
-    series =
+    pl_mpls = budget.mpls;
+    pl_series =
       List.map
         (fun (label, mutex) ->
-          {
-            label;
-            points =
-              List.map
-                (fun mpl ->
-                  Driver.run_seeds ~with_metrics:budget.with_metrics ~make_db:(make_db mutex)
-                    ~mix:(Sibench.mix ~items:1000 ()) ~seeds:budget.seeds
-                    {
-                      Driver.default_config with
-                      Driver.isolation = Types.Serializable;
-                      mpl;
-                      warmup = budget.warmup;
-                      duration = budget.duration;
-                    })
-                budget.mpls;
-          })
+          ( label,
+            point ~budget ~make_db:(make_db mutex)
+              ~mix:(Sibench.mix ~items:1000 ())
+              ~isolation:Types.Serializable ))
         [ ("mutex-on", true); ("mutex-off", false) ];
   }
 
@@ -494,15 +496,6 @@ let ablation_mixed (budget : budget) =
     Sibench.setup db ~items:1000 ();
     db
   in
-  let mix_with query_iso =
-    [
-      Driver.program ~weight:1.0 "query" (fun _st t -> ignore (Sibench.query t));
-      Driver.program ~weight:1.0 "update" (fun st t -> Sibench.update ~items:1000 st t);
-    ]
-    |> fun m ->
-    (m, query_iso)
-  in
-  ignore mix_with;
   (* The driver applies one isolation level per run; mixed mode is driven by
      a custom client loop instead. *)
   let run_mixed ~queries_at mpl seed =
@@ -534,41 +527,32 @@ let ablation_mixed (budget : budget) =
     Sim.run ~until:horizon sim;
     (float_of_int !commits /. budget.duration, !unsafe)
   in
-  let series =
-    List.map
-      (fun (label, queries_at) ->
-        {
-          label;
-          points =
-            List.map
-              (fun mpl ->
-                let tps =
-                  List.map (fun seed -> fst (run_mixed ~queries_at mpl seed)) budget.seeds
-                in
-                let m, ci = Stats.ci95 tps in
-                {
-                  Driver.s_mpl = mpl;
-                  s_throughput = m;
-                  s_ci = ci;
-                  s_deadlock_rate = 0.0;
-                  s_conflict_rate = 0.0;
-                  s_unsafe_rate = 0.0;
-                  s_user_abort_rate = 0.0;
-                  s_mean_response = 0.0;
-                  s_lock_table = 0.0;
-                  s_metrics = None;
-                })
-              budget.mpls;
-        })
-      [ ("queries@SSI", Types.Serializable); ("queries@SI", Types.Snapshot) ];
+  let mixed_point queries_at mpl =
+    let tps = List.map (fun seed -> fst (run_mixed ~queries_at mpl seed)) budget.seeds in
+    let m, ci = Stats.ci95 tps in
+    {
+      Driver.s_mpl = mpl;
+      s_throughput = m;
+      s_ci = ci;
+      s_deadlock_rate = 0.0;
+      s_conflict_rate = 0.0;
+      s_unsafe_rate = 0.0;
+      s_user_abort_rate = 0.0;
+      s_mean_response = 0.0;
+      s_lock_table = 0.0;
+      s_metrics = None;
+    }
   in
   {
-    fig_id = "ablation-mixed";
-    title = "Queries at plain SI mixed with SSI updates (§3.8), sibench 1000";
-    expected = "running read-only queries at SI removes their SIREAD overhead and unsafe \
+    pl_id = "ablation-mixed";
+    pl_title = "Queries at plain SI mixed with SSI updates (§3.8), sibench 1000";
+    pl_expected = "running read-only queries at SI removes their SIREAD overhead and unsafe \
                 aborts; total throughput improves";
-    mpls = budget.mpls;
-    series;
+    pl_mpls = budget.mpls;
+    pl_series =
+      List.map
+        (fun (label, queries_at) -> (label, mixed_point queries_at))
+        [ ("queries@SSI", Types.Serializable); ("queries@SI", Types.Snapshot) ];
   }
 
 (* Read-only snapshot refinement (extension) on/off: high-contention
@@ -585,31 +569,19 @@ let ablation_ro (budget : budget) =
     db
   in
   {
-    fig_id = "ablation-ro";
-    title = "Read-only snapshot refinement on/off, SmallBank SSI (extension)";
-    expected =
+    pl_id = "ablation-ro";
+    pl_title = "Read-only snapshot refinement on/off, SmallBank SSI (extension)";
+    pl_expected =
       "pivots whose incoming neighbour is a declared read-only Bal that began before \
        T_out committed are spared: lower unsafe rate at equal or better throughput";
-    mpls = budget.mpls;
-    series =
+    pl_mpls = budget.mpls;
+    pl_series =
       List.map
         (fun (label, refinement) ->
-          {
-            label;
-            points =
-              List.map
-                (fun mpl ->
-                  Driver.run_seeds ~with_metrics:budget.with_metrics ~make_db:(make_db refinement)
-                    ~mix:(Smallbank.mix ~customers:1_000 ()) ~seeds:budget.seeds
-                    {
-                      Driver.default_config with
-                      Driver.isolation = Types.Serializable;
-                      mpl;
-                      warmup = budget.warmup;
-                      duration = budget.duration;
-                    })
-                budget.mpls;
-          })
+          ( label,
+            point ~budget ~make_db:(make_db refinement)
+              ~mix:(Smallbank.mix ~customers:1_000 ())
+              ~isolation:Types.Serializable ))
         [ ("refinement-off", false); ("refinement-on", true) ];
   }
 
@@ -630,32 +602,19 @@ let ablation_bufferpool (budget : budget) =
     db
   in
   {
-    fig_id = "ablation-bufferpool";
-    title = "TPC-C++ 10 warehouses: probabilistic miss model vs real LRU buffer pool";
-    expected =
+    pl_id = "ablation-bufferpool";
+    pl_title = "TPC-C++ 10 warehouses: probabilistic miss model vs real LRU buffer pool";
+    pl_expected =
       "a pool smaller than the hot set is I/O bound and thrashes as MPL grows (locality \
        dynamics the flat read_miss model cannot show); a pool covering the hot set recovers \
        in-memory throughput — validating the DESIGN.md substitution for Fig 6.13";
-    mpls = budget.mpls;
-    series =
+    pl_mpls = budget.mpls;
+    pl_series =
       List.map
         (fun (label, variant) ->
-          {
-            label;
-            points =
-              List.map
-                (fun mpl ->
-                  Driver.run_seeds ~with_metrics:budget.with_metrics ~make_db:(make_db variant) ~mix:(Tpcc.mix scale)
-                    ~seeds:budget.seeds
-                    {
-                      Driver.default_config with
-                      Driver.isolation = Types.Serializable;
-                      mpl;
-                      warmup = budget.warmup;
-                      duration = budget.duration;
-                    })
-                budget.mpls;
-          })
+          ( label,
+            point ~budget ~make_db:(make_db variant) ~mix:(Tpcc.mix scale)
+              ~isolation:Types.Serializable ))
         [
           ("read-miss 5%", `Probabilistic);
           ("LRU small", `Pool 2_500);
@@ -726,7 +685,23 @@ let titles =
 
 let find_figure id = List.assoc_opt id all_figures
 
-let run_and_print ?(budget = full_budget) fmt id =
-  match find_figure id with
-  | None -> Fmt.pf fmt "unknown experiment %s@." id
-  | Some f -> print_figure fmt (f budget)
+(* Run a batch of experiments: every (figure, series, MPL) point across
+   all requested ids is submitted to the pool as one flat job list, then
+   the figures print in request order — identical bytes to a sequential
+   run, arbitrary parallelism across sweeps and figures. *)
+let run_many ?pool ?(budget = full_budget) fmt ids =
+  let items = List.map (fun id -> (id, Option.map (fun mk -> mk budget) (find_figure id))) ids in
+  let figures = ref (eval_plans ?pool (List.filter_map snd items)) in
+  List.iter
+    (fun (id, plan) ->
+      match plan with
+      | None -> Fmt.pf fmt "unknown experiment %s@." id
+      | Some _ -> (
+          match !figures with
+          | f :: rest ->
+              figures := rest;
+              print_figure fmt f
+          | [] -> assert false))
+    items
+
+let run_and_print ?pool ?(budget = full_budget) fmt id = run_many ?pool ~budget fmt [ id ]

@@ -45,16 +45,51 @@ let classify_anomaly (c : Fuzzcase.t) : string =
 
 type progress = { pr_done : int; pr_total : int; pr_anomalies : int; pr_unsafe : int }
 
-let run_campaign ?(profile = Fuzzgen.default_profile) ?(shrink_anomalies = false)
-    ?(on_progress = fun (_ : progress) -> ()) ~seed ~cases ~matrix () : summary =
-  let st = Random.State.make [| 0x5551f; seed |] in
-  let points = Array.of_list matrix in
-  if Array.length points = 0 then invalid_arg "run_campaign: empty matrix";
+(* {1 Sharded campaigns}
+
+   A campaign is cut into fixed-size shards of contiguous case indices and
+   each shard runs as one pool job. Two properties make the result
+   independent of both the pool size and the shard size (and therefore
+   byte-identical between [-j 1] and [-j N]):
+
+   - Case [i] of a [(seed, cases)] campaign is generated from its own RNG
+     state, seeded [seed * cases + i], so the case stream does not depend
+     on who runs which range. (Before the parallel harness the whole
+     campaign threaded one sequential RNG.)
+
+   - Per-class shrunk SI anomalies are an associative merge: a shard
+     records the first case whose *shrunk* form classifies as "write-skew"
+     or "read-only-anomaly" (shrinking stops once the shard has both), and
+     the merge keeps, per class, the record with the smallest case index.
+     The smallest-index occurrence of a class is always shrunk by its own
+     shard — a shard only skips shrinking after finding both classes at
+     even smaller indices — so the merged result is exactly the campaign
+     minimum however the cases are cut. Unnamed ("other") anomaly shapes
+     are no longer collected: which of them got shrunk depended on scan
+     order, so they could not survive sharding deterministically. *)
+
+let named_classes = [ "write-skew"; "read-only-anomaly" ]
+
+(* Partial result for one contiguous range of case indices. *)
+type shard = {
+  sh_lo : int;
+  sh_cases : int;
+  sh_si_anomalies : int;
+  sh_ssi_unsafe : int;
+  sh_false_positives : int;
+  sh_failures : failure list; (* in case order *)
+  sh_anomalies : (string * (int * Fuzzcase.t)) list; (* class -> (case idx, shrunk) *)
+}
+
+let case_rng ~seed ~cases i = Random.State.make [| 0x5551f; (seed * cases) + i |]
+
+let run_shard ~profile ~shrink_anomalies ~seed ~cases ~points ~lo ~hi () : shard =
   let si_anomalies = ref 0 and unsafe = ref 0 and false_pos = ref 0 in
   let failures = ref [] in
   let anomalies = ref [] in
   let missing cls = List.assoc_opt cls !anomalies = None in
-  for i = 0 to cases - 1 do
+  for i = lo to hi - 1 do
+    let st = case_rng ~seed ~cases i in
     let cfg = points.(i mod Array.length points) in
     let c = Fuzzgen.case ~profile st ~cfg in
     let v = Fuzzrun.check c in
@@ -66,25 +101,82 @@ let run_campaign ?(profile = Fuzzgen.default_profile) ?(shrink_anomalies = false
         let shrunk = Fuzzshrink.shrink ~keeps:(Fuzzrun.reproduces viol) c in
         failures := { f_case = c; f_violation = viol; f_shrunk = shrunk } :: !failures
     | None -> ());
-    if
-      shrink_anomalies && v.Fuzzrun.v_si_anomaly
-      && (missing "write-skew" || missing "read-only-anomaly")
-    then begin
+    if shrink_anomalies && v.Fuzzrun.v_si_anomaly && List.exists missing named_classes then begin
       let shrunk = Fuzzshrink.shrink ~keeps:Fuzzrun.si_nonserializable c in
       let cls = classify_anomaly shrunk in
-      if cls <> "none" && missing cls then anomalies := (cls, shrunk) :: !anomalies
-    end;
-    if (i + 1) mod 500 = 0 then
-      on_progress
-        { pr_done = i + 1; pr_total = cases; pr_anomalies = !si_anomalies; pr_unsafe = !unsafe }
+      if List.mem cls named_classes && missing cls then
+        anomalies := (cls, (i, shrunk)) :: !anomalies
+    end
   done;
   {
+    sh_lo = lo;
+    sh_cases = hi - lo;
+    sh_si_anomalies = !si_anomalies;
+    sh_ssi_unsafe = !unsafe;
+    sh_false_positives = !false_pos;
+    sh_failures = List.rev !failures;
+    sh_anomalies = !anomalies;
+  }
+
+let default_shard_size = 250
+
+let run_campaign ?pool ?(shard_size = default_shard_size)
+    ?(profile = Fuzzgen.default_profile) ?(shrink_anomalies = false)
+    ?(on_progress = fun (_ : progress) -> ()) ~seed ~cases ~matrix () : summary =
+  if shard_size < 1 then invalid_arg "run_campaign: shard_size must be >= 1";
+  let points = Array.of_list matrix in
+  if Array.length points = 0 then invalid_arg "run_campaign: empty matrix";
+  let rec ranges lo = if lo >= cases then [] else (lo, min cases (lo + shard_size)) :: ranges (lo + shard_size) in
+  let thunks =
+    List.map
+      (fun (lo, hi) -> run_shard ~profile ~shrink_anomalies ~seed ~cases ~points ~lo ~hi)
+      (ranges 0)
+  in
+  (* Progress streams per completed shard prefix, in case order (stderr
+     liveness only; the summary below is what the stdout contract covers). *)
+  let done_cases = ref 0 and done_anoms = ref 0 and done_unsafe = ref 0 in
+  let report sh =
+    done_cases := !done_cases + sh.sh_cases;
+    done_anoms := !done_anoms + sh.sh_si_anomalies;
+    done_unsafe := !done_unsafe + sh.sh_ssi_unsafe;
+    on_progress
+      { pr_done = !done_cases; pr_total = cases; pr_anomalies = !done_anoms; pr_unsafe = !done_unsafe }
+  in
+  let shards =
+    match pool with
+    | Some p -> Par.run ~on_result:(fun _ sh -> report sh) p thunks
+    | None ->
+        List.map
+          (fun th ->
+            let sh = th () in
+            report sh;
+            sh)
+          thunks
+  in
+  let merged_anomalies =
+    (* per class, the smallest case index across all shards; emitted in
+       case-index order (= sequential discovery order) *)
+    List.filter_map
+      (fun cls ->
+        List.concat_map (fun sh -> sh.sh_anomalies) shards
+        |> List.filter_map (fun (c, ic) -> if c = cls then Some ic else None)
+        |> function
+        | [] -> None
+        | ics ->
+            let i, c = List.fold_left (fun (ai, ac) (bi, bc) -> if bi < ai then (bi, bc) else (ai, ac)) (List.hd ics) ics in
+            Some (i, (cls, c)))
+      named_classes
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  let sum f = List.fold_left (fun acc sh -> acc + f sh) 0 shards in
+  {
     s_cases = cases;
-    s_si_anomalies = !si_anomalies;
-    s_ssi_unsafe = !unsafe;
-    s_false_positives = !false_pos;
-    s_failures = List.rev !failures;
-    s_anomalies = List.rev !anomalies;
+    s_si_anomalies = sum (fun sh -> sh.sh_si_anomalies);
+    s_ssi_unsafe = sum (fun sh -> sh.sh_ssi_unsafe);
+    s_false_positives = sum (fun sh -> sh.sh_false_positives);
+    s_failures = List.concat_map (fun sh -> sh.sh_failures) shards;
+    s_anomalies = merged_anomalies;
   }
 
 (* {1 Repro files} *)

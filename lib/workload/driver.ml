@@ -232,10 +232,13 @@ type summary = {
 
 (* Run the same configuration across several seeds and aggregate. With
    [with_metrics] each run carries a metrics-only Obs sink and the merged
-   metrics land in [s_metrics]. *)
-let run_seeds ?(with_metrics = false) ~make_db ~mix ~seeds (cfg : config) : summary =
+   metrics land in [s_metrics]. With [pool] the per-seed runs execute on
+   the domain pool; each run is an isolated simulated world (fresh Sim, Db
+   and Obs built inside the job), and results come back in seed order, so
+   the summary is identical to the sequential path. *)
+let run_seeds ?pool ?(with_metrics = false) ~make_db ~mix ~seeds (cfg : config) : summary =
   let results =
-    List.map
+    Par.map ?pool
       (fun seed ->
         let obs = if with_metrics then Some (Obs.create ~metrics:true ()) else None in
         run_once ?obs ~make_db ~mix { cfg with seed })

@@ -84,8 +84,12 @@ type summary = {
 
 (** Run the same configuration across several seeds and aggregate. With
     [with_metrics] each run carries a metrics-only {!Obs.t} and the merged
-    metrics appear in [s_metrics]. *)
+    metrics appear in [s_metrics]. With [pool] the per-seed runs execute on
+    the domain pool; each run is an isolated simulated world, and results
+    come back in seed order, so the summary is byte-identical to the
+    sequential path. *)
 val run_seeds :
+  ?pool:Par.t ->
   ?with_metrics:bool ->
   make_db:(Sim.t -> Core.Db.t) ->
   mix:program list ->

@@ -1,0 +1,112 @@
+(* Regression tests for victim selection in Conflict.mark (§3.7.2).
+
+   The abort-early path used to choose the Prefer_younger victim with
+   [List.hd (List.filter is_active ...)], which raises if no endpoint is
+   Active at selection time. Selection is now total by construction; these
+   tests pin the chosen victim for each policy and exercise every
+   combination of endpoint states to prove no combination can crash the
+   marker. *)
+
+open Core
+
+let config ~victim =
+  { (Config.test ()) with Config.abort_early = true; victim; ssi = Config.Basic }
+
+(* Begin two transactions, force [reader]'s two conflict flags on so the new
+   edge makes it dangerous under Basic mode, then record reader->writer. *)
+let mark_dangerous env ~self_is_reader =
+  let t1 = Db.begin_txn env.Testutil.db Types.Serializable in
+  Sim.delay env.Testutil.sim 0.01;
+  let t2 = Db.begin_txn env.Testutil.db Types.Serializable in
+  t1.Internal.in_conflict <- Internal.Self_conflict;
+  t1.Internal.out_conflict <- Internal.Self_conflict;
+  let self = if self_is_reader then t1 else t2 in
+  Conflict.mark ~source:Obs.Newer_version ~self ~reader:t1 ~writer:t2;
+  (t1, t2)
+
+let test_prefer_younger_picks_younger () =
+  let env = Testutil.make_env ~config:(config ~victim:Config.Prefer_younger) () in
+  Testutil.run_procs env
+    [
+      (fun () ->
+        (* self is the reader (the older, surviving endpoint): the younger
+           writer must be doomed, not the pivot. *)
+        let t1, t2 = mark_dangerous env ~self_is_reader:true in
+        Alcotest.(check bool) "older endpoint survives" true (t1.Internal.doomed = None);
+        Alcotest.(check bool)
+          "younger endpoint doomed Unsafe" true
+          (t2.Internal.doomed = Some Types.Unsafe));
+    ]
+
+let test_prefer_pivot_picks_pivot () =
+  let env = Testutil.make_env ~config:(config ~victim:Config.Prefer_pivot) () in
+  Testutil.run_procs env
+    [
+      (fun () ->
+        (* self is the writer: the dangerous reader (the pivot) is doomed. *)
+        let t1, t2 = mark_dangerous env ~self_is_reader:false in
+        Alcotest.(check bool)
+          "pivot doomed Unsafe" true
+          (t1.Internal.doomed = Some Types.Unsafe);
+        Alcotest.(check bool) "non-pivot survives" true (t2.Internal.doomed = None));
+    ]
+
+let test_self_victim_raises () =
+  let env = Testutil.make_env ~config:(config ~victim:Config.Prefer_pivot) () in
+  Testutil.run_procs env
+    [
+      (fun () ->
+        (* When the victim is the transaction running the marking code, it
+           aborts itself by raising rather than setting [doomed]. *)
+        match mark_dangerous env ~self_is_reader:true with
+        | _ -> Alcotest.fail "expected Abort Unsafe for self-victim"
+        | exception Types.Abort Types.Unsafe -> ());
+    ]
+
+(* Totality: whatever states the endpoints are in when the edge is recorded
+   (they can leave Active between detection and selection in principle),
+   marking must never raise an unexpected exception. *)
+let test_selection_total_for_all_states () =
+  let states = [ Internal.Active; Internal.Committing; Internal.Committed; Internal.Aborted ] in
+  List.iter
+    (fun victim ->
+      List.iter
+        (fun s1 ->
+          List.iter
+            (fun s2 ->
+              let env = Testutil.make_env ~config:(config ~victim) () in
+              Testutil.run_procs env
+                [
+                  (fun () ->
+                    let t1 = Db.begin_txn env.Testutil.db Types.Serializable in
+                    Sim.delay env.Testutil.sim 0.01;
+                    let t2 = Db.begin_txn env.Testutil.db Types.Serializable in
+                    t1.Internal.in_conflict <- Internal.Self_conflict;
+                    t1.Internal.out_conflict <- Internal.Self_conflict;
+                    t2.Internal.in_conflict <- Internal.Self_conflict;
+                    t2.Internal.out_conflict <- Internal.Self_conflict;
+                    t1.Internal.state <- s1;
+                    t2.Internal.state <- s2;
+                    match
+                      Conflict.mark ~source:Obs.Newer_version ~self:t2 ~reader:t1 ~writer:t2
+                    with
+                    | () -> ()
+                    | exception Types.Abort _ -> () (* legitimate self-abort *));
+                ])
+            states)
+        states)
+    [ Config.Prefer_pivot; Config.Prefer_younger ]
+
+let () =
+  Alcotest.run "conflict"
+    [
+      ( "victim-selection",
+        [
+          Alcotest.test_case "prefer-younger picks younger" `Quick
+            test_prefer_younger_picks_younger;
+          Alcotest.test_case "prefer-pivot picks pivot" `Quick test_prefer_pivot_picks_pivot;
+          Alcotest.test_case "self victim raises Abort" `Quick test_self_victim_raises;
+          Alcotest.test_case "selection total for all endpoint states" `Quick
+            test_selection_total_for_all_states;
+        ] );
+    ]

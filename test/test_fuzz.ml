@@ -79,7 +79,7 @@ let test_campaign_deterministic () =
    and delta-debugged down to minimal examples. *)
 let anomalies =
   lazy
-    (Fuzz.run_campaign ~shrink_anomalies:true ~seed:1 ~cases:3000 ~matrix:Fuzzcase.matrix_full ())
+    (Fuzz.run_campaign ~shrink_anomalies:true ~seed:2 ~cases:3000 ~matrix:Fuzzcase.matrix_full ())
       .Fuzz.s_anomalies
 
 let check_anomaly cls =
@@ -148,6 +148,38 @@ let test_replay_detects_divergence () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown expect level should be rejected"
 
+(* The campaign result must be a pure function of (seed, cases, matrix,
+   profile): independent of how the case range is cut into shards and of
+   whether a domain pool runs them. This is the lib-level half of the
+   -j byte-identical guarantee (bin/dune diffs the CLI output too). *)
+let test_campaign_shard_and_pool_invariant () =
+  let campaign ?pool ?shard_size () =
+    Fuzz.run_campaign ?pool ?shard_size ~shrink_anomalies:true ~seed:5 ~cases:400
+      ~matrix:Fuzzcase.matrix_full ()
+  in
+  let fingerprint (s : Fuzz.summary) =
+    ( s.Fuzz.s_cases,
+      s.Fuzz.s_si_anomalies,
+      s.Fuzz.s_ssi_unsafe,
+      s.Fuzz.s_false_positives,
+      List.map (fun f -> f.Fuzz.f_shrunk) s.Fuzz.s_failures,
+      s.Fuzz.s_anomalies )
+  in
+  let base = campaign () in
+  Alcotest.(check bool) "campaign found anomalies" true (base.Fuzz.s_si_anomalies > 0);
+  let base_fp = fingerprint base in
+  List.iter
+    (fun shard_size ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard size %d" shard_size)
+        true
+        (fingerprint (campaign ~shard_size ()) = base_fp))
+    [ 1; 37; 400; 10_000 ];
+  Par.with_pool ~j:3 (fun pool ->
+      Alcotest.(check bool) "pool -j 3" true (fingerprint (campaign ~pool ()) = base_fp);
+      Alcotest.(check bool) "pool -j 3, shard size 59" true
+        (fingerprint (campaign ~pool ~shard_size:59 ()) = base_fp))
+
 let suite =
   [
     ("generator produces valid cases", `Quick, test_generator_produces_valid_cases);
@@ -155,6 +187,7 @@ let suite =
     ("codec rejects garbage", `Quick, test_codec_rejects_garbage);
     ("campaign smoke: no oracle violations", `Quick, test_campaign_smoke);
     ("campaign deterministic", `Quick, test_campaign_deterministic);
+    ("campaign shard/pool invariant", `Quick, test_campaign_shard_and_pool_invariant);
     ("rediscovers write skew", `Slow, test_rediscovers_write_skew);
     ("rediscovers read-only anomaly", `Slow, test_rediscovers_read_only_anomaly);
     ("shrinker minimises and preserves", `Quick, test_shrunk_failures_reproduce);

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Perf-regression gate: run `ssi_bench perf --quick`, validate the
+# BENCH_ssi.json schema, and fail if any hot-path microbenchmark regressed
+# more than MAX_REGRESS (default 2x) against the checked-in baseline.
+#
+# The 2x factor is deliberately generous: wall clock on shared CI machines
+# is noisy, and the baseline in tools/bench_baseline.json was recorded on a
+# single-core container. The deterministic cross-check (identical simulated
+# results at every -j) is enforced by `perf` itself and is not subject to
+# the factor — it fails the run outright.
+#
+# Inside a dune action (INSIDE_DUNE set) we may not invoke dune again, so
+# the rule passes the already-built binary via SSI_BENCH.
+set -e
+cd "$(dirname "$0")/.."
+
+BIN="${SSI_BENCH:-}"
+if [ -z "$BIN" ]; then
+  if [ -n "${INSIDE_DUNE:-}" ]; then
+    echo "check_bench: INSIDE_DUNE but SSI_BENCH not set" >&2
+    exit 1
+  fi
+  dune build bin/ssi_bench.exe
+  BIN=_build/default/bin/ssi_bench.exe
+fi
+
+out="${TMPDIR:-/tmp}/BENCH_ssi.$$.json"
+trap 'rm -f "$out"' EXIT
+
+"$BIN" perf --quick --out "$out" \
+  --baseline tools/bench_baseline.json --max-regress "${MAX_REGRESS:-2.0}"
+
+# Schema validation: the one-object-per-line shape downstream tooling (and
+# perf --baseline itself) relies on.
+grep -q '"schema": "ssi-bench/1"' "$out" || { echo "check_bench: missing/unknown schema" >&2; exit 1; }
+grep -q '"benches": \[' "$out" || { echo "check_bench: missing benches array" >&2; exit 1; }
+grep -q '"speedup": \[' "$out" || { echo "check_bench: missing speedup array" >&2; exit 1; }
+n=$(grep -c '"name": "' "$out")
+if [ "$n" -lt 5 ]; then
+  echo "check_bench: expected >= 5 microbenches, found $n" >&2
+  exit 1
+fi
+j=$(grep -c '"j": ' "$out")
+if [ "$j" -lt 3 ]; then
+  echo "check_bench: expected >= 3 speedup points, found $j" >&2
+  exit 1
+fi
+
+echo "check_bench: OK ($n benches within ${MAX_REGRESS:-2.0}x of baseline, $j speedup points)"
