@@ -27,10 +27,13 @@ let rate e = if e.e_wall > 0.0 then float_of_int e.e_runs /. e.e_wall else 0.0
 (* {1 Microbenchmarks} *)
 
 (* Full read+update transactions against a populated table: begin, snapshot
-   read, write, first-committer-wins check, commit. *)
-let bench_commit_path runs () =
+   read, write, first-committer-wins check, commit. [null_sink] attaches an
+   observability sink with every channel off — the A/B side of the
+   obs-overhead guard below. *)
+let bench_commit_path ?(null_sink = false) runs () =
   let sim = Sim.create () in
   let db = Core.Db.create ~config:(Core.Config.bdb ()) sim in
+  if null_sink then Core.Db.set_obs db (Obs.create ~trace:false ~metrics:false ());
   let rows = List.init 256 (fun i -> (Printf.sprintf "k%03d" i, "0")) in
   ignore (Core.Db.create_table db "t");
   Core.Db.load db "t" rows;
@@ -50,9 +53,10 @@ let bench_commit_path runs () =
 
 (* Raw lock-manager work: S grant, S->X upgrade, release, over a small hot
    set of resources (uncontended: measures table/queue bookkeeping). *)
-let bench_lock_path runs () =
+let bench_lock_path ?(null_sink = false) runs () =
   let sim = Sim.create () in
   let lm = Lockmgr.create sim in
+  if null_sink then Lockmgr.set_obs lm (Obs.create ~trace:false ~metrics:false ());
   Sim.spawn sim (fun () ->
       for i = 0 to runs - 1 do
         let r = "r" ^ string_of_int (i mod 64) in
@@ -129,11 +133,70 @@ let bench_mvsg runs () =
 let micros ~quick =
   let s = if quick then 1 else 8 in
   [
-    ("commit-path", 1000 * s, bench_commit_path);
-    ("lock-acquire-release", 5000 * s, bench_lock_path);
+    ("commit-path", 1000 * s, fun runs -> bench_commit_path runs);
+    ("lock-acquire-release", 5000 * s, fun runs -> bench_lock_path runs);
     ("siread-bookkeeping", 1000 * s, bench_siread_path);
     ("btree-insert-scan", 20000 * s, bench_btree);
     ("mvsg-check", 50 * s, bench_mvsg);
+  ]
+
+(* {1 Observability-overhead guard}
+
+   "Zero cost when no sink is installed": every hot-path observability call
+   is guarded on the sink's channel flags, and the default sink
+   [Obs.disabled] has every channel off. The A/B below runs the two hottest
+   microbenches in both modes — stock (no sink installed) and with a
+   freshly created sink attached whose channels are all off — back to back,
+   gating on the best paired ratio so scheduler noise largely cancels. The
+   attached run does strictly more work than the no-sink run (installation
+   propagates the sink to the lock manager, WAL and resources), so the
+   measured delta bounds the cost of carrying the instrumentation in the
+   disabled hot paths. tools/check_bench.sh fails `@ci` when any delta
+   exceeds OBS_OVERHEAD_MAX percent (default 2). *)
+
+type ab = {
+  ab_name : string;
+  ab_runs : int;
+  ab_off : float;  (** median wall, no sink installed *)
+  ab_null : float;  (** median wall, channels-off sink installed *)
+  ab_delta_pct : float;  (** best (smallest) paired per-rep ratio, as a percentage *)
+}
+
+let median l =
+  let a = List.sort compare l in
+  List.nth a (List.length a / 2)
+
+let obs_overhead ~quick =
+  (* Each rep measures the two modes back to back and contributes one
+     paired ratio; the reported delta is the *best* ratio across reps.
+     Pairing cancels slow drift (thermal, co-tenants), and taking the best
+     pair makes the gate robust to one-sided noise spikes on a shared
+     machine: a real systematic overhead shifts every ratio up, so even the
+     best pair exceeds the threshold, while scheduler noise leaves at least
+     one clean pair. The per-rep workloads are larger than the plain
+     microbenches so timer noise shrinks relative to the run. *)
+  let s = if quick then 8 else 32 in
+  let reps = if quick then 7 else 9 in
+  let measure name runs (f : ?null_sink:bool -> int -> unit -> float) =
+    let pairs =
+      List.init reps (fun _ ->
+          let w, _ = time (fun () -> f ~null_sink:false runs ()) in
+          let w', _ = time (fun () -> f ~null_sink:true runs ()) in
+          (w, w'))
+    in
+    let ratio (w, w') = if w > 0.0 then w' /. w else 1.0 in
+    {
+      ab_name = name;
+      ab_runs = runs;
+      ab_off = median (List.map fst pairs);
+      ab_null = median (List.map snd pairs);
+      ab_delta_pct =
+        100.0 *. (List.fold_left min infinity (List.map ratio pairs) -. 1.0);
+    }
+  in
+  [
+    measure "commit-path" (1000 * s) bench_commit_path;
+    measure "lock-acquire-release" (5000 * s) bench_lock_path;
   ]
 
 (* {1 End-to-end sweep: wall time and determinism across -j} *)
@@ -178,7 +241,7 @@ let sweep ~quick =
 
 (* One bench object per line, so the baseline comparison (here and in
    tools/check_bench.sh) can parse without a JSON library. *)
-let emit_json oc ~quick entries sweep_points =
+let emit_json oc ~quick entries sweep_points ab_entries =
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"schema\": \"ssi-bench/1\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
@@ -201,6 +264,17 @@ let emit_json oc ~quick entries sweep_points =
         p.sp_wall p.sp_speedup
         (if i = m - 1 then "" else ","))
     sweep_points;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"obs_overhead\": [\n";
+  let k = List.length ab_entries in
+  List.iteri
+    (fun i a ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"runs\": %d, \"no_sink_s\": %.6f, \"null_sink_s\": %.6f, \
+         \"delta_pct\": %.3f}%s\n"
+        a.ab_name a.ab_runs a.ab_off a.ab_null a.ab_delta_pct
+        (if i = k - 1 then "" else ","))
+    ab_entries;
   Printf.fprintf oc "  ]\n";
   Printf.fprintf oc "}\n"
 
@@ -286,8 +360,15 @@ let run quick out baseline max_regress =
   List.iter
     (fun p -> Printf.printf "    -j %d  %8.3fs  speedup x%.2f\n%!" p.sp_j p.sp_wall p.sp_speedup)
     sw;
+  print_endline "  obs overhead (best wall, no sink vs channels-off sink installed):";
+  let ab = obs_overhead ~quick in
+  List.iter
+    (fun a ->
+      Printf.printf "    %-22s %8.3fs vs %8.3fs  delta %+.2f%%\n%!" a.ab_name a.ab_off a.ab_null
+        a.ab_delta_pct)
+    ab;
   let oc = open_out out in
-  emit_json oc ~quick entries sw;
+  emit_json oc ~quick entries sw ab;
   close_out oc;
   Printf.printf "  wrote %s\n" out;
   match baseline with

@@ -42,6 +42,43 @@ let jobs_arg =
 let with_jobs j f =
   if j <= 1 then f None else Par.with_pool ~j (fun p -> f (Some p))
 
+let read_file f =
+  let ic = open_in_bin f in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file f s =
+  let oc = open_out_bin f in
+  output_string oc s;
+  close_out oc
+
+(* Shared by [bench] and [report]. *)
+let isolation_of_string = function
+  | "si" -> Some Core.Types.Snapshot
+  | "ssi" -> Some Core.Types.Serializable
+  | "s2pl" -> Some Core.Types.S2pl
+  | "rc" -> Some Core.Types.Read_committed
+  | _ -> None
+
+let workload_of_string = function
+  | "smallbank" ->
+      Some
+        ( (fun sim ->
+            let db = Core.Db.create ~config:(Core.Config.bdb ()) sim in
+            Smallbank.setup db ~customers:20_000 ();
+            db),
+          Smallbank.mix ~customers:20_000 () )
+  | "sibench" ->
+      Some
+        ( (fun sim ->
+            let db = Core.Db.create ~config:(Core.Config.innodb ()) sim in
+            Sibench.setup db ~items:100 ();
+            db),
+          Sibench.mix ~items:100 () )
+  | _ -> None
+
 let seeds_arg =
   Arg.(value & opt int 2 & info [ "seeds" ] ~doc:"Number of random seeds per point")
 
@@ -122,30 +159,16 @@ let bench_cmd =
   in
   let run workload mpl duration warmup seed iso trace metrics nseeds jobs =
     let isolation =
-      match iso with
-      | "si" -> Core.Types.Snapshot
-      | "ssi" -> Core.Types.Serializable
-      | "s2pl" -> Core.Types.S2pl
-      | "rc" -> Core.Types.Read_committed
-      | _ ->
+      match isolation_of_string iso with
+      | Some i -> i
+      | None ->
           prerr_endline ("unknown isolation: " ^ iso);
           exit 1
     in
     let make_db, mix =
-      match workload with
-      | "smallbank" ->
-          ( (fun sim ->
-              let db = Core.Db.create ~config:(Core.Config.bdb ()) sim in
-              Smallbank.setup db ~customers:20_000 ();
-              db),
-            Smallbank.mix ~customers:20_000 () )
-      | "sibench" ->
-          ( (fun sim ->
-              let db = Core.Db.create ~config:(Core.Config.innodb ()) sim in
-              Sibench.setup db ~items:100 ();
-              db),
-            Sibench.mix ~items:100 () )
-      | _ ->
+      match workload_of_string workload with
+      | Some w -> w
+      | None ->
           prerr_endline ("unknown workload: " ^ workload);
           exit 1
     in
@@ -282,12 +305,9 @@ let interleave_cmd =
           exit 1
     in
     let isolation =
-      match iso with
-      | "si" -> Core.Types.Snapshot
-      | "ssi" -> Core.Types.Serializable
-      | "s2pl" -> Core.Types.S2pl
-      | "rc" -> Core.Types.Read_committed
-      | _ ->
+      match isolation_of_string iso with
+      | Some i -> i
+      | None ->
           prerr_endline ("unknown isolation: " ^ iso);
           exit 1
     in
@@ -344,18 +364,6 @@ let fuzz_cmd =
           ~doc:
             "Write the shrunk write-skew SI anomaly found by the campaign to $(docv) (implies \
              --shrink-anomalies)")
-  in
-  let read_file f =
-    let ic = open_in_bin f in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
-  in
-  let write_file f s =
-    let oc = open_out_bin f in
-    output_string oc s;
-    close_out oc
   in
   let print_case c = print_string (Fuzzcase.to_string c) in
   let do_replay file =
@@ -471,6 +479,256 @@ let fuzz_cmd =
       const run $ cases_arg $ seed_arg $ matrix_arg $ out_arg $ shrink_arg $ replay_arg
       $ demo_arg $ jobs_arg)
 
+(* [report]: one self-contained Markdown document from three ingredient
+   sets — figure sweeps, a profiled benchmark run (with ASCII utilisation
+   sparklines on simulated time) and the abort-provenance harvest of a
+   fixed-seed fuzz campaign. Everything derives from simulated time and
+   fixed seeds, so the same invocation is byte-identical on any host and
+   at any -j; bin/dune diffs -j1 against -j4 to enforce it. *)
+let report_cmd =
+  let figures_arg =
+    Arg.(
+      value
+      & opt (list string) [ "fig6.7" ]
+      & info [ "figures" ] ~docv:"IDS"
+          ~doc:"Comma-separated experiment ids to include as figure tables (see list)")
+  in
+  let workload_arg =
+    Arg.(
+      value & opt string "sibench"
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:"Workload of the profiled run: smallbank | sibench")
+  in
+  let bmpl_arg =
+    Arg.(value & opt int 10 & info [ "bench-mpl" ] ~doc:"Clients in the profiled run")
+  in
+  let bdur_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "bench-duration" ] ~doc:"Measured simulated seconds of the profiled run")
+  in
+  let bwarm_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "bench-warmup" ] ~doc:"Warmup simulated seconds of the profiled run")
+  in
+  let bseed_arg =
+    Arg.(value & opt int 1 & info [ "bench-seed" ] ~doc:"Seed of the profiled run")
+  in
+  let biso_arg =
+    Arg.(
+      value & opt string "ssi"
+      & info [ "bench-isolation" ] ~doc:"Isolation of the profiled run: si | ssi | s2pl | rc")
+  in
+  let fcases_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "fuzz-cases" ] ~doc:"Cases in the provenance-harvest fuzz campaign")
+  in
+  let fseed_arg =
+    Arg.(value & opt int 1 & info [ "fuzz-seed" ] ~doc:"Seed of the fuzz campaign")
+  in
+  let matrix_arg =
+    Arg.(
+      value & opt string "default"
+      & info [ "matrix" ] ~doc:"Fuzz configuration matrix: full | default")
+  in
+  let topk_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "topk" ] ~doc:"Distinct certificate shapes detailed in the provenance section")
+  in
+  let bins_arg =
+    Arg.(
+      value & opt int 64 & info [ "bins" ] ~doc:"Width of the utilisation sparklines, in bins")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the report to $(docv) (- for stdout)")
+  in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:
+            "Also write one abort certificate's Graphviz snapshot (the dependency graph at \
+             abort time) to $(docv); prefers an SSI pivot certificate, synthesises the \
+             write-skew demo if the campaign emitted none")
+  in
+  let check_dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check-dot" ] ~docv:"FILE"
+          ~doc:
+            "Validate $(docv) with the in-repo DOT parser and exit (used by the CI smoke \
+             rule); ignores every other flag")
+  in
+  (* The write-skew demo schedule: both transactions read both keys on
+     overlapping snapshots, then write disjoint keys. Under SSI the final
+     write completes a two-transaction rw cycle, so the engine aborts the
+     writer with a pivot certificate. *)
+  let demo_dot () =
+    let obs = Obs.create ~trace:false ~metrics:false ~provenance:true () in
+    let _ =
+      Interleave.run_interleaving ~obs ~isolation:Core.Types.Serializable
+        Interleave.write_skew_spec
+        Interleave.[ (0, R "x"); (0, R "y"); (1, R "x"); (1, R "y"); (0, W "x"); (1, W "y") ]
+    in
+    match Obs.certs obs with
+    | c :: _ -> c.Obs.c_dot
+    | [] ->
+        prerr_endline "internal error: write-skew demo emitted no certificate";
+        exit 1
+  in
+  let run figures quick seeds duration mpls workload bmpl bdur bwarm bseed biso fcases fseed
+      matrix_name topk bins out dot check_dot jobs =
+    match check_dot with
+    | Some file -> (
+        match Obs.dot_validate (read_file file) with
+        | Ok () -> Printf.printf "%s: DOT OK\n" file
+        | Error e ->
+            Printf.eprintf "%s: invalid DOT: %s\n" file e;
+            exit 1)
+    | None ->
+        let isolation =
+          match isolation_of_string biso with
+          | Some i -> i
+          | None ->
+              prerr_endline ("unknown isolation: " ^ biso);
+              exit 1
+        in
+        let make_db, mix =
+          match workload_of_string workload with
+          | Some w -> w
+          | None ->
+              prerr_endline ("unknown workload: " ^ workload);
+              exit 1
+        in
+        let matrix =
+          match Fuzzcase.matrix_of_string matrix_name with
+          | Some m -> m
+          | None ->
+              prerr_endline ("unknown matrix: " ^ matrix_name);
+              exit 1
+        in
+        let budget =
+          if quick then Experiments.quick_budget
+          else
+            {
+              Experiments.seeds = List.init seeds (fun i -> i + 1);
+              duration;
+              warmup = duration /. 4.0;
+              mpls;
+              with_metrics = false;
+            }
+        in
+        let plans =
+          List.filter_map
+            (fun id ->
+              match Experiments.find_figure id with
+              | Some mk -> Some (mk budget)
+              | None ->
+                  Printf.eprintf "unknown experiment %s (skipped)\n%!" id;
+                  None)
+            figures
+        in
+        let figs = with_jobs jobs (fun pool -> Experiments.eval_plans ?pool plans) in
+        (* Profiled run: trace on (lifecycle spans + resource samples),
+           metrics on. Tracing is out-of-band, so the measured numbers are
+           identical to an untraced run. *)
+        let obs = Obs.create ~trace:true () in
+        let cfg =
+          {
+            Driver.default_config with
+            Driver.isolation;
+            mpl = bmpl;
+            warmup = bwarm;
+            duration = bdur;
+            seed = bseed;
+          }
+        in
+        let r = Driver.run_once ~obs ~make_db ~mix cfg in
+        let bench =
+          {
+            Report.b_label =
+              Printf.sprintf "%s %s mpl=%d seed=%d window=%.2fs" workload biso bmpl bseed bdur;
+            b_result = r;
+            b_obs = obs;
+            b_t0 = bwarm;
+            b_t1 = bwarm +. bdur;
+          }
+        in
+        let certs = Fuzzcert.collect_certs ~seed:fseed ~cases:fcases ~matrix () in
+        let campaign =
+          [
+            Printf.sprintf
+              "Harvest of a fixed-seed fuzz campaign: seed=%d, %d cases over the `%s` matrix \
+               (%d points), run at SSI with provenance enabled. Each shape below carries one \
+               example certificate and the codec line that replays it."
+              fseed fcases matrix_name (List.length matrix);
+          ]
+        in
+        let preamble =
+          [
+            "Everything below derives from simulated time and fixed seeds: re-running the";
+            "same `ssi_bench report` invocation reproduces this file byte for byte, on any";
+            "host and at any `-j`.";
+            "";
+            Printf.sprintf "- figure sweeps: %s (seeds=%d, window=%.2fs, mpl=%s)"
+              (match figures with [] -> "none" | l -> String.concat ", " l)
+              (List.length budget.Experiments.seeds)
+              budget.Experiments.duration
+              (String.concat "," (List.map string_of_int budget.Experiments.mpls));
+            Printf.sprintf "- profiled run: %s at %s, mpl=%d, seed=%d, %.2fs after %.2fs warmup"
+              workload biso bmpl bseed bdur bwarm;
+            Printf.sprintf "- abort provenance: %d fuzz cases, seed=%d, matrix=%s" fcases fseed
+              matrix_name;
+          ]
+        in
+        let doc =
+          Report.build ~bins ~topk ~title:"SSI reproduction — experiment report" ~preamble
+            ~figures:figs ~bench:(Some bench) ~campaign ~certs ()
+        in
+        (match out with
+        | "-" -> print_string doc
+        | file ->
+            write_file file doc;
+            Printf.eprintf "report: %d bytes written to %s\n%!" (String.length doc) file);
+        match dot with
+        | None -> ()
+        | Some file ->
+            let d =
+              match
+                List.find_opt
+                  (fun ((c : Obs.certificate), _) ->
+                    match c.Obs.c_cert with Obs.Ssi_pivot _ -> true | _ -> false)
+                  certs
+              with
+              | Some (c, _) -> c.Obs.c_dot
+              | None -> (
+                  match certs with (c, _) :: _ -> c.Obs.c_dot | [] -> demo_dot ())
+            in
+            (match Obs.dot_validate d with
+            | Ok () -> ()
+            | Error e ->
+                Printf.eprintf "internal error: emitted invalid DOT: %s\n" e;
+                exit 1);
+            write_file file d;
+            Printf.eprintf "dot: %d bytes written to %s\n%!" (String.length d) file
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render one self-contained Markdown report: figure tables, a profiled run with \
+          utilisation sparklines, and top-k abort certificates from a fuzz campaign")
+    Term.(
+      const run $ figures_arg $ quick_arg $ seeds_arg $ duration_arg $ mpl_arg $ workload_arg
+      $ bmpl_arg $ bdur_arg $ bwarm_arg $ bseed_arg $ biso_arg $ fcases_arg $ fseed_arg
+      $ matrix_arg $ topk_arg $ bins_arg $ out_arg $ dot_arg $ check_dot_arg $ jobs_arg)
+
 let () =
   let info =
     Cmd.info "ssi_bench" ~version:"1.0"
@@ -479,4 +737,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; bench_cmd; sdg_cmd; interleave_cmd; fuzz_cmd; Perf_cmd.cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            bench_cmd;
+            report_cmd;
+            sdg_cmd;
+            interleave_cmd;
+            fuzz_cmd;
+            Perf_cmd.cmd;
+          ]))

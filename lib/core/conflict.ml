@@ -89,22 +89,30 @@ let observe_edge ~self ~reader ~writer source =
     Obs.emit db.obs ~ts:(Sim.now db.sim)
       (Obs.Conflict_edge { reader = reader.id; writer = writer.id; source })
 
+let policy_name = function
+  | Config.Prefer_pivot -> "prefer-pivot"
+  | Config.Prefer_younger -> "prefer-younger"
+
 (* markConflict(reader, writer): record the rw-dependency reader -> writer.
    [self] is the transaction running this code (either [reader] or
    [writer]); it absorbs the abort when it is chosen as victim. [source]
-   says which detection mechanism noticed the dependency (observability
-   only; no behavioural effect).
+   says which detection mechanism noticed the dependency and [resource] the
+   row/gap/page behind it (observability only; no behavioural effect).
 
    Follows Fig 3.3 (basic) / Fig 3.9 (precise), plus the §3.7.1 enhancements:
    conflicts are not recorded against aborted or doomed transactions, and an
    active transaction whose edges become dangerous aborts immediately rather
    than at commit. *)
-let mark ~source ~self ~reader ~writer =
+let mark ~source ~resource ~self ~reader ~writer =
   if reader == writer then ()
   else if reader.state = Aborted || writer.state = Aborted then ()
   else if reader.doomed <> None || writer.doomed <> None then ()
   else begin
     let config = self.db.config in
+    (* Provenance first: the edge was *detected* here whether or not the
+       flag is recorded below (a committed-pivot branch dooms an endpoint
+       instead), and the certificate for that doom cites this edge. *)
+    Provenance.record_edge ~reader ~writer ~source ~resource;
     (* Abort-early (§3.7.1): once the new edge makes a dangerous structure,
        pick a victim among the two endpoints per §3.7.2 — either breaks the
        structure, since removing one endpoint removes this rw edge. *)
@@ -130,15 +138,33 @@ let mark ~source ~self ~reader ~writer =
                 | c :: cs ->
                     Some (List.fold_left (fun a b -> if b.id > a.id then b else a) c cs))
           in
-          match victim with Some v -> claim_victim ~self v Unsafe | None -> ()
+          match victim with
+          | Some v ->
+              let pivot = if reader_dangerous then reader else writer in
+              Provenance.emit_ssi ~victim:v
+                ~policy:(policy_name config.Config.victim)
+                ~pivot ~t_in:(Provenance.Nb_ref pivot.in_conflict)
+                ~t_out:(Provenance.Nb_ref pivot.out_conflict);
+              claim_victim ~self v Unsafe
+          | None -> ()
       end
     in
     match config.Config.ssi with
     | Config.Basic ->
-        if has_committed writer && ref_is_set writer.out_conflict then
+        if has_committed writer && ref_is_set writer.out_conflict then begin
+          (* The new edge reader -> writer makes the committed [writer] a
+             pivot; the flags are not recorded, so name the neighbours
+             explicitly: T_in is [reader] (this edge), T_out is whatever the
+             writer's outgoing flag says. *)
+          Provenance.emit_ssi ~victim:reader ~policy:"committed-pivot" ~pivot:writer
+            ~t_in:(Provenance.Nb reader) ~t_out:(Provenance.Nb_ref writer.out_conflict);
           claim_victim ~self reader Unsafe
-        else if has_committed reader && ref_is_set reader.in_conflict then
+        end
+        else if has_committed reader && ref_is_set reader.in_conflict then begin
+          Provenance.emit_ssi ~victim:writer ~policy:"committed-pivot" ~pivot:reader
+            ~t_in:(Provenance.Nb_ref reader.in_conflict) ~t_out:(Provenance.Nb writer);
           claim_victim ~self writer Unsafe
+        end
         else begin
           set_out reader writer;
           set_in writer reader;
@@ -154,7 +180,11 @@ let mark ~source ~self ~reader ~writer =
           has_committed writer
           && ref_is_set writer.out_conflict
           && ref_commit_time ~if_self:neg_infinity writer.out_conflict <= commit_time writer
-        then claim_victim ~self reader Unsafe
+        then begin
+          Provenance.emit_ssi ~victim:reader ~policy:"committed-pivot" ~pivot:writer
+            ~t_in:(Provenance.Nb reader) ~t_out:(Provenance.Nb_ref writer.out_conflict);
+          claim_victim ~self reader Unsafe
+        end
         else begin
           set_out reader writer;
           set_in writer reader;
@@ -166,24 +196,34 @@ let mark ~source ~self ~reader ~writer =
 (* An rw-dependency whose writer's record is no longer available (only
    possible for bulk-loaded versions): conservatively record an outgoing
    self-conflict on the reader. *)
-let mark_unknown_writer ~self reader =
+let mark_unknown_writer ~resource ~self reader =
   if reader.state = Aborted || reader.doomed <> None then ()
   else if reader.isolation = Serializable then begin
     reader.out_conflict <- Self_conflict;
     let db = reader.db in
+    Provenance.record_unknown_edge ~reader ~resource;
     Obs.record_conflict db.obs Obs.Unknown_writer;
     if Obs.tracing db.obs then
       Obs.emit db.obs ~ts:(Sim.now db.sim)
         (Obs.Conflict_edge { reader = reader.id; writer = 0; source = Obs.Unknown_writer });
     let config = reader.db.config in
-    if config.Config.abort_early && reader.state = Active && is_dangerous config reader then
+    if config.Config.abort_early && reader.state = Active && is_dangerous config reader then begin
+      Provenance.emit_ssi ~victim:reader ~policy:"unknown-writer" ~pivot:reader
+        ~t_in:(Provenance.Nb_ref reader.in_conflict)
+        ~t_out:(Provenance.Nb_ref reader.out_conflict);
       claim_victim ~self reader Unsafe
+    end
   end
 
 (* Commit-time check of Figs 3.2/3.10: called with the transaction still
    Active; raises [Abort Unsafe] if committing would complete a dangerous
    structure. *)
-let check_commit t = if is_dangerous t.db.config t then raise (Abort Unsafe)
+let check_commit t =
+  if is_dangerous t.db.config t then begin
+    Provenance.emit_ssi ~victim:t ~policy:"commit-time-check" ~pivot:t
+      ~t_in:(Provenance.Nb_ref t.in_conflict) ~t_out:(Provenance.Nb_ref t.out_conflict);
+    raise (Abort Unsafe)
+  end
 
 (* Fig 3.10 lines 9-12: before suspension, replace references to
    already-committed transactions with self-references, so a suspended

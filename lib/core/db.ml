@@ -37,12 +37,16 @@ let create ?(config = Config.test ()) sim =
     stats = Internal.new_stats ();
   }
 
-(* Attach an observability sink; shared with the lock manager and WAL so
-   lock-wait and flush events land in the same trace. *)
+(* Attach an observability sink; shared with the lock manager, WAL and the
+   simulated resources (CPU k-server, disk, kernel mutex) so lock-wait,
+   flush and utilization/queue-depth samples land in the same trace. *)
 let set_obs (t : t) obs =
   t.Internal.obs <- obs;
   Lockmgr.set_obs t.Internal.locks obs;
-  Wal.set_obs t.Internal.wal obs
+  Wal.set_obs t.Internal.wal obs;
+  Resource.set_obs t.Internal.cpu obs;
+  Resource.set_obs t.Internal.disk obs;
+  match t.Internal.lock_mutex with Some m -> Resource.set_obs m obs | None -> ()
 
 let obs (t : t) = t.Internal.obs
 
@@ -81,14 +85,18 @@ let begin_txn ?(read_only = false) (t : t) isolation =
       siread_count = 0;
       touched_pages = [];
       reads_log = [];
+      in_edges = [];
+      out_edges = [];
     }
   in
   Hashtbl.replace t.txn_by_id txn.id txn;
   Hashtbl.replace t.active txn.id txn;
-  if Obs.tracing t.obs then
+  if Obs.tracing t.obs then begin
     Obs.emit t.obs ~ts:(Sim.now t.sim)
       (Obs.Txn_begin
          { txn = txn.id; iso = Types.isolation_to_string isolation; ro = read_only });
+    Obs.emit t.obs ~ts:(Sim.now t.sim) (Obs.Span_b { tid = txn.id; name = "txn"; cat = "txn" })
+  end;
   txn
 
 (* Run [body] in a fresh transaction; commit on success, roll back on any
@@ -181,6 +189,12 @@ let gc (t : t) =
     min (Internal.min_active_snapshot t) t.Internal.last_commit_ts
   in
   Hashtbl.fold (fun _ tbl acc -> acc + Mvstore.gc tbl ~min_snapshot:min_snap) t.Internal.tables 0
+
+(* Graphviz snapshot of the live dependency graph (all retained transaction
+   records, recorded rw-antidependencies when provenance is on, squashed
+   self-conflict flags). Independent of any abort — useful for ad-hoc
+   inspection and the `report` subcommand's DOT output. *)
+let dot_snapshot (t : t) = Provenance.dot_snapshot t
 
 let reset_stats (t : t) =
   let s = t.Internal.stats in

@@ -12,9 +12,11 @@ type t = Internal.db
 val create : ?config:Config.t -> Sim.t -> t
 
 (** Attach an observability sink ({!Obs.t}): structured engine events
-    (txn/lock/WAL/conflict/GC) and metrics. Propagates to the lock manager
-    and WAL so their events land in the same trace. The default sink is
-    {!Obs.disabled}, whose hooks cost a single branch. *)
+    (txn/lock/WAL/conflict/GC), metrics, and — when the sink has provenance
+    on — abort certificates. Propagates to the lock manager, the WAL and
+    the simulated resources (CPU, disk, kernel mutex) so their events land
+    in the same trace. The default sink is {!Obs.disabled}, whose hooks
+    cost a single branch. *)
 val set_obs : t -> Obs.t -> unit
 
 val obs : t -> Obs.t
@@ -102,5 +104,11 @@ val prewarm_cache : t -> unit
 (** Reclaim versions that no active snapshot can read; returns the number
     of index entries removed outright. *)
 val gc : t -> int
+
+(** Graphviz DOT snapshot of the live dependency graph: every retained
+    transaction record as a node, recorded rw-antidependencies (provenance
+    sinks only) and squashed self-conflict flags as edges. Deterministic
+    (nodes sorted by id, edges deduplicated). *)
+val dot_snapshot : t -> string
 
 val reset_stats : t -> unit

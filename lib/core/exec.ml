@@ -34,10 +34,12 @@ let rollback_now t reason =
       let obs = t.db.obs in
       if Obs.metrics_on obs then
         Obs.record_abort obs ~latency:(Sim.now t.db.sim -. t.start_time);
-      if Obs.tracing obs then
+      if Obs.tracing obs then begin
         Obs.emit obs ~ts:(Sim.now t.db.sim)
           (Obs.Txn_abort
-             { txn = t.id; start = t.start_time; reason = abort_reason_to_string reason })
+             { txn = t.id; start = t.start_time; reason = abort_reason_to_string reason });
+        Obs.emit obs ~ts:(Sim.now t.db.sim) (Obs.Span_e { tid = t.id; name = "txn"; cat = "txn" })
+      end
   | Committed | Aborted -> ()
 
 let reject_ro t =
@@ -94,7 +96,7 @@ let mark_x_holders ?(source = Obs.Siread_vs_x) t resource =
     (fun (owner, mode) ->
       if mode = Lockmgr.X && owner <> t.id then
         match find_txn t.db owner with
-        | Some writer -> Conflict.mark ~source ~self:t ~reader:t ~writer
+        | Some writer -> Conflict.mark ~source ~resource ~self:t ~reader:t ~writer
         | None -> ())
     (Lockmgr.holders t.db.locks resource)
 
@@ -109,7 +111,7 @@ let mark_siread_holders ?(source = Obs.Siread_vs_x) t resource =
         match find_txn t.db owner with
         | Some reader ->
             if (not (has_committed reader)) || commit_time reader > float_of_int snap then
-              Conflict.mark ~source ~self:t ~reader ~writer:t
+              Conflict.mark ~source ~resource ~self:t ~reader ~writer:t
         | None -> ())
     (Lockmgr.holders t.db.locks resource)
 
@@ -119,13 +121,14 @@ let mark_siread_holders ?(source = Obs.Siread_vs_x) t resource =
    transaction runs, a creator of a version newer than our snapshot is
    always findable; if it is somehow gone (bulk-loaded data), we set our
    outgoing flag conservatively. *)
-let mark_newer_versions t chain snap =
+let mark_newer_versions t table_name key chain snap =
+  let resource = row_resource table_name key in
   List.iter
     (fun (v : Mvstore.version) ->
       if v.creator <> t.id then
         match find_txn t.db v.creator with
-        | Some writer -> Conflict.mark ~source:Obs.Newer_version ~self:t ~reader:t ~writer
-        | None -> if v.creator <> 0 then Conflict.mark_unknown_writer ~self:t t)
+        | Some writer -> Conflict.mark ~source:Obs.Newer_version ~resource ~self:t ~reader:t ~writer
+        | None -> if v.creator <> 0 then Conflict.mark_unknown_writer ~resource ~self:t t)
     (Mvstore.newer_versions chain ~than:snap)
 
 (* Page-granularity analogue: the Berkeley DB prototype versions whole pages,
@@ -135,7 +138,10 @@ let mark_page_stamp t table_name page snap =
   match Hashtbl.find_opt t.db.page_stamps (table_name, page) with
   | Some (ts, writer_id) when ts > snap && writer_id <> t.id -> (
       match find_txn t.db writer_id with
-      | Some writer -> Conflict.mark ~source:Obs.Page_stamp ~self:t ~reader:t ~writer
+      | Some writer ->
+          Conflict.mark ~source:Obs.Page_stamp
+            ~resource:(page_resource table_name page)
+            ~self:t ~reader:t ~writer
       | None -> ())
   | _ -> ()
 
@@ -274,7 +280,7 @@ let do_read t table_name key =
                     lock_pages_for_read t table_name access;
                     mark_path_stamps t table_name access snap);
                 match chain with
-                | Some c -> mark_newer_versions t c snap
+                | Some c -> mark_newer_versions t table_name key c snap
                 | None -> ()
               end;
               let v = Option.bind chain (fun c -> Mvstore.visible c ~snapshot:snap) in
@@ -341,14 +347,31 @@ let lock_for_write t table_name key ~will_write =
       t.touched_pages <-
         List.map (fun p -> (table_name, p)) access.Btree.modified @ t.touched_pages
   | Config.Row -> ());
-  (* First-committer-wins (§2.5): a version committed after our read view. *)
+  (* First-committer-wins (§2.5): a version committed after our read view.
+     The abort certificate names the blocking version (its commit timestamp
+     and writer) — the evidence that FCW, not SSI, killed this txn. *)
   (match t.isolation with
   | Snapshot | Serializable ->
-      if Mvstore.has_newer chain ~than:snap then raise (Abort Update_conflict);
+      if Mvstore.has_newer chain ~than:snap then begin
+        (match Mvstore.newer_versions chain ~than:snap with
+        | v :: _ ->
+            Provenance.emit_fcw t
+              ~resource:(row_resource table_name key)
+              ~blocking_commit:v.Mvstore.commit_ts ~blocking_writer:v.Mvstore.creator
+        | [] -> ());
+        raise (Abort Update_conflict)
+      end;
       (match config.Config.granularity with
       | Config.Page ->
           List.iter
-            (fun p -> if page_newer_than db table_name p snap then raise (Abort Update_conflict))
+            (fun p ->
+              match Hashtbl.find_opt db.page_stamps (table_name, p) with
+              | Some (ts, writer_id) when ts > snap ->
+                  Provenance.emit_fcw t
+                    ~resource:(page_resource table_name p)
+                    ~blocking_commit:ts ~blocking_writer:writer_id;
+                  raise (Abort Update_conflict)
+              | _ -> ())
             access.Btree.leaves
       | Config.Row -> ())
   | Read_committed | S2pl -> ());
@@ -596,7 +619,7 @@ let do_scan ?lo ?hi ?limit t table_name =
                 acquire_siread ~charge:false t g;
                 mark_x_holders ~source:Obs.Gap t g
               end;
-              mark_newer_versions t chain snap
+              mark_newer_versions t table_name key chain snap
           | _ -> ());
           let v =
             match own_write t table_name key with
@@ -742,10 +765,18 @@ let do_commit t =
       if is_ssi t then Conflict.check_commit t;
       t.state <- Committing;
       (* Durability before visibility (§4.4: locks released after the log
-         flush; group commit batches concurrent committers). *)
+         flush; group commit batches concurrent committers). The flush is a
+         profiler span: its duration is where group-commit batching shows
+         up in a trace. *)
       if n_writes > 0 then begin
+        if Obs.tracing db.obs then
+          Obs.emit db.obs ~ts:(Sim.now db.sim)
+            (Obs.Span_b { tid = t.id; name = "log-flush"; cat = "wal" });
         Wal.append db.wal;
-        Wal.commit_flush db.wal
+        Wal.commit_flush db.wal;
+        if Obs.tracing db.obs then
+          Obs.emit db.obs ~ts:(Sim.now db.sim)
+            (Obs.Span_e { tid = t.id; name = "log-flush"; cat = "wal" })
       end;
       (* Atomic publication: assign the commit timestamp and install all
          versions in one step, so snapshots are consistent. Read-only
@@ -775,9 +806,11 @@ let do_commit t =
         Obs.record_commit obs ~latency:(Sim.now db.sim -. t.start_time);
         Obs.note_retained obs (Queue.length db.suspended)
       end;
-      if Obs.tracing obs then
+      if Obs.tracing obs then begin
         Obs.emit obs ~ts:(Sim.now db.sim)
           (Obs.Txn_commit { txn = t.id; start = t.start_time; commit_ts; n_writes });
+        Obs.emit obs ~ts:(Sim.now db.sim) (Obs.Span_e { tid = t.id; name = "txn"; cat = "txn" })
+      end;
       cleanup_suspended db)
 
 let do_rollback t reason =

@@ -32,6 +32,11 @@ and txn = {
   mutable siread_count : int; (* distinct resources SIREAD-locked *)
   mutable touched_pages : (string * int) list; (* pages split by our writes *)
   mutable reads_log : read_record list; (* only when record_history *)
+  mutable in_edges : Obs.cert_edge list;
+      (* rw edges r ->rw t where this txn is the writer; newest first.
+         Recorded only when the sink has provenance on (abort certificates
+         cite the resource and detection source behind each pivot edge). *)
+  mutable out_edges : Obs.cert_edge list; (* rw edges t ->rw w; newest first *)
 }
 
 and db = {

@@ -198,6 +198,97 @@ let cycle_members edges =
   let owners = List.sort_uniq compare (List.map fst edges) in
   List.filter (fun o -> in_cycle edges o) owners
 
+(* The actual waits-for cycle through [start]: a path [start; a; b; ...]
+   where each owner waits for the next and the last waits for [start].
+   Successors are explored in sorted order so the extracted witness is
+   deterministic. Returns [[start]] if no cycle exists (defensive; callers
+   only ask after {!in_cycle}). *)
+let cycle_path edges start =
+  let adj = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      let cur = try Hashtbl.find adj a with Not_found -> [] in
+      Hashtbl.replace adj a (b :: cur))
+    edges;
+  let succs n = List.sort_uniq compare (try Hashtbl.find adj n with Not_found -> []) in
+  let visited = Hashtbl.create 16 in
+  let rec dfs node path =
+    let ss = succs node in
+    if List.mem start ss then Some (List.rev path)
+    else
+      List.fold_left
+        (fun acc s ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if Hashtbl.mem visited s then None
+              else begin
+                Hashtbl.replace visited s ();
+                dfs s (s :: path)
+              end)
+        None ss
+  in
+  match dfs start [ start ] with Some p -> p | None -> [ start ]
+
+(* Certificate support: the resource each owner in [cycle] is blocked on.
+   [extra] supplies the requester's own (owner, resource) pair when it has
+   not been entered into [t.waiting] yet (Immediate detection fires before
+   enqueueing). *)
+let cycle_waits t ?extra cycle =
+  List.filter_map
+    (fun o ->
+      match extra with
+      | Some (o', r) when o' = o -> Some (o, r)
+      | _ -> ( match Hashtbl.find_opt t.waiting o with Some r -> Some (o, r) | None -> None))
+    cycle
+
+(* DOT snapshot of the waits-for graph at deadlock time: every blocked owner
+   and the edges that close the cycle; the victim is filled red. *)
+let waits_dot t ?extra ~victim ~cycle edges =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph deadlock {\n";
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=box fontname=\"monospace\"];\n";
+  let owners =
+    List.sort_uniq compare (cycle @ List.concat_map (fun (a, b) -> [ a; b ]) edges)
+  in
+  let waits = cycle_waits t ?extra owners in
+  List.iter
+    (fun o ->
+      let wait =
+        match List.assoc_opt o waits with
+        | Some r -> "\\nwaits: " ^ Obs.dot_escape r
+        | None -> ""
+      in
+      let attrs =
+        if o = victim then " color=red style=filled fillcolor=\"#ffdddd\""
+        else if List.mem o cycle then " peripheries=2"
+        else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  t%d [label=\"T%d%s\"%s];\n" o o wait attrs))
+    owners;
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "  t%d -> t%d;\n" a b))
+    (List.sort_uniq compare edges);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* Build and record the deadlock certificate: the cycle through [victim]
+   (owners in wait order), each member's blocked resource, and a waits-for
+   DOT snapshot. Only does work when the sink has provenance on. *)
+let emit_deadlock_cert t ?extra ~victim edges =
+  if Obs.provenance_on t.obs then begin
+    let cycle = cycle_path edges victim in
+    Obs.add_cert t.obs
+      {
+        Obs.c_ts = Sim.now t.sim;
+        c_reason = "deadlock";
+        c_cert =
+          Obs.Deadlock_cycle
+            { dc_victim = victim; dc_cycle = cycle; dc_waits = cycle_waits t ?extra cycle };
+        c_dot = waits_dot t ?extra ~victim ~cycle edges;
+      }
+  end
+
 let grant_waiters t l =
   (* FIFO: grant from the head while compatible; stop at the first blocked
      live waiter. Fired (killed) waiters are discarded. *)
@@ -236,6 +327,9 @@ let run_detector_pass t =
                   if w.wowner = v && not (Sim.waker_fired w.waker) then begin
                     t.deadlocks <- t.deadlocks + 1;
                     incr found;
+                    (* Certificate before the victim is removed from
+                       [t.waiting], so its own blocked resource is cited. *)
+                    emit_deadlock_cert t ~victim:v edges;
                     Hashtbl.remove t.waiting v;
                     if Obs.tracing t.obs then
                       Obs.emit t.obs ~ts:(Sim.now t.sim) (Obs.Deadlock { victim = v; resource });
@@ -325,6 +419,10 @@ let acquire t ~owner ~mode resource =
           held_edges @ queue_edges @ waits_for_edges t
         in
         if in_cycle hypothetical owner then begin
+          (* Certificate first: the requester is the victim, and its wait is
+             only hypothetical (never entered into [t.waiting]), so the
+             resource is supplied explicitly. *)
+          emit_deadlock_cert t ~extra:(owner, resource) ~victim:owner hypothetical;
           (if Sys.getenv_opt "LOCKMGR_DEBUG" <> None then begin
              Printf.eprintf "DEADLOCK owner=%d mode=%s res=%s\n" owner (mode_to_string mode) resource;
              List.iter (fun (a, b) -> Printf.eprintf "  edge %d -> %d\n" a b) hypothetical;
@@ -346,9 +444,12 @@ let acquire t ~owner ~mode resource =
     | Periodic _ -> start_detector t);
     Hashtbl.replace t.waiting owner resource;
     let blocked_at = Sim.now t.sim in
-    if Obs.tracing t.obs then
+    if Obs.tracing t.obs then begin
       Obs.emit t.obs ~ts:blocked_at
         (Obs.Lock_block { owner; mode = mode_to_string mode; resource });
+      Obs.emit t.obs ~ts:blocked_at
+        (Obs.Span_b { tid = owner; name = "lock-wait"; cat = "lock" })
+    end;
     let enqueue w =
       let entry = { wowner = owner; wmode = mode; waker = w } in
       if already_holds then l.queue <- entry :: l.queue
@@ -357,13 +458,19 @@ let acquire t ~owner ~mode resource =
     (try Sim.suspend t.sim enqueue
      with e ->
        Hashtbl.remove t.waiting owner;
+       if Obs.tracing t.obs then
+         Obs.emit t.obs ~ts:(Sim.now t.sim)
+           (Obs.Span_e { tid = owner; name = "lock-wait"; cat = "lock" });
        raise e);
     (* When woken normally the grant was already performed by grant_waiters. *)
     let waited = Sim.now t.sim -. blocked_at in
     Obs.record_lock_wait t.obs waited;
-    if Obs.tracing t.obs then
+    if Obs.tracing t.obs then begin
+      Obs.emit t.obs ~ts:(Sim.now t.sim)
+        (Obs.Span_e { tid = owner; name = "lock-wait"; cat = "lock" });
       Obs.emit t.obs ~ts:(Sim.now t.sim)
         (Obs.Lock_grant { owner; mode = mode_to_string mode; resource; waited })
+    end
   end
 
 let release_one t ~owner ~mode resource =

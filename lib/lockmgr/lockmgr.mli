@@ -62,6 +62,18 @@ val release_all : ?keep_siread:bool -> t -> owner -> unit
     [true]. Used to abort a blocked transaction from markConflict. *)
 val cancel_wait : t -> owner -> exn -> bool
 
+(** {1 Waits-for introspection} *)
+
+(** Current waits-for edges: a blocked owner points at every conflicting
+    holder and every conflicting earlier waiter. *)
+val waits_for_edges : t -> (owner * owner) list
+
+(** The waits-for cycle through [start] in [edges]: a path
+    [[start; a; b; ...]] where each owner waits for the next and the last
+    waits for [start]; [[start]] if there is none. Deterministic
+    (successors explored in sorted order). *)
+val cycle_path : (owner * owner) list -> owner -> owner list
+
 val is_waiting : t -> owner -> bool
 
 (** {1 Statistics} *)

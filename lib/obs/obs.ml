@@ -36,6 +36,94 @@ let conflict_source_to_string = function
   | Gap -> "gap"
   | Unknown_writer -> "unknown-writer"
 
+(* {1 Abort provenance}
+
+   Structured certificates attached to aborts. An SSI [Unsafe] abort exists
+   only because a dangerous structure T_in ->rw T_pivot ->rw T_out was found
+   (the paper's §3 / Fekete et al.'s pivot); the certificate records that
+   triple with the resource and detection source behind each edge, the
+   commit-state of the endpoints at decision time, and which victim-policy
+   rule fired. S2PL aborts carry the deadlock cycle; first-committer-wins
+   aborts carry the blocking version. Certificates are plain int/string
+   data so this leaf library stays dependency-free; the engine (lib/core)
+   fills them in and renders the DOT snapshot. *)
+
+(* Commit-state of a pivot neighbour at the instant the victim was chosen. *)
+type endpoint_state = Ep_active | Ep_committing | Ep_committed | Ep_aborted | Ep_gone
+
+let endpoint_state_to_string = function
+  | Ep_active -> "active"
+  | Ep_committing -> "committing"
+  | Ep_committed -> "committed"
+  | Ep_aborted -> "aborted"
+  | Ep_gone -> "gone"
+
+(* One recorded rw-antidependency: [ce_reader] read something [ce_writer]
+   (concurrently) wrote, detected via [ce_source] on [ce_resource]
+   ("r/<table>/<key>", "g/<table>/<key>", or "p/<table>/<page>"). *)
+type cert_edge = {
+  ce_reader : int;
+  ce_writer : int;
+  ce_source : conflict_source;
+  ce_resource : string;
+}
+
+type cert =
+  | Ssi_pivot of {
+      sp_victim : int;
+      sp_policy : string; (* which victim rule fired, e.g. "prefer-pivot" *)
+      sp_pivot : int;
+      sp_t_in : int option; (* None: self-edge / squashed Self_conflict *)
+      sp_in_state : endpoint_state;
+      sp_t_out : int option;
+      sp_out_state : endpoint_state;
+      sp_in_edge : cert_edge option; (* detail, when provenance was on *)
+      sp_out_edge : cert_edge option;
+    }
+  | Deadlock_cycle of {
+      dc_victim : int;
+      dc_cycle : int list; (* owners in cycle order, victim first *)
+      dc_waits : (int * string) list; (* owner -> resource it waits on *)
+    }
+  | Fcw_block of {
+      fb_txn : int;
+      fb_resource : string;
+      fb_blocking_commit : int; (* commit ts of the blocking version *)
+      fb_blocking_writer : int; (* -1 when the writer id is unknown *)
+      fb_snapshot : int;
+    }
+
+type certificate = {
+  c_ts : float; (* simulated time of the abort decision *)
+  c_reason : string; (* abort_reason, e.g. "unsafe", "deadlock" *)
+  c_cert : cert;
+  c_dot : string; (* Graphviz snapshot of the live dep graph; "" if off *)
+}
+
+let cert_victim c =
+  match c.c_cert with
+  | Ssi_pivot { sp_victim; _ } -> sp_victim
+  | Deadlock_cycle { dc_victim; _ } -> dc_victim
+  | Fcw_block { fb_txn; _ } -> fb_txn
+
+(* A short canonical label for grouping certificates in reports: the pivot
+   shape (edge sources + endpoint states) for SSI, cycle length for
+   deadlocks, resource kind for FCW. *)
+let cert_shape c =
+  match c.c_cert with
+  | Ssi_pivot { sp_in_state; sp_out_state; sp_in_edge; sp_out_edge; sp_t_in; sp_t_out; _ } ->
+      let src = function Some e -> conflict_source_to_string e.ce_source | None -> "?" in
+      let self = function None -> "self" | Some _ -> "" in
+      Printf.sprintf "ssi-pivot in=%s(%s%s) out=%s(%s%s)" (src sp_in_edge)
+        (endpoint_state_to_string sp_in_state)
+        (self sp_t_in) (src sp_out_edge)
+        (endpoint_state_to_string sp_out_state)
+        (self sp_t_out)
+  | Deadlock_cycle { dc_cycle; _ } -> Printf.sprintf "deadlock cycle=%d" (List.length dc_cycle)
+  | Fcw_block { fb_resource; _ } ->
+      let kind = if String.length fb_resource >= 2 && fb_resource.[0] = 'p' then "page" else "row" in
+      Printf.sprintf "fcw blocking=%s" kind
+
 (* {1 Log-bucket histograms}
 
    Fixed array of power-of-two buckets starting at 1ns; recording is
@@ -52,11 +140,22 @@ type hist = {
 
 let hist_create () = { h_count = 0; h_sum = 0.0; h_max = 0.0; h_b = Array.make hist_buckets 0 }
 
-let bucket_of v =
-  if v <= 1e-9 then 0
+(* Exact power-of-two bucketing. Bucket [i] covers [2^i, 2^{i+1}) ns,
+   lower-inclusive. [Float.frexp] decomposes v_ns = m * 2^e with m in
+   [0.5, 1), so floor(log2 v_ns) = e - 1 *exactly* — a value sitting
+   precisely on a bucket boundary (v_ns = 2^i) lands in bucket [i] on every
+   platform. The previous [Float.log2]-based version depended on libm
+   rounding, which could return 9.999... or 10.0 for 2^10 depending on the
+   host and put boundary values in either of two buckets. *)
+let hist_bucket_of_ns v_ns =
+  if not (v_ns >= 1.0) (* also catches nan *) then 0
+  else if v_ns = Float.infinity (* frexp inf has no exponent *) then hist_buckets - 1
   else
-    let i = int_of_float (Float.log2 (v *. 1e9)) in
-    if i < 0 then 0 else if i >= hist_buckets then hist_buckets - 1 else i
+    let _, e = Float.frexp v_ns in
+    let i = e - 1 in
+    if i >= hist_buckets then hist_buckets - 1 else i
+
+let bucket_of v = hist_bucket_of_ns (v *. 1e9)
 
 let hist_add h v =
   h.h_count <- h.h_count + 1;
@@ -214,17 +313,38 @@ type event =
   | Conflict_edge of { reader : int; writer : int; source : conflict_source }
   | Victim_doomed of { victim : int; by : int; reason : string }
   | Cleanup of { released : int; retained : int }
+  (* Profiler spans (Chrome-trace "B"/"E" duration events). The engine opens
+     a [txn] span at begin, nests a [span] per lock wait and log flush, and
+     closes the txn span at commit/abort. Pairing is by (tid, nesting). *)
+  | Span_b of { tid : int; name : string; cat : string }
+  | Span_e of { tid : int; name : string; cat : string }
+  (* Per-resource state sample, emitted by the simulator's k-server
+     resources on every acquire/release state change: servers busy and
+     queue depth at simulated time ts (Chrome-trace "C" counter events). *)
+  | Res_sample of { res : string; in_use : int; queued : int }
 
 type t = {
   t_tracing : bool;
   t_metrics : bool;
+  t_prov : bool;
   mutable t_events : (float * event) list; (* newest first *)
   mutable t_event_count : int;
+  mutable t_certs : certificate list; (* newest first *)
+  mutable t_cert_count : int;
   t_m : metrics;
 }
 
-let create ?(trace = false) ?(metrics = true) () =
-  { t_tracing = trace; t_metrics = metrics; t_events = []; t_event_count = 0; t_m = metrics_create () }
+let create ?(trace = false) ?(metrics = true) ?(provenance = false) () =
+  {
+    t_tracing = trace;
+    t_metrics = metrics;
+    t_prov = provenance;
+    t_events = [];
+    t_event_count = 0;
+    t_certs = [];
+    t_cert_count = 0;
+    t_m = metrics_create ();
+  }
 
 let disabled = create ~trace:false ~metrics:false ()
 
@@ -232,7 +352,19 @@ let tracing t = t.t_tracing [@@inline]
 
 let metrics_on t = t.t_metrics [@@inline]
 
-let enabled t = t.t_tracing || t.t_metrics
+let provenance_on t = t.t_prov [@@inline]
+
+let enabled t = t.t_tracing || t.t_metrics || t.t_prov
+
+let add_cert t c =
+  if t.t_prov then begin
+    t.t_certs <- c :: t.t_certs;
+    t.t_cert_count <- t.t_cert_count + 1
+  end
+
+let cert_count t = t.t_cert_count
+
+let certs t = List.rev t.t_certs
 
 let emit t ~ts e =
   if t.t_tracing then begin
@@ -328,6 +460,75 @@ let trace_record buf ~name ~cat ~ph ~ts ?dur ~tid args =
 
 let str v = "\"" ^ json_escape v ^ "\""
 
+(* Escape a string for use inside a double-quoted Graphviz DOT label:
+   quotes and backslashes are escaped, non-printable bytes become a literal
+   [\xHH] (rendered as-is by Graphviz), so the gap supremum's 0xff bytes
+   survive any DOT toolchain. *)
+let dot_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
+          Buffer.add_string buf (Printf.sprintf "\\\\x%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Tiny structural DOT check, shared by the test suite and the CI smoke
+   target: accepts exactly the shape the snapshot builders emit — a
+   [digraph <id> {] header, per-line balanced double-quoted strings with
+   backslash escapes (dot_escape never emits a raw newline inside a label),
+   every body statement terminated with [;] (or opening/closing a block),
+   balanced braces, and at least one statement. Not a full DOT grammar;
+   enough to catch an unescaped quote, a truncated write or a missing
+   terminator without shelling out to Graphviz. *)
+let dot_validate s =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let lines = List.filter_map
+      (fun l -> match String.trim l with "" -> None | t -> Some t)
+      (String.split_on_char '\n' s)
+  in
+  match lines with
+  | [] -> Error "empty document"
+  | header :: body ->
+      if not (String.length header >= 9 && String.sub header 0 8 = "digraph ") then
+        err "missing digraph header: %s" header
+      else if header.[String.length header - 1] <> '{' then
+        err "header does not open a block: %s" header
+      else begin
+        let depth = ref 1 and stmts = ref 0 and bad = ref None in
+        let check line =
+          if !bad = None then begin
+            let in_str = ref false and esc = ref false in
+            String.iter
+              (fun c ->
+                if !in_str then
+                  if !esc then esc := false
+                  else if c = '\\' then esc := true
+                  else if c = '"' then in_str := false
+                  else ()
+                else if c = '"' then in_str := true)
+              line;
+            if !in_str then bad := Some (Printf.sprintf "unterminated string: %s" line)
+            else if line = "}" then decr depth
+            else if line.[String.length line - 1] = '{' then incr depth
+            else if line.[String.length line - 1] = ';' then incr stmts
+            else bad := Some (Printf.sprintf "statement missing ';': %s" line)
+          end
+        in
+        List.iter check body;
+        match !bad with
+        | Some m -> Error m
+        | None ->
+            if !depth <> 0 then err "unbalanced braces: %d open at end of document" !depth
+            else if !stmts = 0 then Error "no statements"
+            else Ok ()
+      end
+
 let bool_ b = if b then "true" else "false"
 
 let event_to_buf buf (ts, e) =
@@ -370,6 +571,11 @@ let event_to_buf buf (ts, e) =
   | Cleanup { released; retained } ->
       trace_record buf ~name:"cleanup" ~cat:"gc" ~ph:"i" ~ts ~tid:0
         [ ("released", string_of_int released); ("retained", string_of_int retained) ]
+  | Span_b { tid; name; cat } -> trace_record buf ~name ~cat ~ph:"B" ~ts ~tid []
+  | Span_e { tid; name; cat } -> trace_record buf ~name ~cat ~ph:"E" ~ts ~tid []
+  | Res_sample { res; in_use; queued } ->
+      trace_record buf ~name:res ~cat:"resource" ~ph:"C" ~ts ~tid:0
+        [ ("in_use", string_of_int in_use); ("queued", string_of_int queued) ]
 
 let write_trace oc t =
   let buf = Buffer.create 65536 in
@@ -386,3 +592,80 @@ let write_trace oc t =
 let write_trace_file path t =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_trace oc t)
+
+(* {1 Certificate JSON}
+
+   One self-contained JSON object per certificate (one line, no trailing
+   newline); parseable without a JSON library for the same reason
+   BENCH_ssi.json is. *)
+
+let edge_to_json e =
+  Printf.sprintf {|{"reader":%d,"writer":%d,"source":%s,"resource":%s}|} e.ce_reader e.ce_writer
+    (str (conflict_source_to_string e.ce_source))
+    (str e.ce_resource)
+
+let opt_int = function Some i -> string_of_int i | None -> "null"
+
+let opt_edge = function Some e -> edge_to_json e | None -> "null"
+
+let cert_to_json c =
+  let body =
+    match c.c_cert with
+    | Ssi_pivot p ->
+        Printf.sprintf
+          {|"kind":"ssi-pivot","victim":%d,"policy":%s,"pivot":%d,"t_in":%s,"in_state":%s,"t_out":%s,"out_state":%s,"in_edge":%s,"out_edge":%s|}
+          p.sp_victim (str p.sp_policy) p.sp_pivot (opt_int p.sp_t_in)
+          (str (endpoint_state_to_string p.sp_in_state))
+          (opt_int p.sp_t_out)
+          (str (endpoint_state_to_string p.sp_out_state))
+          (opt_edge p.sp_in_edge) (opt_edge p.sp_out_edge)
+    | Deadlock_cycle d ->
+        Printf.sprintf {|"kind":"deadlock","victim":%d,"cycle":[%s],"waits":[%s]|} d.dc_victim
+          (String.concat "," (List.map string_of_int d.dc_cycle))
+          (String.concat ","
+             (List.map
+                (fun (o, r) -> Printf.sprintf {|{"owner":%d,"resource":%s}|} o (str r))
+                d.dc_waits))
+    | Fcw_block f ->
+        Printf.sprintf
+          {|"kind":"fcw","txn":%d,"resource":%s,"blocking_commit":%d,"blocking_writer":%s,"snapshot":%d|}
+          f.fb_txn (str f.fb_resource) f.fb_blocking_commit
+          (if f.fb_blocking_writer < 0 then "null" else string_of_int f.fb_blocking_writer)
+          f.fb_snapshot
+  in
+  Printf.sprintf {|{"ts":%.9f,"reason":%s,%s,"shape":%s,"dot":%s}|} c.c_ts (str c.c_reason) body
+    (str (cert_shape c)) (str c.c_dot)
+
+let write_certs oc t =
+  List.iter
+    (fun c ->
+      output_string oc (cert_to_json c);
+      output_char oc '\n')
+    (certs t)
+
+(* {1 Resource series}
+
+   Chronological (ts, in_use, queued) samples per resource name, extracted
+   from the trace buffer; the report renders these as sparklines. *)
+
+let resource_series t =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (ts, e) ->
+      match e with
+      | Res_sample { res; in_use; queued } ->
+          let l =
+            match Hashtbl.find_opt tbl res with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.add tbl res l;
+                order := res :: !order;
+                l
+          in
+          l := (ts, in_use, queued) :: !l
+      | _ -> ())
+    t.t_events;
+  (* t_events is newest-first, so each accumulated list is chronological. *)
+  List.rev_map (fun res -> (res, !(Hashtbl.find tbl res))) !order

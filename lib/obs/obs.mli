@@ -21,6 +21,83 @@ type conflict_source =
 
 val conflict_source_to_string : conflict_source -> string
 
+(** {1 Abort provenance}
+
+    Structured certificates attached to aborts: for SSI the full pivot
+    triple [T_in ->rw T_pivot ->rw T_out] with the resource and detection
+    source behind each edge, endpoint commit-states and the victim-policy
+    rule that fired; for S2PL the deadlock cycle; for first-committer-wins
+    the blocking version. Plain int/string data — the engine fills these in
+    and renders the DOT snapshot. *)
+
+(** Commit-state of a pivot neighbour at the instant the victim was
+    chosen. *)
+type endpoint_state = Ep_active | Ep_committing | Ep_committed | Ep_aborted | Ep_gone
+
+val endpoint_state_to_string : endpoint_state -> string
+
+(** One recorded rw-antidependency: [ce_reader] read something [ce_writer]
+    (concurrently) wrote, detected via [ce_source] on [ce_resource]
+    (["r/<table>/<key>"], ["g/<table>/<key>"], or ["p/<table>/<page>"]). *)
+type cert_edge = {
+  ce_reader : int;
+  ce_writer : int;
+  ce_source : conflict_source;
+  ce_resource : string;
+}
+
+type cert =
+  | Ssi_pivot of {
+      sp_victim : int;
+      sp_policy : string;  (** which victim rule fired, e.g. ["prefer-pivot"] *)
+      sp_pivot : int;
+      sp_t_in : int option;  (** [None]: self-edge (squashed [Self_conflict]) *)
+      sp_in_state : endpoint_state;
+      sp_t_out : int option;
+      sp_out_state : endpoint_state;
+      sp_in_edge : cert_edge option;  (** edge detail, when recorded *)
+      sp_out_edge : cert_edge option;
+    }
+  | Deadlock_cycle of {
+      dc_victim : int;
+      dc_cycle : int list;  (** owners in cycle order, victim first *)
+      dc_waits : (int * string) list;  (** owner -> resource it waits on *)
+    }
+  | Fcw_block of {
+      fb_txn : int;
+      fb_resource : string;
+      fb_blocking_commit : int;  (** commit ts of the blocking version *)
+      fb_blocking_writer : int;  (** [-1] when the writer id is unknown *)
+      fb_snapshot : int;
+    }
+
+type certificate = {
+  c_ts : float;  (** simulated time of the abort decision *)
+  c_reason : string;  (** abort reason, e.g. ["unsafe"], ["deadlock"] *)
+  c_cert : cert;
+  c_dot : string;  (** Graphviz snapshot of the live dep graph; [""] if off *)
+}
+
+val cert_victim : certificate -> int
+
+(** Canonical grouping label: pivot shape (edge sources + endpoint states)
+    for SSI, cycle length for deadlocks, resource kind for FCW. *)
+val cert_shape : certificate -> string
+
+(** One self-contained JSON object, single line, no trailing newline. *)
+val cert_to_json : certificate -> string
+
+(** Escape a string for a double-quoted Graphviz DOT label (quotes,
+    backslashes, non-printable bytes). *)
+val dot_escape : string -> string
+
+(** Structural well-formedness check for the DOT snapshots emitted with
+    {!dot_escape}-escaped labels: digraph header, per-line balanced quoted
+    strings, [;]-terminated statements, balanced braces. Returns the first
+    offending line on failure. Used by the test suite and the CI smoke
+    target (no Graphviz needed). *)
+val dot_validate : string -> (unit, string) result
+
 (** {1 Log-bucket histograms} *)
 
 (** Fixed power-of-two buckets from 1ns; {!hist_add} allocates nothing. *)
@@ -32,6 +109,13 @@ type hist = {
 }
 
 val hist_create : unit -> hist
+
+(** Bucket index for a latency of [v_ns] nanoseconds: bucket [i] covers
+    [[2^i, 2^{i+1})] ns, lower-inclusive, computed with [Float.frexp] so a
+    value exactly on a bucket boundary lands in the same bucket on every
+    platform (no libm [log2] rounding). Values below 1ns clamp to bucket 0,
+    values at or above [2^64] ns to the last bucket. *)
+val hist_bucket_of_ns : float -> int
 
 val hist_add : hist -> float -> unit
 
@@ -94,15 +178,24 @@ type event =
   | Conflict_edge of { reader : int; writer : int; source : conflict_source }
   | Victim_doomed of { victim : int; by : int; reason : string }
   | Cleanup of { released : int; retained : int }
+  | Span_b of { tid : int; name : string; cat : string }
+      (** Profiler span open (Chrome-trace ["B"]); paired by (tid, nesting). *)
+  | Span_e of { tid : int; name : string; cat : string }
+      (** Profiler span close (Chrome-trace ["E"]). *)
+  | Res_sample of { res : string; in_use : int; queued : int }
+      (** k-server resource state at a state change: busy servers and queue
+          depth (exported as Chrome-trace ["C"] counter events). *)
 
 (** {1 The sink} *)
 
 type t
 
-(** [create ~trace ~metrics ()]: [trace] buffers structured events for
-    {!write_trace}; [metrics] enables the counters/histograms. Defaults:
-    trace off, metrics on. *)
-val create : ?trace:bool -> ?metrics:bool -> unit -> t
+(** [create ~trace ~metrics ~provenance ()]: [trace] buffers structured
+    events for {!write_trace}; [metrics] enables the counters/histograms;
+    [provenance] makes the engine record per-edge conflict detail and attach
+    a {!certificate} to every abort. Defaults: trace off, metrics on,
+    provenance off. *)
+val create : ?trace:bool -> ?metrics:bool -> ?provenance:bool -> unit -> t
 
 (** A shared, permanently-off sink; the default carried by a database. *)
 val disabled : t
@@ -111,7 +204,20 @@ val tracing : t -> bool
 
 val metrics_on : t -> bool
 
+val provenance_on : t -> bool
+
 val enabled : t -> bool
+
+(** Append a certificate. No-op unless {!provenance_on}. *)
+val add_cert : t -> certificate -> unit
+
+val cert_count : t -> int
+
+(** Chronological certificate list. *)
+val certs : t -> certificate list
+
+(** Certificates as JSON, one object per line. *)
+val write_certs : out_channel -> t -> unit
 
 (** Append an event at simulated time [ts]. No-op unless {!tracing}; call
     sites should still guard to avoid building the event. *)
@@ -161,3 +267,10 @@ val note_retained : t -> int -> unit
 val write_trace : out_channel -> t -> unit
 
 val write_trace_file : string -> t -> unit
+
+(** {1 Resource series}
+
+    Chronological [(ts, in_use, queued)] samples per resource name,
+    extracted from the trace buffer (requires {!tracing}); resources appear
+    in order of first sample. *)
+val resource_series : t -> (string * (float * int * int) list) list

@@ -126,13 +126,14 @@ type result = {
    previous operation is skipped; leftover operations run in a round-robin
    drain phase after the schedule is exhausted, so every transaction always
    finishes (commit or abort) before the function returns. *)
-let run_interleaving ?config ?init ?ro ~isolation (specs : spec list) (order : (int * op) list)
-    : result =
+let run_interleaving ?config ?obs ?init ?ro ~isolation (specs : spec list)
+    (order : (int * op) list) : result =
   let config =
     match config with Some c -> c | None -> { (Config.test ()) with Config.record_history = true }
   in
   let sim = Sim.create () in
   let db = Db.create ~config sim in
+  (match obs with Some o -> Db.set_obs db o | None -> ());
   ignore (Db.create_table db table);
   let init = match init with Some rows -> rows | None -> default_init specs in
   if init <> [] then Db.load db table init;

@@ -52,12 +52,15 @@ type result = {
 
 (** Execute one interleaving at the given isolation. [init] overrides the
     {!default_init} rows; [ro] declares transactions READ ONLY at begin
-    (must match the spec count). Each transaction commits right after its
+    (must match the spec count). [obs] attaches an observability sink to the
+    freshly created engine before any transaction starts (abort-provenance
+    certificates, trace spans). Each transaction commits right after its
     last operation. Turns offered to a blocked transaction are skipped and
     its remaining operations run in a drain phase, so every transaction
     terminates (commit or abort) before the call returns. *)
 val run_interleaving :
   ?config:Core.Config.t ->
+  ?obs:Obs.t ->
   ?init:(string * string) list ->
   ?ro:bool list ->
   isolation:Core.Types.isolation ->

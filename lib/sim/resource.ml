@@ -10,6 +10,11 @@ type t = {
   mutable busy_time : float; (* total server-seconds consumed *)
   mutable acquisitions : int;
   mutable last_acquire : float;
+  mutable obs : Obs.t;
+      (* profiler sink: a state sample (servers busy, queue depth) is
+         emitted on every acquire/release state change, but only when the
+         sink is tracing — the disabled sink costs one branch and reads no
+         simulated time. *)
 }
 
 let create sim ~name ~capacity =
@@ -23,7 +28,15 @@ let create sim ~name ~capacity =
     busy_time = 0.0;
     acquisitions = 0;
     last_acquire = 0.0;
+    obs = Obs.disabled;
   }
+
+let set_obs t obs = t.obs <- obs
+
+let sample t =
+  if Obs.tracing t.obs then
+    Obs.emit t.obs ~ts:(Sim.now t.sim)
+      (Obs.Res_sample { res = t.name; in_use = t.in_use; queued = Queue.length t.queue })
 
 let name t = t.name
 
@@ -34,19 +47,28 @@ let in_use t = t.in_use
 let queued t = Queue.length t.queue
 
 let acquire t =
-  if t.in_use < t.capacity then t.in_use <- t.in_use + 1
+  if t.in_use < t.capacity then begin
+    t.in_use <- t.in_use + 1;
+    sample t
+  end
   else begin
-    Sim.suspend t.sim (fun w -> Queue.add w t.queue);
+    Sim.suspend t.sim (fun w ->
+        Queue.add w t.queue;
+        sample t);
     (* The releaser transferred its slot to us; in_use stays constant. *)
   end;
   t.acquisitions <- t.acquisitions + 1
 
-let rec release t =
-  match Queue.take_opt t.queue with
-  | None -> t.in_use <- t.in_use - 1
-  | Some w ->
-      if Sim.waker_fired w then release t (* waiter was killed; skip it *)
-      else Sim.wake t.sim w
+let release t =
+  let rec go () =
+    match Queue.take_opt t.queue with
+    | None -> t.in_use <- t.in_use - 1
+    | Some w ->
+        if Sim.waker_fired w then go () (* waiter was killed; skip it *)
+        else Sim.wake t.sim w
+  in
+  go ();
+  sample t
 
 let use t dt f =
   acquire t;

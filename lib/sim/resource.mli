@@ -7,6 +7,12 @@ type t
 
 val create : Sim.t -> name:string -> capacity:int -> t
 
+(** Attach a profiler sink: a {!Obs.Res_sample} (servers busy, queue depth)
+    is emitted at every acquire/release state change while the sink is
+    tracing. The default {!Obs.disabled} sink costs one branch per state
+    change and never reads simulated time. *)
+val set_obs : t -> Obs.t -> unit
+
 val name : t -> string
 
 val capacity : t -> int

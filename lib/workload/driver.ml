@@ -169,6 +169,21 @@ let run_once ?obs ~make_db ~mix (cfg : config) : result =
             if cfg.think_time > 0.0 then Sim.delay sim (Random.State.float st (2.0 *. cfg.think_time));
             let prog = pick mix st in
             let started = Sim.now sim in
+            (* Driver-level lifecycle span: one [prog:<name>] B/E pair per
+               program execution, spanning every retry. Out-of-band like
+               all obs recording — derives only from simulated time, so
+               traced and untraced runs measure identically. *)
+            let span which =
+              match obs with
+              | Some o when Obs.tracing o ->
+                  let name = "prog:" ^ prog.p_name in
+                  Obs.emit o ~ts:(Sim.now sim)
+                    (match which with
+                    | `B -> Obs.Span_b { tid = client; name; cat = "driver" }
+                    | `E -> Obs.Span_e { tid = client; name; cat = "driver" })
+              | _ -> ()
+            in
+            span `B;
             let rec attempt retries =
               match Db.run ~read_only:prog.p_read_only db cfg.isolation (prog.p_body st) with
               | Ok () -> count_commit prog.p_name started
@@ -182,6 +197,7 @@ let run_once ?obs ~make_db ~mix (cfg : config) : result =
                   if retries < cfg.max_retries && Sim.now sim < horizon then attempt (retries + 1)
             in
             attempt 0;
+            span `E;
             if Sim.now sim = started then Sim.delay sim min_step;
             session ()
           end

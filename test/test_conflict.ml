@@ -21,7 +21,7 @@ let mark_dangerous env ~self_is_reader =
   t1.Internal.in_conflict <- Internal.Self_conflict;
   t1.Internal.out_conflict <- Internal.Self_conflict;
   let self = if self_is_reader then t1 else t2 in
-  Conflict.mark ~source:Obs.Newer_version ~self ~reader:t1 ~writer:t2;
+  Conflict.mark ~source:Obs.Newer_version ~resource:"r/a/x" ~self ~reader:t1 ~writer:t2;
   (t1, t2)
 
 let test_prefer_younger_picks_younger () =
@@ -88,7 +88,8 @@ let test_selection_total_for_all_states () =
                     t1.Internal.state <- s1;
                     t2.Internal.state <- s2;
                     match
-                      Conflict.mark ~source:Obs.Newer_version ~self:t2 ~reader:t1 ~writer:t2
+                      Conflict.mark ~source:Obs.Newer_version ~resource:"r/a/x" ~self:t2
+                        ~reader:t1 ~writer:t2
                     with
                     | () -> ()
                     | exception Types.Abort _ -> () (* legitimate self-abort *));

@@ -344,6 +344,62 @@ let test_limit_scan_underflow_takes_terminal_gap () =
       Txn.commit t);
   Sim.run env.sim
 
+(* {1 Log-bucket histogram boundary determinism (satellite)} *)
+
+(* Bucket [i] covers [2^i, 2^{i+1}) ns, lower-inclusive. The old
+   [Float.log2]-based bucketing put boundary values (exactly 2^i ns) in
+   bucket i-1 or i depending on libm rounding; the [Float.frexp] version is
+   exact, so these values are pinned, not ranged. *)
+let test_hist_bucket_pinned () =
+  let buckets = Array.length (Obs.hist_create ()).Obs.h_b in
+  let cases =
+    [
+      (0.0, 0);
+      (0.5, 0);
+      (* sub-ns clamps *)
+      (1.0, 0);
+      (1.5, 0);
+      (2.0, 1);
+      (* first boundary *)
+      (3.999999, 1);
+      (4.0, 2);
+      (1023.999, 9);
+      (1024.0, 10);
+      (* the microsecond boundary *)
+      (1048576.0, 20);
+      (Float.infinity, buckets - 1);
+      (Float.nan, 0);
+    ]
+  in
+  List.iter
+    (fun (ns, want) ->
+      Alcotest.(check int) (Printf.sprintf "bucket(%h ns)" ns) want (Obs.hist_bucket_of_ns ns))
+    cases;
+  (* Every exact power of two lands in its own bucket... *)
+  for i = 0 to buckets - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "2^%d ns" i)
+      i
+      (Obs.hist_bucket_of_ns (Float.ldexp 1.0 i))
+  done;
+  (* ...and the largest float strictly below the boundary in the previous
+     one, i.e. the split is deterministic on both sides. *)
+  for i = 1 to buckets - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "pred(2^%d) ns" i)
+      (i - 1)
+      (Obs.hist_bucket_of_ns (Float.pred (Float.ldexp 1.0 i)))
+  done
+
+(* hist_add takes seconds; 2^-30 s = 2^0 ns on the nose must hit bucket 0
+   via the same exact path (the ns conversion multiplies by 1e9, so use a
+   value whose product is an exact boundary). *)
+let test_hist_add_boundary_via_seconds () =
+  let h = Obs.hist_create () in
+  Obs.hist_add h 1.024e-6 (* = 1024 ns exactly *);
+  Alcotest.(check int) "boundary latency in one bucket" 1 h.Obs.h_b.(10);
+  Alcotest.(check int) "and only that bucket" 0 h.Obs.h_b.(9)
+
 (* {1 Retention is linear (the Queue fix)} *)
 
 (* 10k commits while a long-running reader pins the cleanup horizon: every
@@ -414,6 +470,11 @@ let () =
           ("own insert beyond prefix", `Quick, test_limit_scan_own_insert_beyond_prefix);
           ("own delete hides row", `Quick, test_limit_scan_own_delete);
           ("underflow takes terminal gap", `Quick, test_limit_scan_underflow_takes_terminal_gap);
+        ] );
+      ( "histogram",
+        [
+          ("bucket boundaries pinned", `Quick, test_hist_bucket_pinned);
+          ("boundary latency via hist_add", `Quick, test_hist_add_boundary_via_seconds);
         ] );
       ( "retention",
         [ ("10k commits under a pinned snapshot", `Quick, test_retention_linear_10k) ] );

@@ -46,4 +46,26 @@ if [ "$j" -lt 3 ]; then
   exit 1
 fi
 
-echo "check_bench: OK ($n benches within ${MAX_REGRESS:-2.0}x of baseline, $j speedup points)"
+# Observability-overhead gate: with no sink installed the engine hot paths
+# must carry no observability cost. `perf` measures the commit-path and
+# lock-manager microbenches with and without a channels-off sink attached
+# (paired reps, best ratio — see bin/perf_cmd.ml) and reports the delta as
+# a percentage; any delta above OBS_OVERHEAD_MAX (default 2%) fails.
+grep -q '"obs_overhead": \[' "$out" || { echo "check_bench: missing obs_overhead section" >&2; exit 1; }
+obs_max="${OBS_OVERHEAD_MAX:-2.0}"
+deltas=$(sed -n 's/.*"delta_pct": \(-\{0,1\}[0-9.][0-9.]*\).*/\1/p' "$out")
+[ -n "$deltas" ] || { echo "check_bench: no obs_overhead deltas found" >&2; exit 1; }
+k=0
+for d in $deltas; do
+  k=$((k + 1))
+  if awk -v d="$d" -v max="$obs_max" 'BEGIN { exit !(d > max) }'; then
+    echo "check_bench: observability overhead ${d}% exceeds ${obs_max}% with no sink installed" >&2
+    exit 1
+  fi
+done
+if [ "$k" -lt 2 ]; then
+  echo "check_bench: expected >= 2 obs_overhead entries, found $k" >&2
+  exit 1
+fi
+
+echo "check_bench: OK ($n benches within ${MAX_REGRESS:-2.0}x of baseline, $j speedup points, obs overhead <= ${obs_max}% on $k hot paths)"
