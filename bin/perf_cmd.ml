@@ -89,6 +89,57 @@ let bench_siread_path runs () =
   Sim.run sim;
   float_of_int (Core.Db.stats db).Core.Internal.commits
 
+(* Shared bounded-memory workload: read-modify-write SSI transactions over a
+   32-key hot set under a pinned snapshot and a small memory budget, so every
+   commit exercises the budget-pressure path — row→page SIREAD promotion,
+   committed-transaction summarization and summary expiry all fire (the pin
+   keeps the oldest-active-snapshot watermark from reclaiming anything the
+   easy way). [on_commit] is called after every writer commit, for probes
+   that sample lock-table pressure. Fully simulated, hence deterministic. *)
+let bounded_run ~runs ~on_commit =
+  let sim = Sim.create () in
+  let config =
+    {
+      (Core.Config.test ()) with
+      Core.Config.record_history = false;
+      memory_budget = Some 64;
+      promote_threshold = 4;
+    }
+  in
+  let db = Core.Db.create ~config sim in
+  let keys = Array.init 32 (fun i -> Printf.sprintf "k%02d" i) in
+  ignore (Core.Db.create_table db "t");
+  Core.Db.load db "t" (("pin", "0") :: (Array.to_list keys |> List.map (fun k -> (k, "0"))));
+  Sim.spawn sim (fun () ->
+      ignore
+        (Core.Db.run db Core.Types.Serializable (fun t ->
+             ignore (Core.Txn.read t "t" "pin");
+             for i = 0 to 11 do
+               ignore (Core.Txn.read t "t" keys.(i))
+             done;
+             Sim.delay sim 1.0e6)));
+  Sim.spawn sim (fun () ->
+      Sim.delay sim 0.001;
+      for i = 1 to runs do
+        ignore
+          (Core.Db.run db Core.Types.Serializable (fun t ->
+               (* read a *different* key than we write: the SIREAD survives
+                  commit (no §3.7.3 upgrade-release), so summarization has
+                  lock-table entries to fold into the summary pool *)
+               ignore (Core.Txn.read t "t" keys.((i + 7) mod 32));
+               Core.Txn.write t "t" keys.(i mod 32) (string_of_int i)));
+        on_commit db
+      done);
+  Sim.run sim;
+  db
+
+(* Bounded-memory hot path (§4.8 / Ports & Grittner-style summarization).
+   The check folds in the summarized-transaction count so a silently
+   disabled bounded mode shows up as a check mismatch, not as a fast no-op. *)
+let bench_summarize_path runs () =
+  let db = bounded_run ~runs ~on_commit:(fun _ -> ()) in
+  float_of_int ((Core.Db.stats db).Core.Internal.commits + Core.Db.summarized_count db)
+
 (* B+tree inserts in pseudo-random key order (forcing splits at fanout 16)
    followed by a full range scan. *)
 let bench_btree runs () =
@@ -136,6 +187,7 @@ let micros ~quick =
     ("commit-path", 1000 * s, fun runs -> bench_commit_path runs);
     ("lock-acquire-release", 5000 * s, fun runs -> bench_lock_path runs);
     ("siread-bookkeeping", 1000 * s, bench_siread_path);
+    ("summarize-path", 1000 * s, bench_summarize_path);
     ("btree-insert-scan", 20000 * s, bench_btree);
     ("mvsg-check", 50 * s, bench_mvsg);
   ]
@@ -199,6 +251,44 @@ let obs_overhead ~quick =
     measure "lock-acquire-release" (5000 * s) bench_lock_path;
   ]
 
+(* {1 Bounded-memory probe}
+
+   A fixed 10k-commit bounded run (same workload as the summarize-path
+   microbench) sampled after every commit. Everything here is simulated, so
+   the numbers are deterministic and gateable: tools/check_bench.sh fails
+   `@ci` unless [within_budget] — retained committed-transaction records
+   plus live SIREAD lock-table entries never exceeded the budget. *)
+
+type memory_probe = {
+  mp_budget : int;
+  mp_commits : int;
+  mp_max_pressure : int;  (** max over commits of retained records + live SIREAD entries *)
+  mp_summarized : int;
+  mp_promotions : int;
+  mp_summary_hwm : int;
+}
+
+let mp_within_budget m = m.mp_max_pressure <= m.mp_budget
+
+let memory_probe () =
+  let max_pressure = ref 0 in
+  let summary_hwm = ref 0 in
+  let db =
+    bounded_run ~runs:10_000 ~on_commit:(fun db ->
+        let p = Core.Db.retained_count db + Core.Db.siread_entry_count db in
+        if p > !max_pressure then max_pressure := p;
+        let s = Core.Db.summary_size db in
+        if s > !summary_hwm then summary_hwm := s)
+  in
+  {
+    mp_budget = 64;
+    mp_commits = (Core.Db.stats db).Core.Internal.commits;
+    mp_max_pressure = !max_pressure;
+    mp_summarized = Core.Db.summarized_count db;
+    mp_promotions = Core.Db.promotion_count db;
+    mp_summary_hwm = !summary_hwm;
+  }
+
 (* {1 End-to-end sweep: wall time and determinism across -j} *)
 
 type sweep_point = { sp_j : int; sp_wall : float; sp_speedup : float }
@@ -241,7 +331,7 @@ let sweep ~quick =
 
 (* One bench object per line, so the baseline comparison (here and in
    tools/check_bench.sh) can parse without a JSON library. *)
-let emit_json oc ~quick entries sweep_points ab_entries =
+let emit_json oc ~quick entries sweep_points ab_entries mp =
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"schema\": \"ssi-bench/1\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
@@ -275,7 +365,14 @@ let emit_json oc ~quick entries sweep_points ab_entries =
         a.ab_name a.ab_runs a.ab_off a.ab_null a.ab_delta_pct
         (if i = k - 1 then "" else ","))
     ab_entries;
-  Printf.fprintf oc "  ]\n";
+  Printf.fprintf oc "  ],\n";
+  (* Deterministic bounded-memory columns (one line, greppable without a JSON
+     library — same convention as the bench lines above). *)
+  Printf.fprintf oc
+    "  \"memory\": {\"budget\": %d, \"commits\": %d, \"max_pressure\": %d, \"within_budget\": \
+     %b, \"summarized\": %d, \"promotions\": %d, \"summary_hwm\": %d}\n"
+    mp.mp_budget mp.mp_commits mp.mp_max_pressure (mp_within_budget mp) mp.mp_summarized
+    mp.mp_promotions mp.mp_summary_hwm;
   Printf.fprintf oc "}\n"
 
 (* Tiny substring scanners so the baseline loads without a JSON library. *)
@@ -367,8 +464,18 @@ let run quick out baseline max_regress =
       Printf.printf "    %-22s %8.3fs vs %8.3fs  delta %+.2f%%\n%!" a.ab_name a.ab_off a.ab_null
         a.ab_delta_pct)
     ab;
+  print_endline "  bounded-memory probe (10k commits under budget 64, deterministic):";
+  let mp = memory_probe () in
+  Printf.printf "    max pressure %d/%d  summarized %d  promotions %d  summary hwm %d  %s\n%!"
+    mp.mp_max_pressure mp.mp_budget mp.mp_summarized mp.mp_promotions mp.mp_summary_hwm
+    (if mp_within_budget mp then "WITHIN BUDGET" else "OVER BUDGET");
+  if not (mp_within_budget mp) then begin
+    Printf.eprintf "FATAL: bounded run exceeded its memory budget (%d > %d)\n" mp.mp_max_pressure
+      mp.mp_budget;
+    exit 2
+  end;
   let oc = open_out out in
-  emit_json oc ~quick entries sw ab;
+  emit_json oc ~quick entries sw ab mp;
   close_out oc;
   Printf.printf "  wrote %s\n" out;
   match baseline with

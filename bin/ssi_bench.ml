@@ -62,18 +62,18 @@ let isolation_of_string = function
   | "rc" -> Some Core.Types.Read_committed
   | _ -> None
 
-let workload_of_string = function
+let workload_of_string ?(tweak = fun c -> c) = function
   | "smallbank" ->
       Some
         ( (fun sim ->
-            let db = Core.Db.create ~config:(Core.Config.bdb ()) sim in
+            let db = Core.Db.create ~config:(tweak (Core.Config.bdb ())) sim in
             Smallbank.setup db ~customers:20_000 ();
             db),
           Smallbank.mix ~customers:20_000 () )
   | "sibench" ->
       Some
         ( (fun sim ->
-            let db = Core.Db.create ~config:(Core.Config.innodb ()) sim in
+            let db = Core.Db.create ~config:(tweak (Core.Config.innodb ())) sim in
             Sibench.setup db ~items:100 ();
             db),
           Sibench.mix ~items:100 () )
@@ -157,7 +157,16 @@ let bench_cmd =
             "Aggregate over $(docv) seeds (base seed, base+1, ...) instead of one detailed run; \
              pairs with -j to run the seeds in parallel")
   in
-  let run workload mpl duration warmup seed iso trace metrics nseeds jobs =
+  let memb_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "memory-budget" ] ~docv:"N"
+          ~doc:
+            "Bound SIREAD/retained-transaction memory to $(docv) entries (0 = unbounded): \
+             row SIREADs promote to page granularity and old committed transactions are \
+             folded into a conservative summary under pressure")
+  in
+  let run workload mpl duration warmup seed iso trace metrics nseeds mem_budget jobs =
     let isolation =
       match isolation_of_string iso with
       | Some i -> i
@@ -165,8 +174,11 @@ let bench_cmd =
           prerr_endline ("unknown isolation: " ^ iso);
           exit 1
     in
+    let tweak c =
+      if mem_budget > 0 then { c with Core.Config.memory_budget = Some mem_budget } else c
+    in
     let make_db, mix =
-      match workload_of_string workload with
+      match workload_of_string ~tweak workload with
       | Some w -> w
       | None ->
           prerr_endline ("unknown workload: " ^ workload);
@@ -174,6 +186,16 @@ let bench_cmd =
     in
     let cfg =
       { Driver.default_config with Driver.isolation; mpl; warmup; duration; seed }
+    in
+    let pp_memory m =
+      Printf.printf "  memory budget:    %d entries\n" mem_budget;
+      Printf.printf "    siread-live hwm:  %d\n" m.Obs.m_siread_live_hwm;
+      Printf.printf "    retained hwm:     %d (siread=%d plain=%d)\n" m.Obs.m_retained_hwm
+        m.Obs.m_retained_siread_hwm m.Obs.m_retained_record_hwm;
+      Printf.printf "    promotions:       %d\n" m.Obs.m_promotions;
+      Printf.printf "    summarized txns:  %d\n" m.Obs.m_summarized;
+      Printf.printf "    summary hwm:      %d\n" m.Obs.m_summary_hwm;
+      Printf.printf "    pressure events:  %d\n" m.Obs.m_budget_pressure
     in
     if nseeds > 1 then begin
       (* Aggregate mode: several independent seeds, optionally in parallel.
@@ -185,7 +207,9 @@ let bench_cmd =
       let seeds = List.init nseeds (fun i -> seed + i) in
       let s =
         with_jobs jobs (fun pool ->
-            Driver.run_seeds ?pool ~with_metrics:metrics ~make_db ~mix ~seeds cfg)
+            Driver.run_seeds ?pool
+              ~with_metrics:(metrics || mem_budget > 0)
+              ~make_db ~mix ~seeds cfg)
       in
       Printf.printf "workload=%s isolation=%s mpl=%d seeds=%d..%d window=%.2fs\n" workload iso
         mpl seed (seed + nseeds - 1) duration;
@@ -197,13 +221,17 @@ let bench_cmd =
       Printf.printf "  user aborts:      %.4f /commit\n" s.Driver.s_user_abort_rate;
       Printf.printf "  mean response:    %.6fs\n" s.Driver.s_mean_response;
       Printf.printf "  lock table:       %.1f entries at close\n" s.Driver.s_lock_table;
+      (match s.Driver.s_metrics with
+      | Some m when mem_budget > 0 -> pp_memory m
+      | _ -> ());
       match s.Driver.s_metrics with
       | Some m when metrics -> Fmt.pr "%a@." Obs.pp_metrics m
       | _ -> ()
     end
     else begin
     let obs =
-      if trace <> None || metrics then Some (Obs.create ~trace:(trace <> None) ())
+      if trace <> None || metrics || mem_budget > 0 then
+        Some (Obs.create ~trace:(trace <> None) ())
       else None
     in
     let r = Driver.run_once ?obs ~make_db ~mix cfg in
@@ -217,6 +245,7 @@ let bench_cmd =
     Printf.printf "  other aborts:     %d\n" r.Driver.other_aborts;
     Printf.printf "  mean response:    %.6fs\n" r.Driver.mean_response;
     Printf.printf "  aborts/commit:    %.4f\n" r.Driver.aborts_per_commit;
+    if mem_budget > 0 then pp_memory r.Driver.metrics;
     List.iter
       (fun ps ->
         Printf.printf "  program %-10s commits=%d user_aborts=%d aborts=%d p50=%.2gs p99=%.2gs\n"
@@ -238,7 +267,7 @@ let bench_cmd =
        ~doc:"One measured benchmark run; optionally capture a Chrome trace and engine metrics")
     Term.(
       const run $ workload_arg $ mpl_arg $ duration_arg $ warmup_arg $ seed_arg $ iso_arg
-      $ trace_arg $ metrics_arg $ bench_seeds_arg $ jobs_arg)
+      $ trace_arg $ metrics_arg $ bench_seeds_arg $ memb_arg $ jobs_arg)
 
 let sdg_cmd =
   let name_arg =

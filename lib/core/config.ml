@@ -59,6 +59,18 @@ type t = {
           I/O bound (§6.4.1) *)
   miss_latency : float;  (** disk read latency in simulated seconds *)
   disk_arms : int;  (** concurrent disk operations (RAID arms) *)
+  memory_budget : int option;
+      (** bound on SSI conflict-tracking memory: live lock-table entries plus
+          retained committed-transaction records. [None] (the paper's
+          unbounded retention, §3.3/§4.8) keeps every overlapping committed
+          txn; [Some b] enforces the bound with granularity promotion and
+          committed-transaction summarization (Ports & Grittner 2012 style) —
+          conservatively, so false-positive aborts may rise but no
+          serializability violation is ever admitted *)
+  promote_threshold : int;
+      (** granularity promotion: once a transaction holds this many row
+          SIREADs on one leaf page they collapse into a single page SIREAD.
+          Only active when [memory_budget] is set (row granularity) *)
 }
 
 let default_cost =
@@ -94,6 +106,8 @@ let bdb ?(wal_mode = Wal.No_flush) () =
     read_miss = 0.0;
     miss_latency = 0.004;
     disk_arms = 4;
+    memory_budget = None;
+    promote_threshold = 16;
   }
 
 (** InnoDB profile (§6.2): row-level locking with gap locks, immediate
@@ -119,6 +133,8 @@ let innodb ?(wal_mode = Wal.Flush_per_commit 0.01) () =
     read_miss = 0.0;
     miss_latency = 0.004;
     disk_arms = 4;
+    memory_budget = None;
+    promote_threshold = 16;
   }
 
 (** Plain default for tests and examples: row-level, precise, no I/O waits,

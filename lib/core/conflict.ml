@@ -215,6 +215,81 @@ let mark_unknown_writer ~resource ~self reader =
     end
   end
 
+(* {1 Bounded-memory mode: edges against summarized committed transactions}
+
+   When [Config.memory_budget] folds old committed transactions into the
+   per-resource summary table (see [Internal.summary]), their records are
+   gone but their conflict state survives as OR'd flags under a max commit
+   timestamp. These two entry points mirror [mark] with one committed
+   endpoint, erring conservative: the loss of precision only ever moves
+   towards more aborts, never towards admitting a dangerous structure.
+   Post-fold flag updates to the summarized side are dropped, which is safe
+   because the critical pivot of any MVSG cycle acquires its outgoing edge
+   before it commits (its out-neighbour commits first of the three), so that
+   flag is always captured by the fold; every structure the dropped updates
+   could have flagged is caught from one of the live endpoints instead. *)
+
+(* [self] (an active writer) met the pooled SIREAD of summarized committed
+   readers on [resource]; the caller checked that the folded commit span
+   overlaps [self]'s snapshot. In basic mode a folded in-flag means some
+   committed reader was a pivot — Fig 3.3's committed-reader branch dooms
+   the writer. Otherwise the writer's incoming reference becomes a
+   self-reference (+infinity commit time, so every later dangerous-structure
+   test errs towards aborting); precise mode, like [mark], has no
+   committed-reader pivot check to run. *)
+let mark_summarized_reader ~source ~resource ~self ~sm_in =
+  if self.state = Aborted || self.doomed <> None then ()
+  else begin
+    let db = self.db in
+    let config = db.config in
+    Provenance.record_summary_edge ~self ~source ~resource ~incoming:true;
+    Obs.record_conflict db.obs source;
+    if Obs.tracing db.obs then
+      Obs.emit db.obs ~ts:(Sim.now db.sim)
+        (Obs.Conflict_edge { reader = summary_owner; writer = self.id; source });
+    if config.Config.ssi = Config.Basic && sm_in then begin
+      Provenance.emit_ssi ~victim:self ~policy:"summarized-pivot" ~pivot:self
+        ~t_in:(Provenance.Nb_ref self.in_conflict)
+        ~t_out:(Provenance.Nb_ref self.out_conflict);
+      claim_victim ~self self Unsafe
+    end
+    else begin
+      self.in_conflict <- Self_conflict;
+      if config.Config.abort_early && self.state = Active && is_dangerous config self then begin
+        Provenance.emit_ssi ~victim:self ~policy:"summarized-reader" ~pivot:self
+          ~t_in:(Provenance.Nb_ref self.in_conflict)
+          ~t_out:(Provenance.Nb_ref self.out_conflict);
+        claim_victim ~self self Unsafe
+      end
+    end
+  end
+
+(* [reader] (== [self], active) ignored a version or page stamp newer than
+   its snapshot whose creator was summarized away. A folded out-flag means
+   some summarized creator may be a committed pivot whose out-neighbour
+   committed first; without its commit times the committed-pivot test of
+   [mark] cannot discharge it, so the reader dies (a false positive exactly
+   in the cases precise mode would have cleared). With no out-flag this is
+   the [mark_unknown_writer] situation: a conservative outgoing
+   self-reference. *)
+let mark_summarized_writer ~source ~resource ~self ~sm_out reader =
+  if reader.state = Aborted || reader.doomed <> None then ()
+  else if reader.isolation = Serializable then begin
+    if sm_out then begin
+      let db = reader.db in
+      Provenance.record_summary_edge ~self:reader ~source ~resource ~incoming:false;
+      Obs.record_conflict db.obs source;
+      if Obs.tracing db.obs then
+        Obs.emit db.obs ~ts:(Sim.now db.sim)
+          (Obs.Conflict_edge { reader = reader.id; writer = summary_owner; source });
+      Provenance.emit_ssi ~victim:reader ~policy:"summarized-pivot" ~pivot:reader
+        ~t_in:(Provenance.Nb_ref reader.in_conflict)
+        ~t_out:(Provenance.Nb_ref reader.out_conflict);
+      claim_victim ~self reader Unsafe
+    end
+    else mark_unknown_writer ~resource ~self reader
+  end
+
 (* Commit-time check of Figs 3.2/3.10: called with the transaction still
    Active; raises [Abort Unsafe] if committing would complete a dangerous
    structure. *)

@@ -31,6 +31,14 @@ let create ?(config = Config.test ()) sim =
     txn_by_id = Hashtbl.create 1024;
     active = Hashtbl.create 256;
     suspended = Queue.create ();
+    n_retained_siread = 0;
+    n_retained_record = 0;
+    n_siread_entries = 0;
+    n_promotions = 0;
+    n_summarized = 0;
+    snap_order = Queue.create ();
+    summary = Hashtbl.create 64;
+    summary_expiry = Queue.create ();
     obs = Obs.disabled;
     page_stamps = Hashtbl.create 4096;
     history = [];
@@ -87,6 +95,7 @@ let begin_txn ?(read_only = false) (t : t) isolation =
       reads_log = [];
       in_edges = [];
       out_edges = [];
+      page_reads = Hashtbl.create 4;
     }
   in
   Hashtbl.replace t.txn_by_id txn.id txn;
@@ -140,12 +149,26 @@ let last_commit_ts (t : t) = t.Internal.last_commit_ts
 
 let active_count (t : t) = Hashtbl.length t.Internal.active
 
-(* Committed SSI transactions still holding SIREAD locks; the retained list
-   also contains plain committed records awaiting overlap cleanup. *)
-let suspended_count (t : t) =
-  Queue.fold (fun acc s -> if s.Internal.siread_count > 0 then acc + 1 else acc) 0 t.Internal.suspended
+(* Committed SSI transactions still holding SIREAD locks. Kept as an
+   incremental counter (the Queue.fold this replaced was O(retained) per
+   probe — quadratic over a pinned-snapshot run); the class of a suspended
+   txn is stable, since only holders that already have a SIREAD can gain
+   more (page-split propagation), so the commit-time classification holds
+   until cleanup. *)
+let suspended_count (t : t) = t.Internal.n_retained_siread
+
+let retained_siread_count (t : t) = t.Internal.n_retained_siread
+
+let retained_record_count (t : t) = t.Internal.n_retained_record
 
 let retained_count (t : t) = Queue.length t.Internal.suspended
+
+let siread_entry_count (t : t) = t.Internal.n_siread_entries
+let summarized_count (t : t) = t.Internal.n_summarized
+
+let promotion_count (t : t) = t.Internal.n_promotions
+
+let summary_size (t : t) = Hashtbl.length t.Internal.summary
 
 let lock_table_size (t : t) = Lockmgr.lock_table_size t.Internal.locks
 

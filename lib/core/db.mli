@@ -77,12 +77,37 @@ val last_commit_ts : t -> int
 val active_count : t -> int
 
 (** Committed SSI transactions still suspended with their SIREAD locks
-    (§3.3). *)
+    (§3.3). Same value as {!retained_siread_count}. *)
 val suspended_count : t -> int
 
+(** Retained committed transactions that still hold SIREAD locks — the
+    memory the paper's §3.3 retention rule actually pins. *)
+val retained_siread_count : t -> int
+
+(** Retained committed transactions holding no SIREAD locks: plain records
+    kept only until no active transaction overlaps them (precise-mode
+    commit-time comparisons may still reference them). *)
+val retained_record_count : t -> int
+
 (** All committed transaction records retained for conflict detection
-    (§4.8): cleaned up once no active transaction overlaps them. *)
+    (§4.8): cleaned up once no active transaction overlaps them. Equals
+    [retained_siread_count + retained_record_count]. *)
 val retained_count : t -> int
+
+(** {1 Bounded-memory mode introspection} ([Config.memory_budget]) *)
+
+(** Live SIREAD lock-table entries (all owners, including the summarized
+    pool). *)
+val siread_entry_count : t -> int
+
+(** Committed transactions folded into the conservative summary table. *)
+val summarized_count : t -> int
+
+(** Row→page SIREAD granularity promotions performed. *)
+val promotion_count : t -> int
+
+(** Live entries in the per-resource summary table. *)
+val summary_size : t -> int
 
 val lock_table_size : t -> int
 

@@ -27,6 +27,8 @@ let rollback_now t reason =
   match t.state with
   | Active | Committing ->
       t.state <- Aborted;
+      t.db.n_siread_entries <- t.db.n_siread_entries - t.siread_count;
+      t.siread_count <- 0;
       Lockmgr.release_all t.db.locks t.id;
       Hashtbl.remove t.db.active t.id;
       Hashtbl.remove t.db.txn_by_id t.id;
@@ -84,8 +86,69 @@ let acquire_siread ?(charge = true) t resource =
     if charge then charge_lock_ops t.db 1;
     Lockmgr.acquire t.db.locks ~owner:t.id ~mode:Lockmgr.Siread resource;
     t.siread_count <- t.siread_count + 1;
-    Obs.note_siread t.db.obs t.siread_count
+    t.db.n_siread_entries <- t.db.n_siread_entries + 1;
+    Obs.note_siread t.db.obs t.siread_count;
+    Obs.note_siread_live t.db.obs t.db.n_siread_entries
   end
+
+(* {1 Granularity promotion (bounded-memory mode)}
+
+   Once a transaction's point reads have SIREAD-locked
+   [Config.promote_threshold] rows of one leaf page, the row entries
+   collapse into a single page SIREAD (Ports & Grittner §4's lock
+   promotion). Writers compensate: in bounded mode [lock_for_write] also
+   marks SIREAD holders on the page resources of the leaves it modifies, so
+   a promoted reader is still found — for every row of the page, which is
+   the over-approximation that makes promotion conservative rather than
+   lossy. Scan SIREADs (rows and gaps) are not tracked for promotion; they
+   keep the paper's exact row/gap granularity. *)
+
+let promote_page t table_name page pr =
+  let db = t.db in
+  List.iter
+    (fun key ->
+      let r = row_resource table_name key in
+      if List.mem Lockmgr.Siread (Lockmgr.holds_of db.locks ~owner:t.id r) then begin
+        Lockmgr.release_one db.locks ~owner:t.id ~mode:Lockmgr.Siread r;
+        t.siread_count <- t.siread_count - 1;
+        db.n_siread_entries <- db.n_siread_entries - 1
+      end)
+    pr.pr_rows;
+  pr.pr_rows <- [];
+  pr.pr_promoted <- true;
+  acquire_siread ~charge:false t (page_resource table_name page);
+  db.n_promotions <- db.n_promotions + 1;
+  Obs.record_promotion db.obs;
+  if Obs.tracing db.obs then
+    Obs.emit db.obs ~ts:(Sim.now db.sim)
+      (Obs.Promotion { txn = t.id; table = table_name; page; rows = pr.pr_count })
+
+(* Row SIREAD for a point read, routed through the promotion tracker when a
+   memory budget is configured. A promoted page already covers the row, so
+   no new entry is needed (the caller still runs [mark_x_holders] on the
+   row itself). *)
+let siread_row t table_name key ~leaves =
+  let db = t.db in
+  match leaves with
+  | page :: _ when bounded db ->
+      let pr =
+        match Hashtbl.find_opt t.page_reads (table_name, page) with
+        | Some pr -> pr
+        | None ->
+            let pr = { pr_rows = []; pr_count = 0; pr_promoted = false } in
+            Hashtbl.replace t.page_reads (table_name, page) pr;
+            pr
+      in
+      if not pr.pr_promoted then begin
+        acquire_siread t (row_resource table_name key);
+        if not (List.mem key pr.pr_rows) then begin
+          pr.pr_rows <- key :: pr.pr_rows;
+          pr.pr_count <- pr.pr_count + 1;
+          if pr.pr_count >= db.config.Config.promote_threshold then
+            promote_page t table_name page pr
+        end
+      end
+  | _ -> acquire_siread t (row_resource table_name key)
 
 (* Fig 3.4 line 3 / Fig 3.6 line 3: after taking SIREAD, every concurrently
    held X lock on the resource marks an rw-edge from us to its owner.
@@ -102,7 +165,10 @@ let mark_x_holders ?(source = Obs.Siread_vs_x) t resource =
 
 (* Fig 3.5 lines 4-6 / Fig 3.7: after taking X, every SIREAD on the resource
    whose owner overlaps us (not yet committed, or committed after our read
-   view) marks an rw-edge from the reader to us. *)
+   view) marks an rw-edge from the reader to us. The sentinel owner pools
+   the SIREADs of summarized committed readers (bounded-memory mode); the
+   summary entry's max commit timestamp runs the same overlap test,
+   conservatively (it is >= every folded reader's actual commit). *)
 let mark_siread_holders ?(source = Obs.Siread_vs_x) t resource =
   let snap = snapshot_exn t in
   List.iter
@@ -112,7 +178,12 @@ let mark_siread_holders ?(source = Obs.Siread_vs_x) t resource =
         | Some reader ->
             if (not (has_committed reader)) || commit_time reader > float_of_int snap then
               Conflict.mark ~source ~resource ~self:t ~reader ~writer:t
-        | None -> ())
+        | None ->
+            if owner = summary_owner then (
+              match find_summary t.db resource with
+              | Some s when s.sm_commit_ts > snap ->
+                  Conflict.mark_summarized_reader ~source ~resource ~self:t ~sm_in:s.sm_in
+              | _ -> ()))
     (Lockmgr.holders t.db.locks resource)
 
 (* Fig 3.4 lines 8-9: versions of the item newer than our snapshot were
@@ -128,7 +199,16 @@ let mark_newer_versions t table_name key chain snap =
       if v.creator <> t.id then
         match find_txn t.db v.creator with
         | Some writer -> Conflict.mark ~source:Obs.Newer_version ~resource ~self:t ~reader:t ~writer
-        | None -> if v.creator <> 0 then Conflict.mark_unknown_writer ~resource ~self:t t)
+        | None ->
+            if v.creator <> 0 then (
+              (* Bounded-memory mode: a creator newer than our snapshot can
+                 also be gone because it was summarized; its folded out-flag
+                 (if any) survives in the summary entry for this row. *)
+              match find_summary t.db resource with
+              | Some s ->
+                  Conflict.mark_summarized_writer ~source:Obs.Newer_version ~resource ~self:t
+                    ~sm_out:s.sm_out t
+              | None -> Conflict.mark_unknown_writer ~resource ~self:t t))
     (Mvstore.newer_versions chain ~than:snap)
 
 (* Page-granularity analogue: the Berkeley DB prototype versions whole pages,
@@ -137,12 +217,19 @@ let mark_newer_versions t table_name key chain snap =
 let mark_page_stamp t table_name page snap =
   match Hashtbl.find_opt t.db.page_stamps (table_name, page) with
   | Some (ts, writer_id) when ts > snap && writer_id <> t.id -> (
+      let resource = page_resource table_name page in
       match find_txn t.db writer_id with
-      | Some writer ->
-          Conflict.mark ~source:Obs.Page_stamp
-            ~resource:(page_resource table_name page)
-            ~self:t ~reader:t ~writer
-      | None -> ())
+      | Some writer -> Conflict.mark ~source:Obs.Page_stamp ~resource ~self:t ~reader:t ~writer
+      | None ->
+          (* With unbounded retention a stamping writer newer than our
+             snapshot is always findable; in bounded mode it may have been
+             summarized, leaving its out-flag on the page's summary entry. *)
+          if writer_id <> 0 then (
+            match find_summary t.db resource with
+            | Some s ->
+                Conflict.mark_summarized_writer ~source:Obs.Page_stamp ~resource ~self:t
+                  ~sm_out:s.sm_out t
+            | None -> ()))
   | _ -> ()
 
 let page_newer_than db table_name page snap =
@@ -162,13 +249,26 @@ let page_newer_than db table_name page snap =
    time, not at the splitter's commit. SIREAD grants never block, so this is
    safe from any context. *)
 let propagate_splits db table_name (access : Btree.access) =
-  if db.config.Config.granularity = Config.Page then
+  let page_mode = db.config.Config.granularity = Config.Page in
+  (* Bounded row mode holds page SIREADs too (granularity promotion and the
+     summarized-reader pool), so splits must propagate them there as well;
+     page version stamps remain a page-mode mechanism. *)
+  if page_mode || bounded db then
     List.iter
       (fun (old_page, new_page) ->
-        (match Hashtbl.find_opt db.page_stamps (table_name, old_page) with
-        | Some stamp -> Hashtbl.replace db.page_stamps (table_name, new_page) stamp
-        | None -> ());
+        (if page_mode then
+           match Hashtbl.find_opt db.page_stamps (table_name, old_page) with
+           | Some stamp -> Hashtbl.replace db.page_stamps (table_name, new_page) stamp
+           | None -> ());
+        let old_r = page_resource table_name old_page in
         let new_r = page_resource table_name new_page in
+        (* A summarized reader's (or writer's) conservative remains must
+           follow the entries that moved to the sibling page. *)
+        (match find_summary db old_r with
+        | Some s ->
+            summary_add db new_r ~commit_ts:s.sm_commit_ts ~in_conflict:s.sm_in
+              ~out_conflict:s.sm_out
+        | None -> ());
         List.iter
           (fun (owner, mode) ->
             if
@@ -176,11 +276,12 @@ let propagate_splits db table_name (access : Btree.access) =
               && not (List.mem Lockmgr.Siread (Lockmgr.holds_of db.locks ~owner new_r))
             then begin
               Lockmgr.acquire db.locks ~owner ~mode:Lockmgr.Siread new_r;
+              db.n_siread_entries <- db.n_siread_entries + 1;
               match find_txn db owner with
               | Some reader -> reader.siread_count <- reader.siread_count + 1
               | None -> ()
             end)
-          (Lockmgr.holders db.locks (page_resource table_name old_page)))
+          (Lockmgr.holders db.locks old_r))
       access.Btree.splits
 
 let is_ssi t = t.isolation = Serializable
@@ -273,9 +374,8 @@ let do_read t table_name key =
               if is_ssi t then begin
                 (match db.config.Config.granularity with
                 | Config.Row ->
-                    let r = row_resource table_name key in
-                    acquire_siread t r;
-                    mark_x_holders t r
+                    siread_row t table_name key ~leaves:access.Btree.leaves;
+                    mark_x_holders t (row_resource table_name key)
                 | Config.Page ->
                     lock_pages_for_read t table_name access;
                     mark_path_stamps t table_name access snap);
@@ -313,7 +413,8 @@ let lock_for_write t table_name key ~will_write =
         && List.mem Lockmgr.Siread (Lockmgr.holds_of db.locks ~owner:t.id r)
       then begin
         Lockmgr.release_one db.locks ~owner:t.id ~mode:Lockmgr.Siread r;
-        t.siread_count <- t.siread_count - 1
+        t.siread_count <- t.siread_count - 1;
+        db.n_siread_entries <- db.n_siread_entries - 1
       end;
       acquire t Lockmgr.X r
   | Config.Page ->
@@ -326,7 +427,8 @@ let lock_for_write t table_name key ~will_write =
             && List.mem Lockmgr.Siread (Lockmgr.holds_of db.locks ~owner:t.id r)
           then begin
             Lockmgr.release_one db.locks ~owner:t.id ~mode:Lockmgr.Siread r;
-            t.siread_count <- t.siread_count - 1
+            t.siread_count <- t.siread_count - 1;
+            db.n_siread_entries <- db.n_siread_entries - 1
           end;
           acquire t Lockmgr.X r)
         access.Btree.leaves);
@@ -377,7 +479,16 @@ let lock_for_write t table_name key ~will_write =
   | Read_committed | S2pl -> ());
   if is_ssi t then begin
     (match config.Config.granularity with
-    | Config.Row -> mark_siread_holders t (row_resource table_name key)
+    | Config.Row ->
+        mark_siread_holders t (row_resource table_name key);
+        (* Bounded-memory mode: promoted readers and the summarized-reader
+           pool hold page SIREADs instead of row SIREADs, so the write must
+           also be checked against the page resources of the leaves it
+           lands on. *)
+        if bounded db then
+          List.iter
+            (fun p -> mark_siread_holders t (page_resource table_name p))
+            access.Btree.leaves
     | Config.Page ->
         List.iter
           (fun p -> mark_siread_holders t (page_resource table_name p))
@@ -700,7 +811,12 @@ let install_writes t commit_ts =
         if db.config.Config.granularity = Config.Page then begin
           let _, access = Mvstore.find_chain_path table key in
           List.iter
-            (fun p -> Hashtbl.replace db.page_stamps (table_name, p) (commit_ts, t.id))
+            (fun p ->
+              Hashtbl.replace db.page_stamps (table_name, p) (commit_ts, t.id);
+              (* Remembered so a later summarization of this transaction can
+                 leave its out-flag on the stamped pages' summary entries. *)
+              if not (List.mem (table_name, p) t.touched_pages) then
+                t.touched_pages <- (table_name, p) :: t.touched_pages)
             access.Btree.leaves
         end
       end)
@@ -724,6 +840,87 @@ let record_history t =
       }
       :: db.history
 
+(* {2 Bounded-memory mode: committed-transaction summarization}
+
+   Ports & Grittner's OldCommittedSxact, adapted: under budget pressure the
+   oldest suspended committed transaction is folded into the per-resource
+   summary table and its record dropped. Its SIREAD locks move to the
+   sentinel pool owner (so writers still find *something* on the resource)
+   and every moved resource gets a summary entry carrying the max folded
+   commit timestamp and the OR of the folded in/out flags. The entry is
+   created even when both flags are clear: a writer meeting the pooled
+   SIREAD must still set its own incoming self-flag. Write-side entries
+   (written rows, stamped pages) are only needed when the out-flag is set —
+   for a flag-less creator the no-entry fallback [mark_unknown_writer] is
+   behaviourally identical. Dropping the record loses the ability to update
+   the folded flags later, which is safe: in any MVSG cycle the critical
+   pivot acquires its out-edge before it commits (its out-neighbour commits
+   first), so the fold always captures that flag; late-forming in-edges are
+   handled by dooming the live endpoint (see [Conflict.mark_summarized_*]). *)
+let summarize_oldest db =
+  let s = Queue.pop db.suspended in
+  if s.siread_count > 0 then db.n_retained_siread <- db.n_retained_siread - 1
+  else db.n_retained_record <- db.n_retained_record - 1;
+  let commit_ts = match s.commit_ts with Some c -> c | None -> db.last_commit_ts in
+  let in_conflict = ref_is_set s.in_conflict in
+  let out_conflict = ref_is_set s.out_conflict in
+  let moved = Lockmgr.transfer_sireads db.locks ~owner:s.id ~to_owner:summary_owner in
+  s.siread_count <- 0;
+  let entries = ref 0 in
+  List.iter
+    (fun (resource, merged) ->
+      (* Merging into an existing sentinel SIREAD frees one lock-table
+         entry; a fresh sentinel entry keeps the count unchanged. *)
+      if merged then db.n_siread_entries <- db.n_siread_entries - 1;
+      summary_add db resource ~commit_ts ~in_conflict ~out_conflict;
+      incr entries)
+    moved;
+  if out_conflict then begin
+    List.iter
+      (fun (table_name, key) ->
+        summary_add db (row_resource table_name key) ~commit_ts ~in_conflict:false
+          ~out_conflict:true;
+        incr entries)
+      s.write_order;
+    List.iter
+      (fun (table_name, page) ->
+        summary_add db (page_resource table_name page) ~commit_ts ~in_conflict:false
+          ~out_conflict:true;
+        incr entries)
+      s.touched_pages
+  end;
+  Hashtbl.remove db.txn_by_id s.id;
+  db.n_summarized <- db.n_summarized + 1;
+  !entries
+
+(* Expire summary entries no active transaction can still conflict with.
+   The expiry queue is filled in summarization order, so timestamps are
+   nondecreasing except for split-propagation copies, which can only delay
+   an entry past its natural slot — removal re-checks the entry's own (upsert
+   max) timestamp, so nothing expires early. A resource can be re-queued by
+   later upserts; stale queue entries find the table entry already gone (or
+   too new) and are skipped. *)
+let drain_summary db min_snap =
+  let rec go () =
+    match Queue.peek_opt db.summary_expiry with
+    | Some (ts, resource) when ts <= min_snap ->
+        ignore (Queue.pop db.summary_expiry);
+        (match Hashtbl.find_opt db.summary resource with
+        | Some s when s.sm_commit_ts <= min_snap ->
+            Hashtbl.remove db.summary resource;
+            if
+              List.mem Lockmgr.Siread
+                (Lockmgr.holds_of db.locks ~owner:summary_owner resource)
+            then begin
+              Lockmgr.release_one db.locks ~owner:summary_owner ~mode:Lockmgr.Siread resource;
+              db.n_siread_entries <- db.n_siread_entries - 1
+            end
+        | _ -> ());
+        go ()
+    | _ -> ()
+  in
+  go ()
+
 (* Release suspended transactions that no active transaction overlaps
    (§3.3/§4.6.1): safe once every active read view begins at or after their
    commit. The queue is ordered by commit timestamp (commits append in
@@ -736,6 +933,12 @@ let cleanup_suspended db =
     match Queue.peek_opt db.suspended with
     | Some s when (match s.commit_ts with Some c -> c <= min_snap | None -> false) ->
         ignore (Queue.pop db.suspended);
+        if s.siread_count > 0 then begin
+          db.n_retained_siread <- db.n_retained_siread - 1;
+          db.n_siread_entries <- db.n_siread_entries - s.siread_count;
+          s.siread_count <- 0
+        end
+        else db.n_retained_record <- db.n_retained_record - 1;
         Lockmgr.release_all db.locks s.id;
         Hashtbl.remove db.txn_by_id s.id;
         incr released;
@@ -743,6 +946,7 @@ let cleanup_suspended db =
     | _ -> ()
   in
   drain ();
+  if bounded db then drain_summary db min_snap;
   if !released > 0 then begin
     let obs = db.obs in
     Obs.record_cleanup obs ~released:!released ~retained:(Queue.length db.suspended);
@@ -801,17 +1005,46 @@ let do_commit t =
       Conflict.seal_references t;
       Lockmgr.release_all ~keep_siread:(is_ssi t) db.locks t.id;
       Queue.add t db.suspended;
+      if t.siread_count > 0 then db.n_retained_siread <- db.n_retained_siread + 1
+      else db.n_retained_record <- db.n_retained_record + 1;
       let obs = db.obs in
       if Obs.metrics_on obs then begin
         Obs.record_commit obs ~latency:(Sim.now db.sim -. t.start_time);
-        Obs.note_retained obs (Queue.length db.suspended)
+        Obs.note_retained obs ~siread:db.n_retained_siread ~record:db.n_retained_record
       end;
       if Obs.tracing obs then begin
         Obs.emit obs ~ts:(Sim.now db.sim)
           (Obs.Txn_commit { txn = t.id; start = t.start_time; commit_ts; n_writes });
         Obs.emit obs ~ts:(Sim.now db.sim) (Obs.Span_e { tid = t.id; name = "txn"; cat = "txn" })
       end;
-      cleanup_suspended db)
+      cleanup_suspended db;
+      (* Budget enforcement: after the watermark cleanup, if retained records
+         plus live SIREAD lock-table entries still exceed the budget, fold
+         oldest committed transactions into the summary until under budget or
+         the suspended queue is empty (the summary's own sentinel entries are
+         bounded by the resource universe, not by transaction count). *)
+      match config.Config.memory_budget with
+      | None -> ()
+      | Some budget ->
+          let pressure () = Queue.length db.suspended + db.n_siread_entries in
+          if pressure () > budget && Queue.length db.suspended > 0 then begin
+            let txns = ref 0 and entries = ref 0 in
+            while Queue.length db.suspended > 0 && pressure () > budget do
+              entries := !entries + summarize_oldest db;
+              incr txns
+            done;
+            Obs.record_budget_pressure obs;
+            Obs.record_summarized obs ~txns:!txns;
+            Obs.note_summary obs (Hashtbl.length db.summary);
+            if Obs.tracing obs then
+              Obs.emit obs ~ts:(Sim.now db.sim)
+                (Obs.Summarize
+                   {
+                     txns = !txns;
+                     entries = !entries;
+                     retained = Queue.length db.suspended;
+                   })
+          end)
 
 let do_rollback t reason =
   match t.state with

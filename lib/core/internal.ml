@@ -37,6 +37,29 @@ and txn = {
          Recorded only when the sink has provenance on (abort certificates
          cite the resource and detection source behind each pivot edge). *)
   mutable out_edges : Obs.cert_edge list; (* rw edges t ->rw w; newest first *)
+  page_reads : (string * int, page_reads) Hashtbl.t;
+      (* bounded-memory mode only: per (table, leaf page), the row SIREADs
+         this txn holds there, so granularity promotion can collapse them
+         into one page SIREAD once Config.promote_threshold is reached *)
+}
+
+and page_reads = {
+  mutable pr_rows : string list; (* row resources SIREAD-locked on the page *)
+  mutable pr_count : int;
+  mutable pr_promoted : bool; (* page SIREAD held; row SIREADs released *)
+}
+
+(* Conservative remains of summarized committed transactions, keyed by lock
+   resource ("r/", "g/" or "p/" encodings). When the retained queue exceeds
+   Config.memory_budget, the oldest committed txns are folded in here: per
+   resource, the latest contributing commit timestamp plus the OR of the
+   contributors' conflict flags. Readers/writers that meet a summarized
+   owner consult this instead of the (gone) transaction record; the folding
+   loses precision, never conflicts (false positives up, safety intact). *)
+and summary = {
+  mutable sm_commit_ts : int; (* max commit ts of summarized contributors *)
+  mutable sm_in : bool; (* any contributor had in_conflict set *)
+  mutable sm_out : bool; (* any contributor had out_conflict set *)
 }
 
 and db = {
@@ -57,6 +80,23 @@ and db = {
   suspended : txn Queue.t;
       (* retained committed txns, oldest commit first; a Queue so that the
          per-commit append is O(1) (a list append was quadratic over a run) *)
+  mutable n_retained_siread : int;
+      (* suspended entries still holding SIREAD locks; the rest are plain
+         committed records awaiting overlap cleanup (kept incrementally so
+         per-commit budget checks stay O(1)) *)
+  mutable n_retained_record : int;
+  mutable n_siread_entries : int; (* live SIREAD lock-table entries *)
+  mutable n_promotions : int; (* row->page SIREAD promotions performed *)
+  mutable n_summarized : int; (* committed txns folded into [summary] *)
+  snap_order : txn Queue.t;
+      (* txns in snapshot-assignment order (snapshots are handed out
+         monotonically), drained lazily: the front active entry is the
+         oldest-active-snapshot watermark, so cleanup no longer scans the
+         whole active table per commit *)
+  summary : (string, summary) Hashtbl.t;
+  summary_expiry : (int * string) Queue.t;
+      (* (commit_ts, resource) records in nondecreasing ts order; drained
+         against the watermark to expire summary entries *)
   mutable obs : Obs.t;
       (* observability sink (events + metrics); Obs.disabled costs one
          branch per hook. Attach via Db.set_obs so the lock manager and WAL
@@ -180,21 +220,59 @@ let ensure_snapshot t =
   | None ->
       let s = t.db.last_commit_ts in
       t.snapshot <- Some s;
+      Queue.add t t.db.snap_order;
       s
 
 let snapshot_exn t =
   match t.snapshot with Some s -> s | None -> ensure_snapshot t
 
-(* Oldest read view among active transactions, used for suspended-transaction
-   cleanup (§3.3) and version GC. Transactions that have not chosen a
+(* Oldest read view among active transactions — the watermark driving
+   suspended-transaction cleanup (§3.3), summary expiry and version GC.
+   Snapshots are assigned in nondecreasing order, so [snap_order] front
+   entries whose transaction has finished are dropped lazily and the first
+   live entry is the minimum; each transaction is popped exactly once, so the
+   amortized cost is O(1) (the previous implementation folded over the whole
+   active table on every commit). Transactions that have not chosen a
    snapshot yet will see only the present or later, so they do not constrain
    cleanup. *)
 let min_active_snapshot db =
-  Hashtbl.fold
-    (fun _ t acc -> match t.snapshot with Some s -> min s acc | None -> acc)
-    db.active max_int
+  let rec front () =
+    match Queue.peek_opt db.snap_order with
+    | Some t when not (Hashtbl.mem db.active t.id) ->
+        ignore (Queue.pop db.snap_order);
+        front ()
+    | Some t -> ( match t.snapshot with Some s -> s | None -> max_int)
+    | None -> max_int
+  in
+  front ()
 
 let find_txn db id = Hashtbl.find_opt db.txn_by_id id
+
+(* {1 Bounded-memory mode (Config.memory_budget)} *)
+
+(* Lock-table owner id under which summarized committed transactions' SIREAD
+   entries are pooled (PostgreSQL's OldCommittedSxact, Ports & Grittner
+   §6.2). Real transaction ids start at 1; version creator 0 means
+   bulk-loaded. *)
+let summary_owner = -1
+
+let bounded db = db.config.Config.memory_budget <> None
+
+let find_summary db resource = Hashtbl.find_opt db.summary resource
+
+(* Fold one summarized transaction's contribution for [resource]: flags OR,
+   commit timestamp max (both directions conservative). Every update also
+   appends an expiry record so the entry dies once the watermark passes. *)
+let summary_add db resource ~commit_ts ~in_conflict ~out_conflict =
+  (match Hashtbl.find_opt db.summary resource with
+  | Some s ->
+      if commit_ts > s.sm_commit_ts then s.sm_commit_ts <- commit_ts;
+      s.sm_in <- s.sm_in || in_conflict;
+      s.sm_out <- s.sm_out || out_conflict
+  | None ->
+      Hashtbl.replace db.summary resource
+        { sm_commit_ts = commit_ts; sm_in = in_conflict; sm_out = out_conflict });
+  Queue.add (commit_ts, resource) db.summary_expiry
 
 (* Known read-only: declared so at begin, or committed without writes. *)
 let known_read_only t = t.declared_ro || (has_committed t && t.write_order = [])

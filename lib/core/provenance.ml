@@ -48,6 +48,24 @@ let record_unknown_edge ~(reader : txn) ~resource =
         ce_resource = resource }
       :: reader.out_edges
 
+(* Bounded-memory mode: an edge whose other endpoint was folded into the
+   summary table; the sentinel owner id stands in for the gone transaction.
+   [incoming] says the summarized side is the reader (a writer met the
+   pooled SIREAD); otherwise it is the writer (a read ignored a summarized
+   creator's version). *)
+let record_summary_edge ~(self : txn) ~source ~resource ~incoming =
+  if on self.db then
+    if incoming then
+      self.in_edges <-
+        { Obs.ce_reader = summary_owner; ce_writer = self.id; ce_source = source;
+          ce_resource = resource }
+        :: self.in_edges
+    else
+      self.out_edges <-
+        { Obs.ce_reader = self.id; ce_writer = summary_owner; ce_source = source;
+          ce_resource = resource }
+        :: self.out_edges
+
 (* {1 DOT snapshot}
 
    The live dependency graph: every transaction record the engine still

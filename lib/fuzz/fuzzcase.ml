@@ -5,9 +5,9 @@
 
    Repro format (one record per line, '#' comments ignored):
 
-     ssi-fuzz-repro v1
+     ssi-fuzz-repro v2
      cfg granularity=row ssi=precise gap_locking=1 abort_early=1 \
-         victim=pivot ro_refinement=0 upgrade_siread=1
+         victim=pivot ro_refinement=0 upgrade_siread=1 memory_budget=0
      init k0=0
      txn ro=0 r(k0);w(k1);scan(k0,k2,1)
      txn ro=1 r(k1)
@@ -31,6 +31,7 @@ type cfg_point = {
   victim : Config.victim_policy;  (** §3.7.2 *)
   ro_refinement : bool;  (** Ports & Grittner read-only optimisation *)
   upgrade_siread : bool;  (** §3.7.3 *)
+  memory_budget : int;  (** bounded-memory mode budget; [0] = unbounded *)
 }
 
 let default_point =
@@ -42,10 +43,12 @@ let default_point =
     victim = Config.Prefer_pivot;
     ro_refinement = false;
     upgrade_siread = true;
+    memory_budget = 0;
   }
 
-(* Every meaningful knob combination: 96 points (gap locking only exists in
-   row mode). *)
+(* Every meaningful knob combination: 192 points (gap locking only exists in
+   row mode; every point runs with the memory budget off and with a tiny
+   budget that forces summarization and promotion on small cases). *)
 let matrix_full =
   List.concat_map
     (fun granularity ->
@@ -59,17 +62,21 @@ let matrix_full =
                     (fun victim ->
                       List.concat_map
                         (fun ro_refinement ->
-                          List.map
+                          List.concat_map
                             (fun upgrade_siread ->
-                              {
-                                granularity;
-                                ssi;
-                                gap_locking;
-                                abort_early;
-                                victim;
-                                ro_refinement;
-                                upgrade_siread;
-                              })
+                              List.map
+                                (fun memory_budget ->
+                                  {
+                                    granularity;
+                                    ssi;
+                                    gap_locking;
+                                    abort_early;
+                                    victim;
+                                    ro_refinement;
+                                    upgrade_siread;
+                                    memory_budget;
+                                  })
+                                [ 0; 4 ])
                             [ true; false ])
                         [ false; true ])
                     [ Config.Prefer_pivot; Config.Prefer_younger ])
@@ -107,6 +114,10 @@ let config_of_point p =
     victim = p.victim;
     ro_refinement = p.ro_refinement;
     upgrade_siread = p.upgrade_siread;
+    memory_budget = (if p.memory_budget > 0 then Some p.memory_budget else None);
+    (* Aggressive promotion so even tiny fuzz cases exercise row→page
+       collapse when a budget is set. *)
+    promote_threshold = 2;
     detection =
       (match p.granularity with
       | Config.Row -> Lockmgr.Immediate
@@ -174,10 +185,11 @@ let bool01 b = if b then "1" else "0"
 let point_to_string p =
   Printf.sprintf
     "granularity=%s ssi=%s gap_locking=%s abort_early=%s victim=%s ro_refinement=%s \
-     upgrade_siread=%s"
+     upgrade_siread=%s memory_budget=%d"
     (granularity_to_string p.granularity)
     (variant_to_string p.ssi) (bool01 p.gap_locking) (bool01 p.abort_early)
     (victim_to_string p.victim) (bool01 p.ro_refinement) (bool01 p.upgrade_siread)
+    p.memory_budget
 
 let point_of_string s =
   let ( let* ) = Result.bind in
@@ -223,7 +235,26 @@ let point_of_string s =
   let* abort_early = get_bool "abort_early" in
   let* ro_refinement = get_bool "ro_refinement" in
   let* upgrade_siread = get_bool "upgrade_siread" in
-  Ok { granularity; ssi; gap_locking; abort_early; victim; ro_refinement; upgrade_siread }
+  (* v1 repro lines have no memory_budget field; they mean budget off. *)
+  let* memory_budget =
+    match List.assoc_opt "memory_budget" fields with
+    | None -> Ok 0
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 -> Ok n
+        | _ -> Error ("cfg: bad memory_budget " ^ v))
+  in
+  Ok
+    {
+      granularity;
+      ssi;
+      gap_locking;
+      abort_early;
+      victim;
+      ro_refinement;
+      upgrade_siread;
+      memory_budget;
+    }
 
 let op_of_string s : (Interleave.op, string) result =
   let open Interleave in
@@ -266,7 +297,11 @@ let spec_of_string s : (Interleave.spec, string) result =
       (String.split_on_char ';' s)
       (Ok [])
 
-let magic = "ssi-fuzz-repro v1"
+(* v2 added the optional [memory_budget] cfg field. v1 files are still
+   accepted: a missing field parses as budget-off, so every v1 repro keeps
+   its original meaning. *)
+let magic = "ssi-fuzz-repro v2"
+let magic_v1 = "ssi-fuzz-repro v1"
 
 (* [expect] carries (level, digest) pairs verified on replay. *)
 let to_string ?(expect = []) ?(comment = []) (c : t) =
@@ -291,7 +326,7 @@ let of_string content : (t * (string * string) list, string) result =
   in
   match lines with
   | [] -> Error "empty repro file"
-  | first :: rest when first = magic ->
+  | first :: rest when first = magic || first = magic_v1 ->
       let cfg = ref None in
       let init = ref [] in
       let txns = ref [] in

@@ -522,6 +522,58 @@ let release_all ?(keep_siread = false) t owner =
         resources;
       if Hashtbl.length set = 0 then Hashtbl.remove t.owned owner
 
+(* Move every SIREAD annotation of [owner] onto [to_owner], merging with any
+   the target already holds there (SIREAD is a set-like annotation: one entry
+   per (owner, resource) is enough). S/X holds are untouched — callers
+   transfer only committed suspended owners, which hold nothing else. SIREAD
+   blocks nobody, so no waiter can become grantable. Used by
+   committed-transaction summarization to pool old owners' entries under one
+   sentinel owner, bounding the lock table. Returns each transferred
+   resource paired with whether the target already held a SIREAD there (the
+   table shrinks by one entry in that case). *)
+let transfer_sireads t ~owner ~to_owner =
+  match Hashtbl.find_opt t.owned owner with
+  | None -> []
+  | Some set ->
+      let resources = Hashtbl.fold (fun r () acc -> r :: acc) set [] in
+      let moved =
+        List.filter_map
+          (fun resource ->
+            match Hashtbl.find_opt t.table resource with
+            | None ->
+                Hashtbl.remove set resource;
+                None
+            | Some l -> (
+                match Hashtbl.find_opt l.holds owner with
+                | None ->
+                    Hashtbl.remove set resource;
+                    None
+                | Some c ->
+                    if c.siread = 0 then None
+                    else begin
+                      c.siread <- 0;
+                      if c.s = 0 && c.x = 0 then begin
+                        Hashtbl.remove l.holds owner;
+                        Hashtbl.remove set resource
+                      end;
+                      let merged =
+                        match Hashtbl.find_opt l.holds to_owner with
+                        | Some tc ->
+                            let had = tc.siread > 0 in
+                            if not had then tc.siread <- 1;
+                            had
+                        | None ->
+                            Hashtbl.replace l.holds to_owner { s = 0; x = 0; siread = 1 };
+                            false
+                      in
+                      note_owned t to_owner resource;
+                      Some (resource, merged)
+                    end))
+          resources
+      in
+      if Hashtbl.length set = 0 then Hashtbl.remove t.owned owner;
+      moved
+
 (* Abort an owner that is currently blocked: raise [exn] inside it. *)
 let cancel_wait t owner exn =
   match Hashtbl.find_opt t.waiting owner with

@@ -62,6 +62,13 @@ val release_all : ?keep_siread:bool -> t -> owner -> unit
     [true]. Used to abort a blocked transaction from markConflict. *)
 val cancel_wait : t -> owner -> exn -> bool
 
+(** [transfer_sireads t ~owner ~to_owner] moves every SIREAD annotation of
+    [owner] onto [to_owner], merging where the target already holds one.
+    Returns the transferred resources, each paired with [true] when it was
+    merged (the table shrank by one entry). Used by committed-transaction
+    summarization to pool old owners' SIREADs under a sentinel owner. *)
+val transfer_sireads : t -> owner:owner -> to_owner:owner -> (string * bool) list
+
 (** {1 Waits-for introspection} *)
 
 (** Current waits-for edges: a blocked owner points at every conflicting

@@ -217,7 +217,14 @@ type metrics = {
   mutable m_cleanup_runs : int; (* cleanup passes that released something *)
   mutable m_cleanup_released : int; (* committed records released *)
   mutable m_siread_hwm : int; (* max SIREAD locks held by one txn *)
-  mutable m_retained_hwm : int; (* max retained committed-txn records *)
+  mutable m_retained_hwm : int; (* max retained committed-txn records (both kinds) *)
+  mutable m_retained_siread_hwm : int; (* ... still holding SIREAD locks *)
+  mutable m_retained_record_hwm : int; (* ... plain records awaiting cleanup *)
+  mutable m_siread_live_hwm : int; (* max live SIREAD lock-table entries *)
+  mutable m_promotions : int; (* row->page SIREAD granularity promotions *)
+  mutable m_summarized : int; (* committed txns folded into the summary *)
+  mutable m_summary_hwm : int; (* max summary-table entries *)
+  mutable m_budget_pressure : int; (* commits that triggered summarization *)
 }
 
 let metrics_create () =
@@ -236,6 +243,13 @@ let metrics_create () =
     m_cleanup_released = 0;
     m_siread_hwm = 0;
     m_retained_hwm = 0;
+    m_retained_siread_hwm = 0;
+    m_retained_record_hwm = 0;
+    m_siread_live_hwm = 0;
+    m_promotions = 0;
+    m_summarized = 0;
+    m_summary_hwm = 0;
+    m_budget_pressure = 0;
   }
 
 let metrics_copy m =
@@ -260,7 +274,17 @@ let metrics_merge ~into m =
   into.m_cleanup_runs <- into.m_cleanup_runs + m.m_cleanup_runs;
   into.m_cleanup_released <- into.m_cleanup_released + m.m_cleanup_released;
   if m.m_siread_hwm > into.m_siread_hwm then into.m_siread_hwm <- m.m_siread_hwm;
-  if m.m_retained_hwm > into.m_retained_hwm then into.m_retained_hwm <- m.m_retained_hwm
+  if m.m_retained_hwm > into.m_retained_hwm then into.m_retained_hwm <- m.m_retained_hwm;
+  if m.m_retained_siread_hwm > into.m_retained_siread_hwm then
+    into.m_retained_siread_hwm <- m.m_retained_siread_hwm;
+  if m.m_retained_record_hwm > into.m_retained_record_hwm then
+    into.m_retained_record_hwm <- m.m_retained_record_hwm;
+  if m.m_siread_live_hwm > into.m_siread_live_hwm then
+    into.m_siread_live_hwm <- m.m_siread_live_hwm;
+  into.m_promotions <- into.m_promotions + m.m_promotions;
+  into.m_summarized <- into.m_summarized + m.m_summarized;
+  if m.m_summary_hwm > into.m_summary_hwm then into.m_summary_hwm <- m.m_summary_hwm;
+  into.m_budget_pressure <- into.m_budget_pressure + m.m_budget_pressure
 
 let conflict_sources m =
   [
@@ -295,8 +319,14 @@ let pp_metrics fmt m =
     (conflict_total m);
   Format.fprintf fmt "doomed victims: %d; wal flushes: %d; cleanup: %d passes / %d released@."
     m.m_doomed m.m_wal_flushes m.m_cleanup_runs m.m_cleanup_released;
-  Format.fprintf fmt "high-water:     siread/txn=%d retained-records=%d@." m.m_siread_hwm
-    m.m_retained_hwm
+  Format.fprintf fmt
+    "high-water:     siread/txn=%d retained-records=%d (siread=%d plain=%d) siread-live=%d@."
+    m.m_siread_hwm m.m_retained_hwm m.m_retained_siread_hwm m.m_retained_record_hwm
+    m.m_siread_live_hwm;
+  if m.m_promotions + m.m_summarized + m.m_budget_pressure > 0 then
+    Format.fprintf fmt
+      "memory budget:  promotions=%d summarized-txns=%d summary-hwm=%d pressure-events=%d@."
+      m.m_promotions m.m_summarized m.m_summary_hwm m.m_budget_pressure
 
 (* {1 Events} *)
 
@@ -313,6 +343,11 @@ type event =
   | Conflict_edge of { reader : int; writer : int; source : conflict_source }
   | Victim_doomed of { victim : int; by : int; reason : string }
   | Cleanup of { released : int; retained : int }
+  (* Bounded-memory mode (Config.memory_budget): a row->page SIREAD
+     granularity promotion, and a budget-pressure summarization pass folding
+     the oldest retained committed txns into the summary table. *)
+  | Promotion of { txn : int; table : string; page : int; rows : int }
+  | Summarize of { txns : int; entries : int; retained : int }
   (* Profiler spans (Chrome-trace "B"/"E" duration events). The engine opens
      a [txn] span at begin, nests a [span] per lock wait and log flush, and
      closes the txn span at commit/abort. Pairing is by (tid, nesting). *)
@@ -402,20 +437,41 @@ let record_doomed t = if t.t_metrics then t.t_m.m_doomed <- t.t_m.m_doomed + 1
 
 let record_wal_flush t = if t.t_metrics then t.t_m.m_wal_flushes <- t.t_m.m_wal_flushes + 1
 
-let record_cleanup t ~released ~retained =
-  if t.t_metrics then begin
-    if released > 0 then begin
-      t.t_m.m_cleanup_runs <- t.t_m.m_cleanup_runs + 1;
-      t.t_m.m_cleanup_released <- t.t_m.m_cleanup_released + released
-    end;
-    if retained > t.t_m.m_retained_hwm then t.t_m.m_retained_hwm <- retained
+(* [retained] is the post-cleanup queue length; it can never exceed the
+   value {!note_retained} saw when the newest entry was appended, so this
+   recorder no longer advances the high-water mark (it used to, which
+   double-counted the probe: the mark moved both when a record was added and
+   again when its neighbours were cleaned). *)
+let record_cleanup t ~released ~retained:_ =
+  if t.t_metrics && released > 0 then begin
+    t.t_m.m_cleanup_runs <- t.t_m.m_cleanup_runs + 1;
+    t.t_m.m_cleanup_released <- t.t_m.m_cleanup_released + released
   end
 
 let note_siread t n =
   if t.t_metrics && n > t.t_m.m_siread_hwm then t.t_m.m_siread_hwm <- n
 
-let note_retained t n =
-  if t.t_metrics && n > t.t_m.m_retained_hwm then t.t_m.m_retained_hwm <- n
+let note_retained t ~siread ~record =
+  if t.t_metrics then begin
+    let m = t.t_m in
+    if siread + record > m.m_retained_hwm then m.m_retained_hwm <- siread + record;
+    if siread > m.m_retained_siread_hwm then m.m_retained_siread_hwm <- siread;
+    if record > m.m_retained_record_hwm then m.m_retained_record_hwm <- record
+  end
+
+let note_siread_live t n =
+  if t.t_metrics && n > t.t_m.m_siread_live_hwm then t.t_m.m_siread_live_hwm <- n
+
+let record_promotion t = if t.t_metrics then t.t_m.m_promotions <- t.t_m.m_promotions + 1
+
+let record_summarized t ~txns =
+  if t.t_metrics then t.t_m.m_summarized <- t.t_m.m_summarized + txns
+
+let note_summary t n =
+  if t.t_metrics && n > t.t_m.m_summary_hwm then t.t_m.m_summary_hwm <- n
+
+let record_budget_pressure t =
+  if t.t_metrics then t.t_m.m_budget_pressure <- t.t_m.m_budget_pressure + 1
 
 (* {1 Chrome-trace export}
 
@@ -571,6 +627,13 @@ let event_to_buf buf (ts, e) =
   | Cleanup { released; retained } ->
       trace_record buf ~name:"cleanup" ~cat:"gc" ~ph:"i" ~ts ~tid:0
         [ ("released", string_of_int released); ("retained", string_of_int retained) ]
+  | Promotion { txn; table; page; rows } ->
+      trace_record buf ~name:"promotion" ~cat:"budget" ~ph:"i" ~ts ~tid:txn
+        [ ("table", str table); ("page", string_of_int page); ("rows", string_of_int rows) ]
+  | Summarize { txns; entries; retained } ->
+      trace_record buf ~name:"summarize" ~cat:"budget" ~ph:"i" ~ts ~tid:0
+        [ ("txns", string_of_int txns); ("entries", string_of_int entries);
+          ("retained", string_of_int retained) ]
   | Span_b { tid; name; cat } -> trace_record buf ~name ~cat ~ph:"B" ~ts ~tid []
   | Span_e { tid; name; cat } -> trace_record buf ~name ~cat ~ph:"E" ~ts ~tid []
   | Res_sample { res; in_use; queued } ->

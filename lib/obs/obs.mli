@@ -148,7 +148,17 @@ type metrics = {
   mutable m_cleanup_runs : int;  (** cleanup passes that released records *)
   mutable m_cleanup_released : int;  (** committed records released *)
   mutable m_siread_hwm : int;  (** max SIREAD locks held by one txn *)
-  mutable m_retained_hwm : int;  (** max retained committed-txn records *)
+  mutable m_retained_hwm : int;
+      (** max retained committed-txn records (both kinds together) *)
+  mutable m_retained_siread_hwm : int;
+      (** max retained committed txns still holding SIREAD locks *)
+  mutable m_retained_record_hwm : int;
+      (** max retained plain committed records (no SIREADs) *)
+  mutable m_siread_live_hwm : int;  (** max live SIREAD lock-table entries *)
+  mutable m_promotions : int;  (** row→page SIREAD granularity promotions *)
+  mutable m_summarized : int;  (** committed txns folded into the summary *)
+  mutable m_summary_hwm : int;  (** max summary-table entries *)
+  mutable m_budget_pressure : int;  (** commits that triggered summarization *)
 }
 
 val metrics_create : unit -> metrics
@@ -178,6 +188,12 @@ type event =
   | Conflict_edge of { reader : int; writer : int; source : conflict_source }
   | Victim_doomed of { victim : int; by : int; reason : string }
   | Cleanup of { released : int; retained : int }
+  | Promotion of { txn : int; table : string; page : int; rows : int }
+      (** bounded-memory mode: [rows] row SIREADs on [page] collapsed into
+          one page SIREAD *)
+  | Summarize of { txns : int; entries : int; retained : int }
+      (** bounded-memory mode: a budget-pressure pass folded [txns] retained
+          committed txns into [entries] summary-table records *)
   | Span_b of { tid : int; name : string; cat : string }
       (** Profiler span open (Chrome-trace ["B"]); paired by (tid, nesting). *)
   | Span_e of { tid : int; name : string; cat : string }
@@ -248,15 +264,36 @@ val record_doomed : t -> unit
 
 val record_wal_flush : t -> unit
 
-(** [record_cleanup ~released ~retained] after a suspended-list cleanup pass;
-    also advances the retained-record high-water mark. *)
+(** [record_cleanup ~released ~retained] after a suspended-list cleanup
+    pass. Does not advance the retained high-water marks: the post-cleanup
+    count never exceeds what {!note_retained} already saw at append time
+    (advancing it here double-counted the probe). *)
 val record_cleanup : t -> released:int -> retained:int -> unit
 
 (** Advance the per-transaction SIREAD-count high-water mark. *)
 val note_siread : t -> int -> unit
 
-(** Advance the retained-record high-water mark. *)
-val note_retained : t -> int -> unit
+(** [note_retained ~siread ~record] advances the retained high-water marks:
+    committed txns still holding SIREADs, plain committed records, and their
+    sum. *)
+val note_retained : t -> siread:int -> record:int -> unit
+
+(** Advance the live SIREAD lock-table-entry high-water mark. *)
+val note_siread_live : t -> int -> unit
+
+(** {2 Bounded-memory mode recorders} ([Config.memory_budget]) *)
+
+(** Count one row→page SIREAD granularity promotion. *)
+val record_promotion : t -> unit
+
+(** Count [txns] committed transactions folded into the summary table. *)
+val record_summarized : t -> txns:int -> unit
+
+(** Advance the summary-table-size high-water mark. *)
+val note_summary : t -> int -> unit
+
+(** Count one budget-pressure event (a commit that forced summarization). *)
+val record_budget_pressure : t -> unit
 
 (** {1 Chrome-trace export}
 

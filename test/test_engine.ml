@@ -283,6 +283,39 @@ let test_insert_phantom_skew_under_si_vs_ssi () =
   (* One must fail: either an unsafe abort or a deadlock on gap X locks. *)
   Alcotest.(check bool) "SSI: not both committed" true (outcomes <> [ "committed"; "committed" ])
 
+(* Retained gap SIREADs (§3.3 + §3.5): a committed scanner's next-key gap
+   SIREAD must keep aborting a pivot that inserts a phantom into the scanned
+   range after the scanner commits. B reads x and later inserts into the
+   range A scanned; D updates x and commits (B's out-edge, committed); A
+   scans and commits after D but before B's insert, so B's incoming edge
+   comes only from A's *retained* gap SIREAD. B sits between two committed
+   neighbours with commit(D) <= commit(A): unsafe, even in precise mode.
+   Regression: dropping gap SIREADs at commit (or in release_all's
+   keep_siread path) would let B commit a phantom write skew. *)
+let test_committed_gap_siread_aborts_phantom_pivot () =
+  let env = make_env ~tables:[ "m" ] ~rows:[ ("m", [ ("x", "0"); ("z-fence", "1") ]) ] () in
+  let rb =
+    script env ~at:0.0 ~gap:0.1 ~isolation:ssi
+      [
+        (fun t -> ignore (Txn.read t "m" "x"));
+        (fun t -> Txn.insert t "m" "a1" "phantom");
+      ]
+  in
+  let rd = script env ~at:0.02 ~isolation:ssi [ (fun t -> Txn.write t "m" "x" "1") ] in
+  let ra =
+    script env ~at:0.04 ~isolation:ssi
+      [
+        (fun t ->
+          Alcotest.(check (list (pair string string)))
+            "scanned range is empty" [] (Txn.scan ~lo:"a" ~hi:"b" t "m"));
+      ]
+  in
+  run_procs env [];
+  check_outcome "D commits" Committed rd;
+  check_outcome "A commits" Committed ra;
+  check_outcome "B aborts unsafe" (Aborted Types.Unsafe) rb;
+  Alcotest.(check (option string)) "no phantom row" None (peek env "m" "a1")
+
 let test_scan_sees_own_inserts () =
   let env = make_env ~tables:[ "t" ] () in
   Sim.spawn env.sim (fun () ->
@@ -495,6 +528,9 @@ let suite =
     ("doctors anomaly under SI (Example 1)", `Quick, test_doctors_anomaly_under_si);
     ("doctors prevented under SSI", `Quick, test_doctors_prevented_under_ssi);
     ("insert phantom skew SI vs SSI", `Quick, test_insert_phantom_skew_under_si_vs_ssi);
+    ( "committed gap SIREAD aborts phantom pivot",
+      `Quick,
+      test_committed_gap_siread_aborts_phantom_pivot );
     ("scan sees own inserts", `Quick, test_scan_sees_own_inserts);
     ("scan skips own deletes", `Quick, test_scan_skips_own_deletes);
     ("duplicate insert aborts", `Quick, test_duplicate_insert_aborts);

@@ -37,6 +37,40 @@ let test_codec_roundtrip () =
           Alcotest.(check (list (pair string string))) "expect lines preserved" expect expect')
     (gen_cases ~seed:4 ~n:200)
 
+(* Codec v2 compatibility: a v1 repro (no memory_budget cfg field) must
+   still parse — meaning budget off — and re-emit under the v2 magic; a
+   budget-carrying case must survive the v2 roundtrip intact. *)
+let test_codec_v1_compat () =
+  let v1 =
+    "ssi-fuzz-repro v1\n\
+     cfg granularity=row ssi=precise gap_locking=1 abort_early=1 victim=pivot \
+     ro_refinement=0 upgrade_siread=1\n\
+     init k0=0\n\
+     txn ro=0 r(k0)\n\
+     schedule 0\n"
+  in
+  (match Fuzzcase.of_string v1 with
+  | Error e -> Alcotest.failf "v1 repro rejected: %s" e
+  | Ok (c, _) -> (
+      Alcotest.(check int) "v1 parses as budget off" 0 c.Fuzzcase.cfg.Fuzzcase.memory_budget;
+      let s = Fuzzcase.to_string c in
+      Alcotest.(check bool) "re-emitted with the v2 magic" true
+        (String.length s >= String.length Fuzzcase.magic
+        && String.sub s 0 (String.length Fuzzcase.magic) = Fuzzcase.magic);
+      match Fuzzcase.of_string s with
+      | Ok (c', _) -> Alcotest.(check bool) "v1 -> v2 roundtrip" true (c = c')
+      | Error e -> Alcotest.failf "v2 re-emit rejected: %s" e));
+  let c2 =
+    {
+      (List.hd (gen_cases ~seed:8 ~n:1)) with
+      Fuzzcase.cfg = { Fuzzcase.default_point with Fuzzcase.memory_budget = 7 };
+    }
+  in
+  match Fuzzcase.of_string (Fuzzcase.to_string c2) with
+  | Ok (c', _) ->
+      Alcotest.(check int) "budget preserved" 7 c'.Fuzzcase.cfg.Fuzzcase.memory_budget
+  | Error e -> Alcotest.failf "v2 roundtrip failed: %s" e
+
 let test_codec_rejects_garbage () =
   let bad = [ ""; "not a repro"; "ssi-fuzz-repro v0\ncfg x"; Fuzzcase.magic ^ "\nbogus line here" ] in
   List.iter
@@ -66,6 +100,36 @@ let test_campaign_smoke () =
   Alcotest.(check bool) "SSI unsafe aborts occur" true (s.Fuzz.s_ssi_unsafe > 0);
   Alcotest.(check bool) "false positives are a subset of unsafe" true
     (s.Fuzz.s_false_positives <= s.Fuzz.s_ssi_unsafe)
+
+(* Bounded-memory fuzz: every matrix point with the budget on (a tiny
+   budget plus aggressive promotion, so summarization fires even on small
+   cases). Summarization is conservative by construction, so the MVSG
+   oracle must find zero violations; the cost may only show up as false
+   positives (unnecessary unsafe aborts), whose rate the check message
+   reports. *)
+let test_campaign_bounded_budget () =
+  let matrix =
+    List.filter (fun p -> p.Fuzzcase.memory_budget > 0) Fuzzcase.matrix_full
+  in
+  Alcotest.(check int) "96 bounded matrix points" 96 (List.length matrix);
+  let s = Fuzz.run_campaign ~seed:9 ~cases:10_000 ~matrix () in
+  Alcotest.(check int) "cases run" 10_000 s.Fuzz.s_cases;
+  (match s.Fuzz.s_failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "oracle violation under memory budget: %s\n%s"
+        (Fuzzrun.violation_to_string f.Fuzz.f_violation)
+        (Fuzzcase.to_string f.Fuzz.f_shrunk));
+  let rate =
+    if s.Fuzz.s_ssi_unsafe = 0 then 0.0
+    else float_of_int s.Fuzz.s_false_positives /. float_of_int s.Fuzz.s_ssi_unsafe
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "false-positive rate %.3f (%d of %d unsafe aborts)" rate
+       s.Fuzz.s_false_positives s.Fuzz.s_ssi_unsafe)
+    true
+    (s.Fuzz.s_false_positives <= s.Fuzz.s_ssi_unsafe);
+  Alcotest.(check bool) "bounded runs still exercise unsafe aborts" true (s.Fuzz.s_ssi_unsafe > 0)
 
 let test_campaign_deterministic () =
   let run () =
@@ -184,8 +248,10 @@ let suite =
   [
     ("generator produces valid cases", `Quick, test_generator_produces_valid_cases);
     ("codec roundtrip", `Quick, test_codec_roundtrip);
+    ("codec v1 compatibility", `Quick, test_codec_v1_compat);
     ("codec rejects garbage", `Quick, test_codec_rejects_garbage);
     ("campaign smoke: no oracle violations", `Quick, test_campaign_smoke);
+    ("campaign with memory budget: no oracle violations", `Slow, test_campaign_bounded_budget);
     ("campaign deterministic", `Quick, test_campaign_deterministic);
     ("campaign shard/pool invariant", `Quick, test_campaign_shard_and_pool_invariant);
     ("rediscovers write skew", `Slow, test_rediscovers_write_skew);

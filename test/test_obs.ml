@@ -438,6 +438,62 @@ let test_retention_linear_10k () =
   Sim.run env.sim;
   Alcotest.(check int) "commits" (n + 2) (Db.stats env.db).Internal.commits
 
+(* Bounded-memory twin of the pinned-snapshot test: same 10k commits under a
+   pinned reader, but with [memory_budget] set. The writers are SSI
+   read-modify-writes over a fixed 32-key universe, so each retained record
+   holds a SIREAD and the sentinel pool stays bounded by the key universe.
+   Retained records plus live SIREAD lock-table entries must never exceed
+   the budget — summarization, not the cleanup horizon, bounds memory. *)
+let test_retention_bounded_10k () =
+  let budget = 64 in
+  let config =
+    {
+      (Config.test ()) with
+      Config.record_history = false;
+      memory_budget = Some budget;
+      promote_threshold = 4;
+    }
+  in
+  let keys = Array.init 32 (fun i -> Printf.sprintf "k%02d" i) in
+  let rows = ("t", ("pin", "0") :: (Array.to_list keys |> List.map (fun k -> (k, "0")))) in
+  let env = make_env ~config ~tables:[ "t" ] ~rows:[ rows ] () in
+  let n = 10_000 in
+  let max_pressure = ref 0 in
+  Sim.spawn env.sim (fun () ->
+      ignore
+        (atomically env ssi (fun t ->
+             ignore (Txn.read t "t" "pin");
+             (* a run of point reads on consecutive keys exercises row→page
+                promotion under the budget *)
+             for i = 0 to 11 do
+               ignore (Txn.read t "t" keys.(i))
+             done;
+             Sim.delay env.sim 100.0)));
+  Sim.spawn env.sim (fun () ->
+      Sim.delay env.sim 0.001;
+      for i = 1 to n do
+        ignore
+          (Db.run env.db ssi (fun t ->
+               let k = keys.(i mod 32) in
+               ignore (Txn.read t "t" k);
+               Txn.write t "t" k (string_of_int i)));
+        let p = Db.retained_count env.db + Db.siread_entry_count env.db in
+        if p > !max_pressure then max_pressure := p
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "retained+siread entries stayed <= %d (max %d)" budget !max_pressure)
+        true (!max_pressure <= budget);
+      Alcotest.(check bool) "summarization ran" true (Db.summarized_count env.db > 0);
+      Alcotest.(check bool) "promotion ran" true (Db.promotion_count env.db > 0);
+      (* Let the pin lift, then one commit drains records and summary. *)
+      Sim.delay env.sim 200.0;
+      ignore (Db.run env.db si (fun t -> Txn.write t "t" "pin" "done"));
+      Alcotest.(check bool) "records drained after the pin lifts" true
+        (Db.retained_count env.db < 10);
+      Alcotest.(check int) "summary drained after the pin lifts" 0 (Db.summary_size env.db));
+  Sim.run env.sim;
+  Alcotest.(check int) "all commits went through" (n + 2) (Db.stats env.db).Internal.commits
+
 let () =
   Alcotest.run "obs"
     [
@@ -477,5 +533,8 @@ let () =
           ("boundary latency via hist_add", `Quick, test_hist_add_boundary_via_seconds);
         ] );
       ( "retention",
-        [ ("10k commits under a pinned snapshot", `Quick, test_retention_linear_10k) ] );
+        [
+          ("10k commits under a pinned snapshot", `Quick, test_retention_linear_10k);
+          ("10k commits under a memory budget", `Quick, test_retention_bounded_10k);
+        ] );
     ]

@@ -36,10 +36,11 @@ grep -q '"schema": "ssi-bench/1"' "$out" || { echo "check_bench: missing/unknown
 grep -q '"benches": \[' "$out" || { echo "check_bench: missing benches array" >&2; exit 1; }
 grep -q '"speedup": \[' "$out" || { echo "check_bench: missing speedup array" >&2; exit 1; }
 n=$(grep -c '"name": "' "$out")
-if [ "$n" -lt 5 ]; then
-  echo "check_bench: expected >= 5 microbenches, found $n" >&2
+if [ "$n" -lt 6 ]; then
+  echo "check_bench: expected >= 6 microbenches, found $n" >&2
   exit 1
 fi
+grep -q '"name": "summarize-path"' "$out" || { echo "check_bench: missing summarize-path microbench" >&2; exit 1; }
 j=$(grep -c '"j": ' "$out")
 if [ "$j" -lt 3 ]; then
   echo "check_bench: expected >= 3 speedup points, found $j" >&2
@@ -68,4 +69,18 @@ if [ "$k" -lt 2 ]; then
   exit 1
 fi
 
-echo "check_bench: OK ($n benches within ${MAX_REGRESS:-2.0}x of baseline, $j speedup points, obs overhead <= ${obs_max}% on $k hot paths)"
+# Bounded-memory gate: the deterministic 10k-commit bounded run recorded in
+# the report must have kept retained committed-transaction records plus live
+# SIREAD lock-table entries within its memory budget at every commit —
+# i.e. granularity promotion + summarization actually reclaim memory.
+# `perf` itself exits 2 if the budget is breached; the greps here also
+# protect against the probe being silently dropped from the report.
+grep -q '"memory": {' "$out" || { echo "check_bench: missing memory section" >&2; exit 1; }
+grep -q '"within_budget": true' "$out" || { echo "check_bench: bounded run exceeded its memory budget" >&2; exit 1; }
+summarized=$(sed -n 's/.*"summarized": \([0-9][0-9]*\).*/\1/p' "$out")
+if [ -z "$summarized" ] || [ "$summarized" -eq 0 ]; then
+  echo "check_bench: bounded run never summarized a committed transaction" >&2
+  exit 1
+fi
+
+echo "check_bench: OK ($n benches within ${MAX_REGRESS:-2.0}x of baseline, $j speedup points, obs overhead <= ${obs_max}% on $k hot paths, bounded run within budget with $summarized txns summarized)"
