@@ -289,6 +289,90 @@ let memory_probe () =
     mp_summary_hwm = !summary_hwm;
   }
 
+(* {1 Recovery probe}
+
+   Replay cost of the crash-recovery path (PR 6): a simulated workload of
+   read-modify-write transactions with periodic checkpoints produces a WAL
+   image, which is then recovered repeatedly into fresh engines. Wall-clock
+   µs/record is the baseline-gated rate; the committed count and restored
+   horizon are simulated results — deterministic, identical on every run —
+   so a recovery that silently drops transactions shows up as a changed
+   check, not just a faster replay. Checkpoint cost is measured separately
+   on a standalone log (append + checkpoint per iteration). *)
+
+type recovery_probe = {
+  rv_records : int;  (** log records replayed per recovery *)
+  rv_replay_s : float;  (** median wall seconds per recovery *)
+  rv_us_per_record : float;
+  rv_checkpoint_us : float;  (** median wall µs per checkpoint (append+harden) *)
+  rv_committed : int;  (** deterministic: committed transactions recovered *)
+  rv_horizon : int;  (** deterministic: restored last_commit_ts *)
+}
+
+let recovery_probe ~quick =
+  let txns = if quick then 2_000 else 8_000 in
+  let log =
+    let sim = Sim.create () in
+    let config =
+      {
+        (Core.Config.test ()) with
+        Core.Config.record_history = false;
+        checkpoint_interval = Some 64;
+      }
+    in
+    let db = Core.Db.create ~config sim in
+    ignore (Core.Db.create_table db "t");
+    Core.Db.load db "t" (List.init 64 (fun i -> (Printf.sprintf "k%02d" i, "0")));
+    Sim.spawn sim (fun () ->
+        for i = 1 to txns do
+          ignore
+            (Core.Db.run db Core.Types.Serializable (fun t ->
+                 ignore (Core.Txn.read t "t" (Printf.sprintf "k%02d" (i mod 64)));
+                 Core.Txn.write t "t"
+                   (Printf.sprintf "k%02d" (i * 7 mod 64))
+                   (string_of_int i)))
+        done);
+    Sim.run sim;
+    Wal.harden (Core.Db.wal db);
+    Wal.durable_log (Core.Db.wal db)
+  in
+  let recover_once () =
+    match Core.Db.recover (Sim.create ()) ~log with
+    | Ok (db, rep) -> (Core.Db.last_commit_ts db, rep)
+    | Error e ->
+        Printf.eprintf "FATAL: recovery probe failed to recover its own log: %s\n" e;
+        exit 2
+  in
+  let reps = if quick then 5 else 9 in
+  let walls = List.init reps (fun _ -> fst (time recover_once)) in
+  let horizon, rep = recover_once () in
+  let replay_s = median walls in
+  let checkpoint_us =
+    let iters = if quick then 2_000 else 10_000 in
+    let sim = Sim.create () in
+    let wal = Wal.create sim ~mode:Wal.No_flush in
+    let wall, _ =
+      time (fun () ->
+          for i = 1 to iters do
+            Wal.append wal (Wal.Write { txn = i; table = "t"; key = "k"; value = "v" });
+            Wal.checkpoint wal ~watermark:i ~next_ts:i
+          done;
+          0.0)
+    in
+    1.0e6 *. wall /. float_of_int iters
+  in
+  {
+    rv_records = rep.Core.Db.r_replayed;
+    rv_replay_s = replay_s;
+    rv_us_per_record =
+      (if rep.Core.Db.r_replayed > 0 then
+         1.0e6 *. replay_s /. float_of_int rep.Core.Db.r_replayed
+       else 0.0);
+    rv_checkpoint_us = checkpoint_us;
+    rv_committed = rep.Core.Db.r_committed;
+    rv_horizon = horizon;
+  }
+
 (* {1 End-to-end sweep: wall time and determinism across -j} *)
 
 type sweep_point = { sp_j : int; sp_wall : float; sp_speedup : float }
@@ -331,7 +415,7 @@ let sweep ~quick =
 
 (* One bench object per line, so the baseline comparison (here and in
    tools/check_bench.sh) can parse without a JSON library. *)
-let emit_json oc ~quick entries sweep_points ab_entries mp =
+let emit_json oc ~quick entries sweep_points ab_entries mp rv =
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"schema\": \"ssi-bench/1\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
@@ -370,9 +454,16 @@ let emit_json oc ~quick entries sweep_points ab_entries mp =
      library — same convention as the bench lines above). *)
   Printf.fprintf oc
     "  \"memory\": {\"budget\": %d, \"commits\": %d, \"max_pressure\": %d, \"within_budget\": \
-     %b, \"summarized\": %d, \"promotions\": %d, \"summary_hwm\": %d}\n"
+     %b, \"summarized\": %d, \"promotions\": %d, \"summary_hwm\": %d},\n"
     mp.mp_budget mp.mp_commits mp.mp_max_pressure (mp_within_budget mp) mp.mp_summarized
     mp.mp_promotions mp.mp_summary_hwm;
+  (* Recovery replay rate plus its deterministic committed/horizon checks
+     (one line, same greppable convention). *)
+  Printf.fprintf oc
+    "  \"recovery\": {\"records\": %d, \"replay_s\": %.6f, \"us_per_record\": %.3f, \
+     \"checkpoint_us\": %.3f, \"committed\": %d, \"horizon\": %d}\n"
+    rv.rv_records rv.rv_replay_s rv.rv_us_per_record rv.rv_checkpoint_us rv.rv_committed
+    rv.rv_horizon;
   Printf.fprintf oc "}\n"
 
 (* Tiny substring scanners so the baseline loads without a JSON library. *)
@@ -474,8 +565,14 @@ let run quick out baseline max_regress =
       mp.mp_budget;
     exit 2
   end;
+  print_endline "  recovery probe (WAL replay into a fresh engine, deterministic checks):";
+  let rv = recovery_probe ~quick in
+  Printf.printf
+    "    %d records in %.3fs (%.2f us/record)  checkpoint %.2f us  committed %d  horizon %d\n%!"
+    rv.rv_records rv.rv_replay_s rv.rv_us_per_record rv.rv_checkpoint_us rv.rv_committed
+    rv.rv_horizon;
   let oc = open_out out in
-  emit_json oc ~quick entries sw ab mp;
+  emit_json oc ~quick entries sw ab mp rv;
   close_out oc;
   Printf.printf "  wrote %s\n" out;
   match baseline with

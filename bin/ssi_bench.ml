@@ -394,7 +394,40 @@ let fuzz_cmd =
             "Write the shrunk write-skew SI anomaly found by the campaign to $(docv) (implies \
              --shrink-anomalies)")
   in
+  let crash_arg =
+    Arg.(
+      value & flag
+      & info [ "crash" ]
+          ~doc:
+            "Crash-recovery campaign: per case, sweep deterministic crash points (append / \
+             mid-flush torn tail / commit window), recover from the WAL's durable prefix and \
+             verify the committed-prefix, horizon and continuation-serializability oracles")
+  in
   let print_case c = print_string (Fuzzcase.to_string c) in
+  (* A crash repro carries its fault plan as a '# crash <plan>' comment;
+     route those to the crash-recovery replayer. *)
+  let do_crash_replay file content =
+    match Fuzzrecover.replay_string content with
+    | Error e ->
+        Printf.eprintf "replay %s: %s\n" file e;
+        exit 1
+    | Ok o -> (
+        Printf.printf "crash plan %s\n" (Wal.plan_to_string o.Fuzzrecover.o_plan);
+        (match o.Fuzzrecover.o_report with
+        | Some rep ->
+            Printf.printf
+              "recovered: %d records, %d committed, %d in-doubt, %d aborted, %d torn bytes, \
+               horizon %d\n"
+              rep.Core.Db.r_replayed rep.Core.Db.r_committed rep.Core.Db.r_in_doubt
+              rep.Core.Db.r_aborted rep.Core.Db.r_torn_bytes rep.Core.Db.r_last_commit_ts
+        | None -> ());
+        match o.Fuzzrecover.o_violation with
+        | None -> print_endline "replay OK: recovery matches the committed prefix"
+        | Some v ->
+            Printf.printf "oracle violation: %s\n" (Fuzzrecover.violation_to_string v);
+            print_endline "replay FAILED";
+            exit 1)
+  in
   let do_replay file =
     match Fuzz.replay_string (read_file file) with
     | Error e ->
@@ -494,19 +527,131 @@ let fuzz_cmd =
       s.Fuzz.s_failures;
     if s.Fuzz.s_failures <> [] then exit 1
   in
-  let run cases seed matrix out shrink replay demo jobs =
+  let crash_campaign cases seed matrix_name out jobs =
+    let matrix =
+      match Fuzzcase.matrix_of_string matrix_name with
+      | Some m -> m
+      | None ->
+          prerr_endline ("unknown matrix: " ^ matrix_name);
+          exit 1
+    in
+    let on_progress p =
+      Printf.eprintf "  %d/%d cases (%d crash runs, %d failures)\n%!" p.Fuzzrecover.cp_done
+        p.Fuzzrecover.cp_total p.Fuzzrecover.cp_runs p.Fuzzrecover.cp_failures
+    in
+    let s =
+      with_jobs jobs (fun pool ->
+          Fuzzrecover.run_campaign ?pool ~on_progress ~seed ~cases ~matrix ())
+    in
+    Printf.printf
+      "fuzz --crash seed=%d matrix=%s: %d cases, %d crash runs\n\
+      \  crashes fired:    %d\n\
+      \  torn tails:       %d\n\
+      \  records replayed: %d\n\
+      \  committed txns:   %d\n\
+      \  in-doubt dropped: %d\n\
+      \  logged aborts:    %d\n\
+      \  oracle failures:  %d\n"
+      seed matrix_name s.Fuzzrecover.cs_cases s.Fuzzrecover.cs_runs s.Fuzzrecover.cs_crashes
+      s.Fuzzrecover.cs_torn s.Fuzzrecover.cs_replayed s.Fuzzrecover.cs_committed
+      s.Fuzzrecover.cs_in_doubt s.Fuzzrecover.cs_aborted
+      (List.length s.Fuzzrecover.cs_failures);
+    (match out with
+    | Some dir when s.Fuzzrecover.cs_failures <> [] ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iteri
+          (fun i f ->
+            let file = Filename.concat dir (Printf.sprintf "crash-%03d.repro" i) in
+            write_file file (Fuzzrecover.repro_string f);
+            Printf.printf "  wrote %s (%s)\n" file
+              (Fuzzrecover.violation_to_string f.Fuzzrecover.cf_violation))
+          s.Fuzzrecover.cs_failures
+    | _ -> ());
+    List.iter
+      (fun f ->
+        Printf.printf "\nVIOLATION at case %d, plan %s: %s\ncase:\n" f.Fuzzrecover.cf_index
+          (Wal.plan_to_string f.Fuzzrecover.cf_plan)
+          (Fuzzrecover.violation_to_string f.Fuzzrecover.cf_violation);
+        print_case f.Fuzzrecover.cf_case)
+      s.Fuzzrecover.cs_failures;
+    if s.Fuzzrecover.cs_failures <> [] then exit 1
+  in
+  let run cases seed matrix out shrink replay demo crash jobs =
     match replay with
-    | Some file -> do_replay file
-    | None -> campaign cases seed matrix out shrink demo jobs
+    | Some file ->
+        let content = read_file file in
+        let is_crash_repro =
+          List.exists
+            (fun l ->
+              let l = String.trim l in
+              String.length l > 7 && String.sub l 0 8 = "# crash ")
+            (String.split_on_char '\n' content)
+        in
+        if is_crash_repro then do_crash_replay file content else do_replay file
+    | None ->
+        if crash then crash_campaign cases seed matrix out jobs
+        else campaign cases seed matrix out shrink demo jobs
   in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Differential history fuzzing: random transaction programs executed under SSI/SI/S2PL \
-          and judged by the MVSG oracle")
+          and judged by the MVSG oracle; --crash sweeps WAL crash points against the recovery \
+          oracle instead")
     Term.(
       const run $ cases_arg $ seed_arg $ matrix_arg $ out_arg $ shrink_arg $ replay_arg
-      $ demo_arg $ jobs_arg)
+      $ demo_arg $ crash_arg $ jobs_arg)
+
+(* [recover]: one deterministic crash+recover+verify roundtrip, printed in
+   full — the quickstart (and CI smoke) companion to [fuzz --crash]. *)
+let recover_cmd =
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Case-selection seed") in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan: append:N | flush:F:K:T | window:N (default: crash halfway through \
+             the case's WAL appends)")
+  in
+  let run seed plan =
+    let plan =
+      match plan with
+      | None -> None
+      | Some s -> (
+          match Wal.plan_of_string s with
+          | Some p -> Some p
+          | None ->
+              prerr_endline ("bad plan: " ^ s);
+              exit 1)
+    in
+    let d = Fuzzrecover.demo ?plan ~seed () in
+    Printf.printf "case (seed %d):\n%s" seed (Fuzzcase.to_string d.Fuzzrecover.d_case);
+    Printf.printf "crash plan: %s\n" (Wal.plan_to_string d.Fuzzrecover.d_plan);
+    let o = d.Fuzzrecover.d_outcome in
+    (match o.Fuzzrecover.o_report with
+    | Some rep ->
+        Printf.printf
+          "recovery: replayed %d records -> %d committed, %d in-doubt rolled back, %d logged \
+           aborts, %d torn bytes discarded\n\
+           restored horizon: last_commit_ts=%d, retention watermark=%d\n"
+          rep.Core.Db.r_replayed rep.Core.Db.r_committed rep.Core.Db.r_in_doubt
+          rep.Core.Db.r_aborted rep.Core.Db.r_torn_bytes rep.Core.Db.r_last_commit_ts
+          rep.Core.Db.r_watermark
+    | None -> ());
+    match o.Fuzzrecover.o_violation with
+    | None -> print_endline "verify OK: recovered store equals the committed prefix"
+    | Some v ->
+        Printf.printf "verify FAILED: %s\n" (Fuzzrecover.violation_to_string v);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Crash one generated workload at a deterministic WAL fault point, recover from the \
+          durable log prefix and verify the recovery oracle")
+    Term.(const run $ seed_arg $ plan_arg)
 
 (* [report]: one self-contained Markdown document from three ingredient
    sets — figure sweeps, a profiled benchmark run (with ASCII utilisation
@@ -774,5 +919,6 @@ let () =
             sdg_cmd;
             interleave_cmd;
             fuzz_cmd;
+            recover_cmd;
             Perf_cmd.cmd;
           ]))

@@ -71,6 +71,12 @@ type t = {
       (** granularity promotion: once a transaction holds this many row
           SIREADs on one leaf page they collapse into a single page SIREAD.
           Only active when [memory_budget] is set (row granularity) *)
+  checkpoint_interval : int option;
+      (** append a WAL checkpoint record (oldest-active-snapshot watermark +
+          commit-ts allocator) and harden the open batch every [k] commits;
+          [None] disables checkpointing. In [Wal.No_flush] mode the interval
+          bounds the crash loss window; in [Flush_per_commit] it only bounds
+          recovery replay length *)
 }
 
 let default_cost =
@@ -108,6 +114,7 @@ let bdb ?(wal_mode = Wal.No_flush) () =
     disk_arms = 4;
     memory_budget = None;
     promote_threshold = 16;
+    checkpoint_interval = None;
   }
 
 (** InnoDB profile (§6.2): row-level locking with gap locks, immediate
@@ -135,6 +142,7 @@ let innodb ?(wal_mode = Wal.Flush_per_commit 0.01) () =
     disk_arms = 4;
     memory_budget = None;
     promote_threshold = 16;
+    checkpoint_interval = None;
   }
 
 (** Plain default for tests and examples: row-level, precise, no I/O waits,

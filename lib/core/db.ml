@@ -27,6 +27,8 @@ let create ?(config = Config.test ()) sim =
        else None);
     tables = Hashtbl.create 16;
     last_commit_ts = 0;
+    next_commit_ts = 0;
+    published = Hashtbl.create 16;
     next_txn_id = 0;
     txn_by_id = Hashtbl.create 1024;
     active = Hashtbl.create 256;
@@ -91,6 +93,7 @@ let begin_txn ?(read_only = false) (t : t) isolation =
       writes = Hashtbl.create 8;
       write_order = [];
       siread_count = 0;
+      logged = false;
       touched_pages = [];
       reads_log = [];
       in_edges = [];
@@ -181,17 +184,184 @@ let wal (t : t) = t.Internal.wal
 let cache (t : t) = t.Internal.cache
 
 (* Bulk-load committed rows outside any transaction (initial population of
-   benchmark tables). All rows get one fresh commit timestamp. *)
+   benchmark tables). All rows get one fresh commit timestamp. The load is
+   logged under the reserved bulk-load id 0 and hardened immediately
+   (without simulated delay — load runs outside any simulated process), so
+   a recovered database starts from the same base image. *)
 let load (t : t) table_name rows =
   let open Internal in
   let table = Internal.table_exn t table_name in
-  t.last_commit_ts <- t.last_commit_ts + 1;
-  let ts = t.last_commit_ts in
+  let ts = Internal.alloc_commit_ts t in
+  Wal.append t.wal (Wal.Begin { txn = 0 });
+  List.iter
+    (fun (key, value) -> Wal.append t.wal (Wal.Write { txn = 0; table = table_name; key; value }))
+    rows;
+  Wal.append t.wal (Wal.Commit { txn = 0; ts });
+  Wal.harden t.wal;
   List.iter
     (fun (key, value) ->
       let chain, _ = Mvstore.ensure_chain table key in
       Mvstore.install chain ~value:(Some value) ~commit_ts:ts ~creator:0)
-    rows
+    rows;
+  Internal.publish_commit_ts t ts
+
+(* Canonical textual image of every table's committed store (tables in name
+   order, keys in index order, chains oldest-first), optionally truncated to
+   versions at or below [max_ts]. Byte-equality of dumps is the recovery
+   oracle's store-equivalence check: recovered db ≡ reference db filtered to
+   the recovered snapshot horizon. *)
+let dump_store ?max_ts (t : t) =
+  let buf = Buffer.create 1024 in
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) t.Internal.tables [] in
+  List.iter
+    (fun name -> Mvstore.dump ?max_ts (Hashtbl.find t.Internal.tables name) buf)
+    (List.sort compare names);
+  Buffer.contents buf
+
+type recovery_report = {
+  r_replayed : int;
+  r_committed : int;
+  r_in_doubt : int;
+  r_aborted : int;
+  r_torn_bytes : int;
+  r_watermark : int;
+  r_last_commit_ts : int;
+}
+
+(* Replay the durable log prefix into a fresh database.
+
+   The engine appends a transaction's redo records and its Commit record in
+   one atomic simulated step right after allocating the commit timestamp,
+   so Commit records appear in timestamp order and the durable image is
+   always a byte-prefix of the crash-free log. Replaying every durable
+   Commit therefore reconstructs exactly the committed prefix: the set of
+   commits with ts <= the restored horizon, with no in-doubt write visible.
+
+   In-doubt transactions (Begin without a durable Commit) are dropped;
+   transactions with a logged Abort are dropped even if their Commit record
+   made it to disk (the Committing-state rollback path). SIREAD locks are
+   volatile, so serializability state cannot be restored exactly; instead
+   every recovered commit above the checkpoint watermark leaves
+   conservative summary-table entries (PR 5 machinery, Ports & Grittner's
+   OldCommittedSxact) with both conflict flags set, and readers that meet a
+   recovered version whose creator record is gone already fall back to the
+   conservative unknown-writer self-edge. False positives may rise after
+   recovery; no serializability violation is admitted. *)
+let recover ?(config = Config.test ()) ?obs sim ~log =
+  match Wal.decode log with
+  | Error e -> Error e
+  | Ok (records, torn_bytes) ->
+      let db = create ~config sim in
+      (match obs with Some o -> set_obs db o | None -> ());
+      let open Internal in
+      (* A transaction with a logged Abort must not be applied even when its
+         Commit record is durable. Transaction ids are never reused across
+         commit attempts (the bulk-load id 0 never aborts), so one pre-pass
+         suffices. *)
+      let aborted_ids = Hashtbl.create 8 in
+      List.iter
+        (function Wal.Abort { txn } -> Hashtbl.replace aborted_ids txn () | _ -> ())
+        records;
+      let buffered = Hashtbl.create 16 in
+      let committed = ref 0 and n_aborted = ref 0 in
+      let watermark = ref 0 and horizon = ref 0 and max_txn = ref 0 in
+      let buffer txn w =
+        let prev = Option.value ~default:[] (Hashtbl.find_opt buffered txn) in
+        Hashtbl.replace buffered txn (w :: prev)
+      in
+      let apply txn ts writes =
+        (* Last write per key wins, first-touch order — the engine logs one
+           record per key already; hand-written logs may not. *)
+        let final = Hashtbl.create 8 in
+        let order = ref [] in
+        List.iter
+          (fun (tbl, key, value) ->
+            if not (Hashtbl.mem final (tbl, key)) then order := (tbl, key) :: !order;
+            Hashtbl.replace final (tbl, key) value)
+          writes;
+        List.iter
+          (fun (tbl, key) ->
+            let table =
+              match Hashtbl.find_opt db.tables tbl with
+              | Some t -> t
+              | None -> create_table db tbl
+            in
+            let chain, access = Mvstore.ensure_chain table key in
+            Mvstore.install chain ~value:(Hashtbl.find final (tbl, key)) ~commit_ts:ts
+              ~creator:txn;
+            if config.Config.granularity = Config.Page then
+              List.iter
+                (fun p -> Hashtbl.replace db.page_stamps (tbl, p) (ts, txn))
+                access.Btree.leaves;
+            (* Volatile-SIREAD conservatism: flag the written rows of every
+               recovered commit still above the watermark in both directions,
+               so post-recovery SSI errs toward aborting. *)
+            if txn <> 0 && ts > !watermark then begin
+              summary_add db (row_resource tbl key) ~commit_ts:ts ~in_conflict:true
+                ~out_conflict:true;
+              if config.Config.granularity = Config.Page then
+                List.iter
+                  (fun p ->
+                    summary_add db (page_resource tbl p) ~commit_ts:ts ~in_conflict:true
+                      ~out_conflict:true)
+                  access.Btree.leaves
+            end)
+          (List.rev !order)
+      in
+      List.iter
+        (fun r ->
+          match r with
+          | Wal.Begin { txn } ->
+              Hashtbl.replace buffered txn [];
+              if txn > !max_txn then max_txn := txn
+          | Wal.Write { txn; table; key; value } | Wal.Insert { txn; table; key; value } ->
+              buffer txn (table, key, Some value)
+          | Wal.Delete { txn; table; key } -> buffer txn (table, key, None)
+          | Wal.Abort { txn } ->
+              if Hashtbl.mem buffered txn then begin
+                incr n_aborted;
+                Hashtbl.remove buffered txn
+              end
+          | Wal.Checkpoint { watermark = w; next_ts } ->
+              if w > !watermark then watermark := w;
+              if next_ts > !horizon then horizon := next_ts
+          | Wal.Commit { txn; ts } ->
+              if ts > !horizon then horizon := ts;
+              if Hashtbl.mem aborted_ids txn then begin
+                incr n_aborted;
+                Hashtbl.remove buffered txn
+              end
+              else begin
+                let writes = List.rev (Option.value ~default:[] (Hashtbl.find_opt buffered txn)) in
+                Hashtbl.remove buffered txn;
+                apply txn ts writes;
+                incr committed
+              end)
+        records;
+      db.last_commit_ts <- !horizon;
+      db.next_commit_ts <- !horizon;
+      if !max_txn > db.next_txn_id then db.next_txn_id <- !max_txn;
+      let in_doubt = Hashtbl.length buffered in
+      (* Start the recovered log generation with a checkpoint so a later
+         crash of the recovered instance knows its base horizon. *)
+      Wal.append db.wal (Wal.Checkpoint { watermark = !horizon; next_ts = !horizon });
+      Wal.harden db.wal;
+      Obs.record_replayed db.obs ~n:(List.length records);
+      if Obs.tracing db.obs then
+        Obs.emit db.obs ~ts:(Sim.now sim)
+          (Obs.Recovery
+             { replayed = List.length records; committed = !committed; in_doubt; torn_bytes });
+      Ok
+        ( db,
+          {
+            r_replayed = List.length records;
+            r_committed = !committed;
+            r_in_doubt = in_doubt;
+            r_aborted = !n_aborted;
+            r_torn_bytes = torn_bytes;
+            r_watermark = !watermark;
+            r_last_commit_ts = !horizon;
+          } )
 
 (* Fill the buffer pool with as many pages as fit, newest tables last (so
    the initial load does not count as misses). No-op without a pool. *)

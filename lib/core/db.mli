@@ -120,6 +120,39 @@ val wal : t -> Wal.t
 (** The LRU buffer pool, when [config.buffer_pool] is set. *)
 val cache : t -> Bufcache.t option
 
+(** {1 Durability & recovery} *)
+
+(** Canonical textual image of every table's committed store (tables in
+    name order, keys in index order, chains oldest-first), optionally
+    truncated to versions with [commit_ts <= max_ts]. Byte-equality of
+    dumps is the recovery oracle's store-equivalence check. *)
+val dump_store : ?max_ts:int -> t -> string
+
+type recovery_report = {
+  r_replayed : int;  (** log records replayed from the durable prefix *)
+  r_committed : int;  (** committed transactions applied (incl. bulk loads) *)
+  r_in_doubt : int;  (** in-doubt transactions rolled back (no Commit) *)
+  r_aborted : int;  (** transactions dropped due to a logged Abort *)
+  r_torn_bytes : int;  (** bytes of torn trailing frame discarded *)
+  r_watermark : int;  (** retention watermark from the last checkpoint *)
+  r_last_commit_ts : int;  (** restored snapshot horizon *)
+}
+
+(** [recover sim ~log] replays the durable log prefix (as produced by
+    [Wal.durable_log]) into a fresh database on [sim]: committed
+    transactions are reinstalled at their original timestamps, in-doubt and
+    logged-abort transactions are dropped, the commit-ts allocator and
+    snapshot horizon are restored, and every recovered commit above the
+    checkpoint watermark leaves conservative summary-table entries (SIREAD
+    locks are volatile, so post-recovery SSI errs toward aborting).
+    Returns [Error] on a corrupt (not merely truncated) log. *)
+val recover :
+  ?config:Config.t ->
+  ?obs:Obs.t ->
+  Sim.t ->
+  log:string ->
+  (t * recovery_report, string) result
+
 (** {1 Maintenance} *)
 
 (** Pre-fault loaded pages into the buffer pool (no simulated I/O) and reset

@@ -27,6 +27,20 @@ let rollback_now t reason =
   match t.state with
   | Active | Committing ->
       t.state <- Aborted;
+      (* A Committing transaction rolled back between commit-ts allocation
+         and publication leaves a hole in the timestamp sequence: publish
+         the skipped ts so the snapshot horizon can advance past it, and
+         log an Abort record so recovery never applies redo records that
+         may already be durable for this transaction. *)
+      (match t.commit_ts with
+      | Some ts ->
+          publish_commit_ts t.db ts;
+          t.commit_ts <- None
+      | None -> ());
+      if t.logged then begin
+        Wal.append t.db.wal (Wal.Abort { txn = t.id });
+        t.logged <- false
+      end;
       t.db.n_siread_entries <- t.db.n_siread_entries - t.siread_count;
       t.siread_count <- 0;
       Lockmgr.release_all t.db.locks t.id;
@@ -971,26 +985,57 @@ let do_commit t =
       (* Durability before visibility (§4.4: locks released after the log
          flush; group commit batches concurrent committers). The flush is a
          profiler span: its duration is where group-commit batching shows
-         up in a trace. *)
-      if n_writes > 0 then begin
-        if Obs.tracing db.obs then
-          Obs.emit db.obs ~ts:(Sim.now db.sim)
-            (Obs.Span_b { tid = t.id; name = "log-flush"; cat = "wal" });
-        Wal.append db.wal;
-        Wal.commit_flush db.wal;
-        if Obs.tracing db.obs then
-          Obs.emit db.obs ~ts:(Sim.now db.sim)
-            (Obs.Span_e { tid = t.id; name = "log-flush"; cat = "wal" })
-      end;
-      (* Atomic publication: assign the commit timestamp and install all
-         versions in one step, so snapshots are consistent. Read-only
-         transactions also take a fresh timestamp — overlap tests
-         ("commit(owner) > begin(T)", Fig 3.5) need commits and begins
-         totally ordered. *)
-      let commit_ts = db.last_commit_ts + 1 in
-      db.last_commit_ts <- commit_ts;
-      t.commit_ts <- Some commit_ts;
+         up in a trace.
+
+         Writing transactions draw their commit timestamp *before* the
+         flush so the WAL Commit record can carry it; allocation and the
+         appends are one atomic simulated step, which keeps Commit records
+         in timestamp order in the log (recovery's prefix oracle relies on
+         this). The timestamp stays unpublished — invisible to snapshots
+         and comparing as +infinity — until the versions install below. *)
+      let commit_ts =
+        if n_writes > 0 then begin
+          let commit_ts = alloc_commit_ts db in
+          t.commit_ts <- Some commit_ts;
+          if Obs.tracing db.obs then
+            Obs.emit db.obs ~ts:(Sim.now db.sim)
+              (Obs.Span_b { tid = t.id; name = "log-flush"; cat = "wal" });
+          Wal.append db.wal (Wal.Begin { txn = t.id });
+          let seen = Hashtbl.create 16 in
+          List.iter
+            (fun (table_name, key) ->
+              if not (Hashtbl.mem seen (table_name, key)) then begin
+                Hashtbl.add seen (table_name, key) ();
+                match Hashtbl.find t.writes (table_name, key) with
+                | Some value ->
+                    Wal.append db.wal (Wal.Write { txn = t.id; table = table_name; key; value })
+                | None -> Wal.append db.wal (Wal.Delete { txn = t.id; table = table_name; key })
+              end)
+            (List.rev t.write_order);
+          Wal.append db.wal (Wal.Commit { txn = t.id; ts = commit_ts });
+          t.logged <- true;
+          Wal.commit_window_check db.wal;
+          Wal.commit_flush db.wal;
+          if Obs.tracing db.obs then
+            Obs.emit db.obs ~ts:(Sim.now db.sim)
+              (Obs.Span_e { tid = t.id; name = "log-flush"; cat = "wal" });
+          commit_ts
+        end
+        else begin
+          (* Read-only / no-write commit: nothing to log, so allocation and
+             publication collapse into the atomic block below. A fresh
+             timestamp is still taken — overlap tests ("commit(owner) >
+             begin(T)", Fig 3.5) need commits and begins totally ordered. *)
+          let commit_ts = alloc_commit_ts db in
+          t.commit_ts <- Some commit_ts;
+          commit_ts
+        end
+      in
+      (* Atomic publication: install all versions and advance the snapshot
+         horizon in one step, so snapshots are consistent. *)
       if n_writes > 0 then install_writes t commit_ts;
+      publish_commit_ts db commit_ts;
+      t.logged <- false;
       t.state <- Committed;
       db.stats.commits <- db.stats.commits + 1;
       record_history t;
@@ -1023,7 +1068,7 @@ let do_commit t =
          oldest committed transactions into the summary until under budget or
          the suspended queue is empty (the summary's own sentinel entries are
          bounded by the resource universe, not by transaction count). *)
-      match config.Config.memory_budget with
+      (match config.Config.memory_budget with
       | None -> ()
       | Some budget ->
           let pressure () = Queue.length db.suspended + db.n_siread_entries in
@@ -1044,7 +1089,17 @@ let do_commit t =
                      entries = !entries;
                      retained = Queue.length db.suspended;
                    })
-          end)
+          end);
+      (* Periodic checkpoint: every [checkpoint_interval] commits, harden
+         the open WAL batch together with a checkpoint record carrying the
+         oldest-active-snapshot watermark and the commit-ts allocator. In
+         No_flush mode this is what bounds the crash loss window; recovery
+         restores the watermark for PR 5-style retention. *)
+      match config.Config.checkpoint_interval with
+      | Some k when k > 0 && db.stats.commits mod k = 0 ->
+          let watermark = min (min_active_snapshot db) db.last_commit_ts in
+          Wal.checkpoint db.wal ~watermark ~next_ts:db.next_commit_ts
+      | _ -> ())
 
 let do_rollback t reason =
   match t.state with

@@ -30,6 +30,7 @@ and txn = {
   writes : (string * string, string option) Hashtbl.t; (* buffered writes *)
   mutable write_order : (string * string) list; (* newest first *)
   mutable siread_count : int; (* distinct resources SIREAD-locked *)
+  mutable logged : bool; (* redo records appended to the WAL this commit *)
   mutable touched_pages : (string * int) list; (* pages split by our writes *)
   mutable reads_log : read_record list; (* only when record_history *)
   mutable in_edges : Obs.cert_edge list;
@@ -74,6 +75,13 @@ and db = {
   lock_mutex : Resource.t option;
   tables : (string, Mvstore.t) Hashtbl.t;
   mutable last_commit_ts : int;
+      (* highest *published* commit timestamp: every commit at or below it
+         is installed, so snapshots read it directly. Since PR 6 allocation
+         and publication are split (see [next_commit_ts]) *)
+  mutable next_commit_ts : int; (* commit-ts allocator (highest handed out) *)
+  published : (int, unit) Hashtbl.t;
+      (* allocated timestamps whose installation finished while an earlier
+         one is still flushing; drained contiguously into [last_commit_ts] *)
   mutable next_txn_id : int;
   txn_by_id : (int, txn) Hashtbl.t; (* active + committing + suspended *)
   active : (int, txn) Hashtbl.t;
@@ -143,12 +151,15 @@ let count_abort stats = function
 let has_committed t = match t.state with Committing | Committed -> true | Active | Aborted -> false
 
 (* Commit time for precise-mode comparisons: a Committing transaction's
-   timestamp is not assigned yet but is necessarily later than any assigned
-   one, so it compares as +infinity. *)
+   timestamp is either not assigned yet or assigned but not yet published
+   (allocated before the commit flush since PR 6); in both cases its writes
+   are not installed, so it must keep comparing as +infinity until the
+   transition to Committed. *)
 let commit_time t =
-  match t.commit_ts with
-  | Some ts -> float_of_int ts
-  | None -> infinity
+  match (t.state, t.commit_ts) with
+  | Committing, _ -> infinity
+  | _, Some ts -> float_of_int ts
+  | _, None -> infinity
 
 (* Commit time of a conflict reference, seen from [self] (§3.6). A
    self-reference stands for "several neighbours" and must err conservative:
@@ -247,6 +258,35 @@ let min_active_snapshot db =
   front ()
 
 let find_txn db id = Hashtbl.find_opt db.txn_by_id id
+
+(* {1 Commit-timestamp allocation}
+
+   Split allocate/publish discipline (PR 6): a writing transaction draws its
+   timestamp from [next_commit_ts] *before* the commit flush so the WAL's
+   Commit record can carry it (allocation and the append happen in one
+   atomic simulated step, which keeps Commit records in ts order — the
+   invariant recovery's prefix oracle relies on). [last_commit_ts] — the
+   snapshot horizon — advances only when every earlier timestamp has been
+   published, so a snapshot can never see ts k+1 while k is still flushing.
+   A transaction that dies between allocation and publication skips its
+   timestamp via [publish_commit_ts] too (the hole must not wedge the
+   horizon). *)
+
+let alloc_commit_ts db =
+  db.next_commit_ts <- db.next_commit_ts + 1;
+  db.next_commit_ts
+
+let publish_commit_ts db ts =
+  Hashtbl.replace db.published ts ();
+  let continue = ref true in
+  while !continue do
+    let next = db.last_commit_ts + 1 in
+    if Hashtbl.mem db.published next then begin
+      Hashtbl.remove db.published next;
+      db.last_commit_ts <- next
+    end
+    else continue := false
+  done
 
 (* {1 Bounded-memory mode (Config.memory_budget)} *)
 

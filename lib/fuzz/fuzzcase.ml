@@ -5,9 +5,10 @@
 
    Repro format (one record per line, '#' comments ignored):
 
-     ssi-fuzz-repro v2
+     ssi-fuzz-repro v3
      cfg granularity=row ssi=precise gap_locking=1 abort_early=1 \
-         victim=pivot ro_refinement=0 upgrade_siread=1 memory_budget=0
+         victim=pivot ro_refinement=0 upgrade_siread=1 memory_budget=0 \
+         wal_flush=0 checkpoint_interval=0
      init k0=0
      txn ro=0 r(k0);w(k1);scan(k0,k2,1)
      txn ro=1 r(k1)
@@ -32,6 +33,8 @@ type cfg_point = {
   ro_refinement : bool;  (** Ports & Grittner read-only optimisation *)
   upgrade_siread : bool;  (** §3.7.3 *)
   memory_budget : int;  (** bounded-memory mode budget; [0] = unbounded *)
+  wal_flush : bool;  (** synchronous commit flushes (group commit) vs buffered WAL *)
+  checkpoint_interval : int;  (** WAL checkpoint every k commits; [0] = off *)
 }
 
 let default_point =
@@ -44,6 +47,8 @@ let default_point =
     ro_refinement = false;
     upgrade_siread = true;
     memory_budget = 0;
+    wal_flush = false;
+    checkpoint_interval = 0;
   }
 
 (* Every meaningful knob combination: 192 points (gap locking only exists in
@@ -67,6 +72,7 @@ let matrix_full =
                               List.map
                                 (fun memory_budget ->
                                   {
+                                    default_point with
                                     granularity;
                                     ssi;
                                     gap_locking;
@@ -107,7 +113,11 @@ let matrix_of_string = function
 let config_of_point p =
   {
     (Config.test ()) with
-    Config.granularity = p.granularity;
+    Config.wal_mode =
+      (if p.wal_flush then Wal.Flush_per_commit 0.01 else Wal.No_flush);
+    checkpoint_interval =
+      (if p.checkpoint_interval > 0 then Some p.checkpoint_interval else None);
+    granularity = p.granularity;
     ssi = p.ssi;
     gap_locking = (p.gap_locking && p.granularity = Config.Row);
     abort_early = p.abort_early;
@@ -185,11 +195,11 @@ let bool01 b = if b then "1" else "0"
 let point_to_string p =
   Printf.sprintf
     "granularity=%s ssi=%s gap_locking=%s abort_early=%s victim=%s ro_refinement=%s \
-     upgrade_siread=%s memory_budget=%d"
+     upgrade_siread=%s memory_budget=%d wal_flush=%s checkpoint_interval=%d"
     (granularity_to_string p.granularity)
     (variant_to_string p.ssi) (bool01 p.gap_locking) (bool01 p.abort_early)
     (victim_to_string p.victim) (bool01 p.ro_refinement) (bool01 p.upgrade_siread)
-    p.memory_budget
+    p.memory_budget (bool01 p.wal_flush) p.checkpoint_interval
 
 let point_of_string s =
   let ( let* ) = Result.bind in
@@ -235,14 +245,25 @@ let point_of_string s =
   let* abort_early = get_bool "abort_early" in
   let* ro_refinement = get_bool "ro_refinement" in
   let* upgrade_siread = get_bool "upgrade_siread" in
-  (* v1 repro lines have no memory_budget field; they mean budget off. *)
-  let* memory_budget =
-    match List.assoc_opt "memory_budget" fields with
+  (* Fields added by later codec versions parse with their old default when
+     missing, so v1 (no memory_budget) and v2 (no wal_flush /
+     checkpoint_interval) repro files keep their original meaning. *)
+  let opt_int k =
+    match List.assoc_opt k fields with
     | None -> Ok 0
     | Some v -> (
         match int_of_string_opt v with
         | Some n when n >= 0 -> Ok n
-        | _ -> Error ("cfg: bad memory_budget " ^ v))
+        | _ -> Error ("cfg: bad " ^ k ^ " " ^ v))
+  in
+  let* memory_budget = opt_int "memory_budget" in
+  let* checkpoint_interval = opt_int "checkpoint_interval" in
+  let* wal_flush =
+    match List.assoc_opt "wal_flush" fields with
+    | None -> Ok false
+    | Some "1" -> Ok true
+    | Some "0" -> Ok false
+    | Some v -> Error ("cfg: bad wal_flush " ^ v)
   in
   Ok
     {
@@ -254,6 +275,8 @@ let point_of_string s =
       ro_refinement;
       upgrade_siread;
       memory_budget;
+      wal_flush;
+      checkpoint_interval;
     }
 
 let op_of_string s : (Interleave.op, string) result =
@@ -297,10 +320,12 @@ let spec_of_string s : (Interleave.spec, string) result =
       (String.split_on_char ';' s)
       (Ok [])
 
-(* v2 added the optional [memory_budget] cfg field. v1 files are still
-   accepted: a missing field parses as budget-off, so every v1 repro keeps
-   its original meaning. *)
-let magic = "ssi-fuzz-repro v2"
+(* v2 added the optional [memory_budget] cfg field; v3 added [wal_flush]
+   and [checkpoint_interval] (durability knobs for the crash fuzzer). Older
+   files are still accepted: missing fields parse to the old defaults, so
+   every v1/v2 repro keeps its original meaning. *)
+let magic = "ssi-fuzz-repro v3"
+let magic_v2 = "ssi-fuzz-repro v2"
 let magic_v1 = "ssi-fuzz-repro v1"
 
 (* [expect] carries (level, digest) pairs verified on replay. *)
@@ -326,7 +351,7 @@ let of_string content : (t * (string * string) list, string) result =
   in
   match lines with
   | [] -> Error "empty repro file"
-  | first :: rest when first = magic || first = magic_v1 ->
+  | first :: rest when first = magic || first = magic_v2 || first = magic_v1 ->
       let cfg = ref None in
       let init = ref [] in
       let txns = ref [] in

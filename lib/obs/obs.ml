@@ -225,6 +225,8 @@ type metrics = {
   mutable m_summarized : int; (* committed txns folded into the summary *)
   mutable m_summary_hwm : int; (* max summary-table entries *)
   mutable m_budget_pressure : int; (* commits that triggered summarization *)
+  mutable m_checkpoints : int; (* WAL checkpoint records hardened *)
+  mutable m_replayed : int; (* log records replayed by recovery *)
 }
 
 let metrics_create () =
@@ -250,6 +252,8 @@ let metrics_create () =
     m_summarized = 0;
     m_summary_hwm = 0;
     m_budget_pressure = 0;
+    m_checkpoints = 0;
+    m_replayed = 0;
   }
 
 let metrics_copy m =
@@ -284,7 +288,9 @@ let metrics_merge ~into m =
   into.m_promotions <- into.m_promotions + m.m_promotions;
   into.m_summarized <- into.m_summarized + m.m_summarized;
   if m.m_summary_hwm > into.m_summary_hwm then into.m_summary_hwm <- m.m_summary_hwm;
-  into.m_budget_pressure <- into.m_budget_pressure + m.m_budget_pressure
+  into.m_budget_pressure <- into.m_budget_pressure + m.m_budget_pressure;
+  into.m_checkpoints <- into.m_checkpoints + m.m_checkpoints;
+  into.m_replayed <- into.m_replayed + m.m_replayed
 
 let conflict_sources m =
   [
@@ -326,7 +332,10 @@ let pp_metrics fmt m =
   if m.m_promotions + m.m_summarized + m.m_budget_pressure > 0 then
     Format.fprintf fmt
       "memory budget:  promotions=%d summarized-txns=%d summary-hwm=%d pressure-events=%d@."
-      m.m_promotions m.m_summarized m.m_summary_hwm m.m_budget_pressure
+      m.m_promotions m.m_summarized m.m_summary_hwm m.m_budget_pressure;
+  if m.m_checkpoints + m.m_replayed > 0 then
+    Format.fprintf fmt "durability:     checkpoints=%d replayed-records=%d@." m.m_checkpoints
+      m.m_replayed
 
 (* {1 Events} *)
 
@@ -351,6 +360,12 @@ type event =
   (* Profiler spans (Chrome-trace "B"/"E" duration events). The engine opens
      a [txn] span at begin, nests a [span] per lock wait and log flush, and
      closes the txn span at commit/abort. Pairing is by (tid, nesting). *)
+  (* Durability subsystem: a hardened checkpoint record, an injected crash
+     (the fault plan that fired, rendered as its compact string form), and a
+     completed recovery replay. *)
+  | Wal_checkpoint of { epoch : int; watermark : int; next_ts : int }
+  | Crash_inject of { plan : string }
+  | Recovery of { replayed : int; committed : int; in_doubt : int; torn_bytes : int }
   | Span_b of { tid : int; name : string; cat : string }
   | Span_e of { tid : int; name : string; cat : string }
   (* Per-resource state sample, emitted by the simulator's k-server
@@ -472,6 +487,10 @@ let note_summary t n =
 
 let record_budget_pressure t =
   if t.t_metrics then t.t_m.m_budget_pressure <- t.t_m.m_budget_pressure + 1
+
+let record_checkpoint t = if t.t_metrics then t.t_m.m_checkpoints <- t.t_m.m_checkpoints + 1
+
+let record_replayed t ~n = if t.t_metrics then t.t_m.m_replayed <- t.t_m.m_replayed + n
 
 (* {1 Chrome-trace export}
 
@@ -634,6 +653,16 @@ let event_to_buf buf (ts, e) =
       trace_record buf ~name:"summarize" ~cat:"budget" ~ph:"i" ~ts ~tid:0
         [ ("txns", string_of_int txns); ("entries", string_of_int entries);
           ("retained", string_of_int retained) ]
+  | Wal_checkpoint { epoch; watermark; next_ts } ->
+      trace_record buf ~name:"checkpoint" ~cat:"wal" ~ph:"i" ~ts ~tid:0
+        [ ("epoch", string_of_int epoch); ("watermark", string_of_int watermark);
+          ("next_ts", string_of_int next_ts) ]
+  | Crash_inject { plan } ->
+      trace_record buf ~name:"crash" ~cat:"wal" ~ph:"i" ~ts ~tid:0 [ ("plan", str plan) ]
+  | Recovery { replayed; committed; in_doubt; torn_bytes } ->
+      trace_record buf ~name:"recovery" ~cat:"wal" ~ph:"i" ~ts ~tid:0
+        [ ("replayed", string_of_int replayed); ("committed", string_of_int committed);
+          ("in_doubt", string_of_int in_doubt); ("torn_bytes", string_of_int torn_bytes) ]
   | Span_b { tid; name; cat } -> trace_record buf ~name ~cat ~ph:"B" ~ts ~tid []
   | Span_e { tid; name; cat } -> trace_record buf ~name ~cat ~ph:"E" ~ts ~tid []
   | Res_sample { res; in_use; queued } ->

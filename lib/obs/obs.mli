@@ -159,6 +159,8 @@ type metrics = {
   mutable m_summarized : int;  (** committed txns folded into the summary *)
   mutable m_summary_hwm : int;  (** max summary-table entries *)
   mutable m_budget_pressure : int;  (** commits that triggered summarization *)
+  mutable m_checkpoints : int;  (** WAL checkpoint records hardened *)
+  mutable m_replayed : int;  (** log records replayed by recovery *)
 }
 
 val metrics_create : unit -> metrics
@@ -194,6 +196,13 @@ type event =
   | Summarize of { txns : int; entries : int; retained : int }
       (** bounded-memory mode: a budget-pressure pass folded [txns] retained
           committed txns into [entries] summary-table records *)
+  | Wal_checkpoint of { epoch : int; watermark : int; next_ts : int }
+      (** a checkpoint record was hardened: [watermark] is the oldest active
+          snapshot, [next_ts] the commit-ts allocator at checkpoint time *)
+  | Crash_inject of { plan : string }
+      (** a seeded fault plan fired (compact [Wal.plan_to_string] form) *)
+  | Recovery of { replayed : int; committed : int; in_doubt : int; torn_bytes : int }
+      (** recovery replayed the durable log prefix *)
   | Span_b of { tid : int; name : string; cat : string }
       (** Profiler span open (Chrome-trace ["B"]); paired by (tid, nesting). *)
   | Span_e of { tid : int; name : string; cat : string }
@@ -294,6 +303,14 @@ val note_summary : t -> int -> unit
 
 (** Count one budget-pressure event (a commit that forced summarization). *)
 val record_budget_pressure : t -> unit
+
+(** {2 Durability recorders} *)
+
+(** Count one hardened WAL checkpoint record. *)
+val record_checkpoint : t -> unit
+
+(** Count [n] log records replayed by a recovery pass. *)
+val record_replayed : t -> n:int -> unit
 
 (** {1 Chrome-trace export}
 

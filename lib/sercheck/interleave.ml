@@ -111,6 +111,8 @@ type result = {
   outcomes : Types.abort_reason option list; (* None = committed, per txn *)
   history : Types.committed_record list;
   serializable : bool;
+  crashed : bool; (* an armed Wal crash plan fired during the run *)
+  db : Db.t; (* the engine the interleaving ran against *)
 }
 
 (* Execute one interleaving at [isolation]. [init] rows are bulk-loaded
@@ -126,17 +128,33 @@ type result = {
    previous operation is skipped; leftover operations run in a round-robin
    drain phase after the schedule is exhausted, so every transaction always
    finishes (commit or abort) before the function returns. *)
-let run_interleaving ?config ?obs ?init ?ro ~isolation (specs : spec list)
+let run_interleaving ?config ?obs ?init ?ro ?db ?crash ~isolation (specs : spec list)
     (order : (int * op) list) : result =
-  let config =
-    match config with Some c -> c | None -> { (Config.test ()) with Config.record_history = true }
+  let sim, db =
+    match db with
+    | Some db ->
+        (* Continuation mode (post-recovery workloads): reuse an existing
+           engine and its simulation; no table creation or bulk load — the
+           recovered store is the starting state. *)
+        if Db.table db table = None then ignore (Db.create_table db table);
+        (Db.sim db, db)
+    | None ->
+        let config =
+          match config with
+          | Some c -> c
+          | None -> { (Config.test ()) with Config.record_history = true }
+        in
+        let sim = Sim.create () in
+        let db = Db.create ~config sim in
+        ignore (Db.create_table db table);
+        let init = match init with Some rows -> rows | None -> default_init specs in
+        if init <> [] then Db.load db table init;
+        (sim, db)
   in
-  let sim = Sim.create () in
-  let db = Db.create ~config sim in
   (match obs with Some o -> Db.set_obs db o | None -> ());
-  ignore (Db.create_table db table);
-  let init = match init with Some rows -> rows | None -> default_init specs in
-  if init <> [] then Db.load db table init;
+  (* Fault plans arm after the bulk load so crash-trigger counters number
+     workload events only, keeping crash points comparable between runs. *)
+  (match crash with Some plan -> Wal.arm (Db.wal db) plan | None -> ());
   let n = List.length specs in
   let ro = match ro with Some l -> Array.of_list l | None -> Array.make n false in
   if Array.length ro <> n then invalid_arg "run_interleaving: ro length mismatch";
@@ -228,18 +246,33 @@ let run_interleaving ?config ?obs ?init ?ro ~isolation (specs : spec list)
         done;
         if (not !made) && unfinished () then Sim.delay sim 0.01
       done);
-  Sim.run ~until:1.0e6 sim;
+  let crashed =
+    (* An injected crash escapes the faulting transaction's process and
+       aborts the whole simulated machine: the run ends here with whatever
+       the WAL's durable prefix holds, which is exactly the state recovery
+       gets to see. *)
+    try
+      Sim.run ~until:1.0e6 sim;
+      false
+    with Wal.Crash -> true
+  in
   (* A transaction that never finished would mean the harness or engine
-     hung; surface it as an abort the oracle will flag. *)
+     hung (or the machine crashed); surface it as an abort the oracle will
+     flag (crashed runs are exempt: their outcomes are not a verdict). *)
   for i = 0 to n - 1 do
     if not finished.(i) then
-      outcomes.(i) <- Some (Types.Internal_error "interleave: transaction never finished")
+      outcomes.(i) <-
+        Some
+          (Types.Internal_error
+             (if crashed then "interleave: crashed" else "interleave: transaction never finished"))
   done;
   let history = Db.history db in
   {
     outcomes = Array.to_list outcomes;
     history;
     serializable = Mvsg.is_serializable history;
+    crashed;
+    db;
   }
 
 type summary = {

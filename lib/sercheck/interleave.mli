@@ -48,6 +48,8 @@ type result = {
   outcomes : Core.Types.abort_reason option list;  (** [None] = committed *)
   history : Core.Types.committed_record list;
   serializable : bool;
+  crashed : bool;  (** an armed [Wal] crash plan fired during the run *)
+  db : Core.Db.t;  (** the engine the interleaving ran against *)
 }
 
 (** Execute one interleaving at the given isolation. [init] overrides the
@@ -57,12 +59,22 @@ type result = {
     certificates, trace spans). Each transaction commits right after its
     last operation. Turns offered to a blocked transaction are skipped and
     its remaining operations run in a drain phase, so every transaction
-    terminates (commit or abort) before the call returns. *)
+    terminates (commit or abort) before the call returns.
+
+    [db] switches to continuation mode: the interleaving runs against the
+    given (e.g. freshly recovered) engine and its simulation instead of a
+    fresh one — no table creation, no bulk load, [config] ignored. [crash]
+    arms a deterministic fault plan after the bulk load; if it fires, the
+    simulated machine is abandoned mid-run, [crashed] is set, and the
+    surviving state is the WAL's durable prefix (feed
+    [Wal.durable_log (Db.wal result.db)] to [Db.recover]). *)
 val run_interleaving :
   ?config:Core.Config.t ->
   ?obs:Obs.t ->
   ?init:(string * string) list ->
   ?ro:bool list ->
+  ?db:Core.Db.t ->
+  ?crash:Wal.plan ->
   isolation:Core.Types.isolation ->
   spec list ->
   (int * op) list ->

@@ -103,6 +103,26 @@ let min_key t = Btree.min_key t.tree
    newer versions / tombstones. Returns the btree access footprint. *)
 let scan_chains t ?lo ?hi f = Btree.iter_range_access t.tree ?lo ?hi f
 
+(* Canonical textual image of the committed store, the recovery oracle's
+   store-equivalence witness: one line per version, keys in index order,
+   each chain oldest-first, versions above [max_ts] omitted. Key and value
+   are length-prefixed so arbitrary bytes (fuzzer keys contain anything)
+   cannot make two different stores render identically. *)
+let dump ?(max_ts = max_int) t buf =
+  ignore
+    (scan_chains t (fun key chain ->
+         List.iter
+           (fun v ->
+             if v.commit_ts <= max_ts then begin
+               Buffer.add_string buf
+                 (Printf.sprintf "%s/%d:%s@%d=" t.name (String.length key) key v.commit_ts);
+               (match v.value with
+               | Some s -> Buffer.add_string buf (Printf.sprintf "%d:%s" (String.length s) s)
+               | None -> Buffer.add_char buf '~');
+               Buffer.add_char buf '\n'
+             end)
+           (List.rev chain.versions)))
+
 (* Number of distinct keys with an index entry (live or tombstoned). *)
 let key_count t = Btree.length t.tree
 

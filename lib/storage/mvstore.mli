@@ -62,6 +62,13 @@ val min_key : t -> string option
 (** Inclusive range iteration over chains, reporting the index pages used. *)
 val scan_chains : t -> ?lo:string -> ?hi:string -> (string -> chain -> unit) -> Btree.access
 
+(** Append a canonical textual image of the committed store: one line per
+    version ([<table>/<len>:<key>@<ts>=<len>:<value>], [~] for a
+    tombstone), keys in index order, chains oldest-first, versions above
+    [max_ts] omitted. Byte-equality of dumps is the recovery oracle's
+    store-equivalence check. *)
+val dump : ?max_ts:ts -> t -> Buffer.t -> unit
+
 val key_count : t -> int
 
 val version_count : t -> int

@@ -1,0 +1,422 @@
+(* Crash-recovery subsystem tests (PR 6):
+
+   - WAL frame-codec properties: roundtrip over arbitrary binary payloads,
+     and the torn-tail contract — every strict prefix of a valid image
+     decodes to a record-prefix with the remainder reported as torn, never
+     as an error; in-bounds corruption is an error.
+   - Durability boundaries in both WAL modes: a commit that returned under
+     Flush_per_commit survives, one that crashed inside the commit window
+     does not; in No_flush mode unhardened commits are lost by design and
+     the checkpoint interval bounds the loss window.
+   - Recovery semantics: in-doubt rollback, Commit-then-Abort replay (a
+     Committing transaction rolled back after its records hit the log),
+     conservative summary-table entries for recovered commits, and the
+     publish-skip that lets the snapshot horizon advance past a rolled-back
+     commit timestamp.
+   - The reset_stats regression: a counter reset concurrent with an
+     in-flight group flush must not lose the flushing batch.
+   - The fixed-seed crash-point campaign: >= 10k crash runs with zero
+     recovery-oracle failures, identical with and without a domain pool. *)
+
+open Core
+
+(* {1 Codec properties} *)
+
+let gen_bytes =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 12))
+
+let gen_record =
+  let open QCheck.Gen in
+  frequency
+    [
+      (2, map (fun txn -> Wal.Begin { txn }) small_nat);
+      ( 4,
+        map
+          (fun (txn, (table, key, value)) -> Wal.Write { txn; table; key; value })
+          (pair small_nat (triple gen_bytes gen_bytes gen_bytes)) );
+      ( 2,
+        map
+          (fun (txn, (table, key, value)) -> Wal.Insert { txn; table; key; value })
+          (pair small_nat (triple gen_bytes gen_bytes gen_bytes)) );
+      ( 2,
+        map
+          (fun (txn, (table, key)) -> Wal.Delete { txn; table; key })
+          (pair small_nat (pair gen_bytes gen_bytes)) );
+      (3, map (fun (txn, ts) -> Wal.Commit { txn; ts }) (pair small_nat small_nat));
+      (1, map (fun txn -> Wal.Abort { txn }) small_nat);
+      ( 1,
+        map
+          (fun (watermark, next_ts) -> Wal.Checkpoint { watermark; next_ts })
+          (pair small_nat small_nat) );
+    ]
+
+let arb_records =
+  QCheck.make
+    ~print:(fun rs -> String.escaped (Wal.encode rs))
+    QCheck.Gen.(list_size (int_bound 12) gen_record)
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"wal codec roundtrips arbitrary records" ~count:500 arb_records
+    (fun rs -> Wal.decode (Wal.encode rs) = Ok (rs, 0))
+
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+  | _ :: _, [] -> false
+
+(* Truncation at *every* byte position: decode must succeed, return a
+   prefix of the original records, and report exactly the bytes past the
+   last whole frame as torn (inside the header the whole prefix is torn). *)
+let prop_codec_torn_tail =
+  QCheck.Test.make ~name:"every strict prefix decodes with an exact torn tail" ~count:200
+    arb_records (fun rs ->
+      let s = Wal.encode rs in
+      let ok = ref true in
+      for i = 0 to String.length s - 1 do
+        let p = String.sub s 0 i in
+        match Wal.decode p with
+        | Error _ -> ok := false
+        | Ok (rs', torn) ->
+            if not (is_prefix rs' rs) then ok := false
+            else if i < String.length Wal.header then begin
+              if rs' <> [] || torn <> i then ok := false
+            end
+            else if String.length (Wal.encode rs') + torn <> i then ok := false
+      done;
+      !ok)
+
+let test_codec_corruption () =
+  let reject what s =
+    match Wal.decode s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted" what
+  in
+  reject "bad header" "ssi-wal v9\n5:B 123\n";
+  let img = Wal.encode [ Wal.Begin { txn = 1 } ] in
+  reject "junk length prefix" (img ^ "x:B 2\n");
+  reject "unknown record tag" (img ^ "5:Z 1 2\n");
+  reject "missing terminator" (img ^ "3:B 2?7:C 2 9\n");
+  (* A clean image with trailing garbage that happens to be digits is a torn
+     frame, not corruption. *)
+  match Wal.decode (img ^ "12") with
+  | Ok (rs, 2) when rs = [ Wal.Begin { txn = 1 } ] -> ()
+  | _ -> Alcotest.fail "digit-only tail should decode as torn"
+
+(* {1 Durability boundaries} *)
+
+let flush_config =
+  {
+    (Config.test ()) with
+    Config.wal_mode = Wal.Flush_per_commit 0.01;
+    checkpoint_interval = None;
+  }
+
+let run_with_crash ?(config = Config.test ()) specs order crash =
+  Interleave.run_interleaving ~config ~crash ~isolation:Types.Serializable specs order
+
+let recover_result (r : Interleave.result) =
+  match Db.recover (Sim.create ()) ~log:(Wal.durable_log (Db.wal r.Interleave.db)) with
+  | Ok (db, rep) -> (db, rep)
+  | Error e -> Alcotest.failf "recovery failed: %s" e
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* Flush_per_commit: txn 1's commit flushed and returned before txn 2
+   crashed in its commit window — txn 1 must survive, txn 2 must not. *)
+let test_flushed_commit_survives () =
+  let specs = Interleave.[ [ W "x" ]; [ W "y" ] ] in
+  let order = Interleave.[ (0, W "x"); (1, W "y") ] in
+  let r = run_with_crash ~config:flush_config specs order (Wal.Crash_at_commit_window 2) in
+  Alcotest.(check bool) "crashed" true r.Interleave.crashed;
+  let db, rep = recover_result r in
+  Alcotest.(check int) "load + txn1 recovered" 2 rep.Db.r_committed;
+  let dump = Db.dump_store db in
+  Alcotest.(check bool) "txn1's write survives" true (contains dump "2:t0");
+  Alcotest.(check bool) "txn2's unflushed write does not" false (contains dump "2:t1")
+
+(* Flush_per_commit: a commit that never returned (crash between commit-ts
+   assignment and the flush) must not survive — nothing of the transaction
+   reached the durable image. *)
+let test_commit_window_crash_lost () =
+  let specs = Interleave.[ [ W "x" ] ] in
+  let order = Interleave.[ (0, W "x") ] in
+  let r = run_with_crash ~config:flush_config specs order (Wal.Crash_at_commit_window 1) in
+  Alcotest.(check bool) "crashed" true r.Interleave.crashed;
+  let db, rep = recover_result r in
+  Alcotest.(check int) "only the bulk load recovered" 1 rep.Db.r_committed;
+  Alcotest.(check int) "nothing in doubt: records never hardened" 0 rep.Db.r_in_doubt;
+  let dump = Db.dump_store db in
+  Alcotest.(check bool) "x keeps its loaded value" true (contains dump "1:0");
+  Alcotest.(check bool) "the crashed write is gone" false (contains dump "2:t0")
+
+(* No_flush: commits are buffered only, so an unhardened commit is lost by
+   design (the explicit expected-loss case) — but a checkpoint interval of 1
+   hardens each commit right after it completes, bounding the loss window to
+   the single in-flight transaction. *)
+let test_no_flush_expected_loss () =
+  let specs = Interleave.[ [ W "x" ]; [ W "y" ] ] in
+  let order = Interleave.[ (0, W "x"); (1, W "y") ] in
+  (* No checkpointing: everything after the bulk load is lost. *)
+  let cfg = { (Config.test ()) with Config.checkpoint_interval = None } in
+  let r = run_with_crash ~config:cfg specs order (Wal.Crash_at_commit_window 2) in
+  let db, rep = recover_result r in
+  Alcotest.(check int) "only the bulk load survives without checkpoints" 1 rep.Db.r_committed;
+  Alcotest.(check bool) "txn1's commit lost" false (contains (Db.dump_store db) "2:t0");
+  (* Checkpoint every commit: txn 1 was hardened by the checkpoint that
+     followed its commit; only the in-flight txn 2 is lost. *)
+  let cfg = { (Config.test ()) with Config.checkpoint_interval = Some 1 } in
+  let r = run_with_crash ~config:cfg specs order (Wal.Crash_at_commit_window 2) in
+  let db, rep = recover_result r in
+  Alcotest.(check int) "checkpoint bounded the loss to one txn" 2 rep.Db.r_committed;
+  let dump = Db.dump_store db in
+  Alcotest.(check bool) "txn1 survives via the checkpoint" true (contains dump "2:t0");
+  Alcotest.(check bool) "txn2 is the expected loss" false (contains dump "2:t1");
+  Alcotest.(check int) "horizon restored from the checkpoint" 2 rep.Db.r_last_commit_ts
+
+(* Mid-flush torn tail: keep Begin, tear the Write — the transaction is in
+   doubt (no durable Commit) and must be rolled back entirely. *)
+let test_torn_flush_in_doubt () =
+  let specs = Interleave.[ [ W "x" ] ] in
+  let order = Interleave.[ (0, W "x") ] in
+  let r =
+    run_with_crash ~config:flush_config specs order
+      (Wal.Crash_mid_flush { flush = 1; keep = 1; torn = 3 })
+  in
+  let db, rep = recover_result r in
+  Alcotest.(check int) "one txn in doubt" 1 rep.Db.r_in_doubt;
+  Alcotest.(check bool) "torn bytes discarded" true (rep.Db.r_torn_bytes > 0);
+  Alcotest.(check bool) "no write applied" false (contains (Db.dump_store db) "2:t0")
+
+(* {1 Recovery semantics} *)
+
+(* Commit-then-Abort: a transaction killed while Committing (after its
+   records, including Commit, reached the log) appends a compensating Abort
+   record; replay must drop it entirely and count it once. *)
+let test_commit_then_abort_replay () =
+  let log =
+    Wal.encode
+      [
+        Wal.Begin { txn = 3 };
+        Wal.Write { txn = 3; table = "t"; key = "k"; value = "v" };
+        Wal.Commit { txn = 3; ts = 1 };
+        Wal.Abort { txn = 3 };
+      ]
+  in
+  match Db.recover (Sim.create ()) ~log with
+  | Error e -> Alcotest.failf "recovery failed: %s" e
+  | Ok (db, rep) ->
+      Alcotest.(check int) "aborted once" 1 rep.Db.r_aborted;
+      Alcotest.(check int) "nothing committed" 0 rep.Db.r_committed;
+      Alcotest.(check int) "nothing in doubt" 0 rep.Db.r_in_doubt;
+      Alcotest.(check bool) "write dropped" false (contains (Db.dump_store db) "1:k")
+
+(* Recovered commits above the checkpoint watermark leave conservative
+   summary entries (SIREADs are volatile, §4.8 / Ports & Grittner): the
+   post-recovery engine must err toward aborting, not toward admitting. *)
+let test_recovery_conservative_summary () =
+  let log =
+    Wal.encode
+      [
+        Wal.Begin { txn = 2 };
+        Wal.Write { txn = 2; table = "t"; key = "k"; value = "v" };
+        Wal.Commit { txn = 2; ts = 1 };
+      ]
+  in
+  match Db.recover (Sim.create ()) ~log with
+  | Error e -> Alcotest.failf "recovery failed: %s" e
+  | Ok (db, rep) ->
+      Alcotest.(check int) "committed" 1 rep.Db.r_committed;
+      Alcotest.(check bool) "conservative summary entries exist" true (Db.summary_size db > 0)
+
+(* Publish-skip: rolling back a Committing transaction must let the
+   snapshot horizon advance past its allocated (now unused) timestamp. *)
+let test_publish_skip_horizon () =
+  let sim = Sim.create () in
+  let db = Db.create sim in
+  let a = Internal.alloc_commit_ts db in
+  let b = Internal.alloc_commit_ts db in
+  Internal.publish_commit_ts db b;
+  Alcotest.(check int) "horizon held below the unpublished hole" 0 (Db.last_commit_ts db);
+  (* the rollback path publish-skips the abandoned timestamp *)
+  Internal.publish_commit_ts db a;
+  Alcotest.(check int) "horizon jumps past the hole" b (Db.last_commit_ts db)
+
+(* reset_stats concurrent with an in-flight group flush: the reset zeroes
+   counters only; the sealed batch must still harden. *)
+let test_reset_stats_inflight_flush () =
+  let sim = Sim.create () in
+  let wal = Wal.create sim ~mode:(Wal.Flush_per_commit 0.01) in
+  Sim.spawn sim (fun () ->
+      Wal.append wal (Wal.Begin { txn = 1 });
+      Wal.commit_flush wal);
+  Sim.spawn sim (fun () ->
+      Sim.delay sim 0.005;
+      (* mid-flight: the leader sealed the batch and is sleeping in the
+         simulated flush latency *)
+      Wal.reset_stats wal);
+  Sim.run sim;
+  (* the append predates the reset, so its counter is zeroed; the flush
+     completes after and is counted afresh *)
+  Alcotest.(check int) "append counter was reset" 0 (Wal.appends wal);
+  Alcotest.(check int) "post-reset flush still counted" 1 (Wal.flushes wal);
+  match Wal.decode (Wal.durable_log wal) with
+  | Ok (rs, 0) when rs = [ Wal.Begin { txn = 1 } ] -> ()
+  | _ -> Alcotest.fail "in-flight batch lost by a concurrent reset_stats"
+
+(* {1 Repro codec cross-version} *)
+
+(* v1 (no memory_budget) and v2 (no durability fields) repros must parse
+   with the old defaults and roundtrip through the v3 magic unchanged. *)
+let test_codec_v2_compat () =
+  let v2 =
+    "ssi-fuzz-repro v2\n\
+     cfg granularity=row ssi=precise gap_locking=1 abort_early=1 victim=pivot \
+     ro_refinement=0 upgrade_siread=1 memory_budget=4\n\
+     init k0=0\n\
+     txn ro=0 r(k0);w(k0)\n\
+     schedule 0 0\n"
+  in
+  match Fuzzcase.of_string v2 with
+  | Error e -> Alcotest.failf "v2 repro rejected: %s" e
+  | Ok (c, _) -> (
+      Alcotest.(check int) "v2 keeps its budget" 4 c.Fuzzcase.cfg.Fuzzcase.memory_budget;
+      Alcotest.(check bool) "v2 parses as buffered WAL" false c.Fuzzcase.cfg.Fuzzcase.wal_flush;
+      Alcotest.(check int) "v2 parses as checkpointing off" 0
+        c.Fuzzcase.cfg.Fuzzcase.checkpoint_interval;
+      let s = Fuzzcase.to_string c in
+      Alcotest.(check bool) "re-emitted with the v3 magic" true
+        (String.length s >= String.length Fuzzcase.magic
+        && String.sub s 0 (String.length Fuzzcase.magic) = Fuzzcase.magic);
+      match Fuzzcase.of_string s with
+      | Ok (c', _) -> Alcotest.(check bool) "v2 -> v3 roundtrip" true (c = c')
+      | Error e -> Alcotest.failf "v3 re-emit rejected: %s" e)
+
+let test_codec_v3_durability_roundtrip () =
+  let c =
+    {
+      Fuzzcase.specs = [ [ Interleave.W "k0" ] ];
+      ro = [ false ];
+      init = [ ("k0", "0") ];
+      schedule = [ 0 ];
+      cfg =
+        { Fuzzcase.default_point with Fuzzcase.wal_flush = true; checkpoint_interval = 3 };
+    }
+  in
+  match Fuzzcase.of_string (Fuzzcase.to_string c) with
+  | Ok (c', _) ->
+      Alcotest.(check bool) "wal_flush survives" true c'.Fuzzcase.cfg.Fuzzcase.wal_flush;
+      Alcotest.(check int) "checkpoint_interval survives" 3
+        c'.Fuzzcase.cfg.Fuzzcase.checkpoint_interval
+  | Error e -> Alcotest.failf "v3 roundtrip failed: %s" e
+
+(* {1 Campaigns} *)
+
+(* The acceptance bar: >= 10k sampled crash points, every plan fires, zero
+   recovery-oracle failures. Fixed seed, so this is one deterministic
+   computation. *)
+let test_campaign_10k () =
+  let s =
+    Fuzzrecover.run_campaign ~seed:1 ~cases:4250 ~matrix:Fuzzcase.matrix_full ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 10k crash runs (got %d)" s.Fuzzrecover.cs_runs)
+    true
+    (s.Fuzzrecover.cs_runs >= 10_000);
+  Alcotest.(check int) "every sampled plan fired" s.Fuzzrecover.cs_runs
+    s.Fuzzrecover.cs_crashes;
+  Alcotest.(check bool) "torn tails exercised" true (s.Fuzzrecover.cs_torn > 0);
+  Alcotest.(check bool) "in-doubt rollbacks exercised" true (s.Fuzzrecover.cs_in_doubt > 0);
+  Alcotest.(check int) "zero recovery-oracle failures" 0
+    (List.length s.Fuzzrecover.cs_failures)
+
+(* Shard/pool invariance: the campaign summary is identical sequentially,
+   with a 3-domain pool, and across shard sizes. *)
+let test_campaign_pool_invariance () =
+  let fingerprint (s : Fuzzrecover.summary) =
+    ( s.Fuzzrecover.cs_runs,
+      s.Fuzzrecover.cs_crashes,
+      s.Fuzzrecover.cs_torn,
+      s.Fuzzrecover.cs_committed,
+      s.Fuzzrecover.cs_in_doubt,
+      s.Fuzzrecover.cs_replayed,
+      List.length s.Fuzzrecover.cs_failures )
+  in
+  let seq =
+    fingerprint (Fuzzrecover.run_campaign ~seed:3 ~cases:300 ~matrix:Fuzzcase.matrix_full ())
+  in
+  let odd_shards =
+    fingerprint
+      (Fuzzrecover.run_campaign ~shard_size:37 ~seed:3 ~cases:300
+         ~matrix:Fuzzcase.matrix_full ())
+  in
+  Alcotest.(check bool) "shard-size invariant" true (seq = odd_shards);
+  Par.with_pool ~j:3 (fun pool ->
+      let par =
+        fingerprint
+          (Fuzzrecover.run_campaign ~pool ~seed:3 ~cases:300 ~matrix:Fuzzcase.matrix_full ())
+      in
+      Alcotest.(check bool) "pool invariant" true (seq = par))
+
+(* A crash failure's repro roundtrips: serialize a synthetic failure, replay
+   it, and get the same crash point and a passing oracle. *)
+let test_crash_repro_roundtrip () =
+  let d = Fuzzrecover.demo ~seed:1 () in
+  let f =
+    {
+      Fuzzrecover.cf_index = 0;
+      cf_case = d.Fuzzrecover.d_case;
+      cf_plan = d.Fuzzrecover.d_plan;
+      cf_violation = Fuzzrecover.No_crash;
+    }
+  in
+  match Fuzzrecover.replay_string (Fuzzrecover.repro_string f) with
+  | Error e -> Alcotest.failf "replay rejected: %s" e
+  | Ok o ->
+      Alcotest.(check bool) "same plan" true (o.Fuzzrecover.o_plan = d.Fuzzrecover.d_plan);
+      Alcotest.(check bool) "oracle passes" true (o.Fuzzrecover.o_violation = None)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "recovery"
+    [
+      ( "codec",
+        [
+          qt prop_codec_roundtrip;
+          qt prop_codec_torn_tail;
+          Alcotest.test_case "corruption rejected" `Quick test_codec_corruption;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "flushed commit survives" `Quick test_flushed_commit_survives;
+          Alcotest.test_case "commit-window crash lost" `Quick test_commit_window_crash_lost;
+          Alcotest.test_case "no-flush expected loss, checkpoint bounds it" `Quick
+            test_no_flush_expected_loss;
+          Alcotest.test_case "torn flush leaves txn in doubt" `Quick test_torn_flush_in_doubt;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "commit-then-abort replay" `Quick test_commit_then_abort_replay;
+          Alcotest.test_case "conservative summary entries" `Quick
+            test_recovery_conservative_summary;
+          Alcotest.test_case "publish-skip advances the horizon" `Quick
+            test_publish_skip_horizon;
+          Alcotest.test_case "reset_stats vs in-flight flush" `Quick
+            test_reset_stats_inflight_flush;
+        ] );
+      ( "repro codec",
+        [
+          Alcotest.test_case "v2 compatibility" `Quick test_codec_v2_compat;
+          Alcotest.test_case "v3 durability fields roundtrip" `Quick
+            test_codec_v3_durability_roundtrip;
+          Alcotest.test_case "crash repro roundtrip" `Quick test_crash_repro_roundtrip;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "pool/shard invariance" `Slow test_campaign_pool_invariance;
+          Alcotest.test_case "10k crash points, zero failures" `Slow test_campaign_10k;
+        ] );
+    ]

@@ -167,7 +167,7 @@ let test_wal_no_flush () =
   let wal = Wal.create sim ~mode:Wal.No_flush in
   let t = ref (-1.0) in
   Sim.spawn sim (fun () ->
-      Wal.append wal;
+      Wal.append wal (Wal.Begin { txn = 1 });
       Wal.commit_flush wal;
       t := Sim.now sim);
   Sim.run sim;
@@ -183,7 +183,7 @@ let test_wal_group_commit () =
   for i = 1 to 10 do
     Sim.spawn sim (fun () ->
         Sim.delay sim (float_of_int i *. 0.0001);
-        Wal.append wal;
+        Wal.append wal (Wal.Begin { txn = 1 });
         Wal.commit_flush wal;
         completion := (i, Sim.now sim) :: !completion)
   done;
@@ -199,7 +199,7 @@ let test_wal_sequential_flushes () =
   let done_at = ref [] in
   Sim.spawn sim (fun () ->
       for _ = 1 to 3 do
-        Wal.append wal;
+        Wal.append wal (Wal.Begin { txn = 1 });
         Wal.commit_flush wal;
         done_at := Sim.now sim :: !done_at
       done);
@@ -277,7 +277,7 @@ let prop_group_commit arrivals =
       let at = float_of_int a /. 10000.0 in
       Sim.spawn sim (fun () ->
           Sim.delay sim at;
-          Wal.append wal;
+          Wal.append wal (Wal.Begin { txn = 1 });
           let t0 = Sim.now sim in
           Wal.commit_flush wal;
           assert (Sim.now sim >= t0 +. 0.01 -. 1e-12);

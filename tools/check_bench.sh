@@ -83,4 +83,19 @@ if [ -z "$summarized" ] || [ "$summarized" -eq 0 ]; then
   exit 1
 fi
 
-echo "check_bench: OK ($n benches within ${MAX_REGRESS:-2.0}x of baseline, $j speedup points, obs overhead <= ${obs_max}% on $k hot paths, bounded run within budget with $summarized txns summarized)"
+# Recovery gate: the WAL-replay probe must be present and must actually have
+# recovered transactions — a recovery path that silently drops committed
+# work would report committed=0 here long before any fuzz campaign notices.
+grep -q '"recovery": {' "$out" || { echo "check_bench: missing recovery section" >&2; exit 1; }
+recovered=$(sed -n 's/.*"recovery": {[^}]*"committed": \([0-9][0-9]*\).*/\1/p' "$out")
+if [ -z "$recovered" ] || [ "$recovered" -eq 0 ]; then
+  echo "check_bench: recovery probe recovered no committed transactions" >&2
+  exit 1
+fi
+replayed=$(sed -n 's/.*"recovery": {"records": \([0-9][0-9]*\).*/\1/p' "$out")
+if [ -z "$replayed" ] || [ "$replayed" -eq 0 ]; then
+  echo "check_bench: recovery probe replayed no records" >&2
+  exit 1
+fi
+
+echo "check_bench: OK ($n benches within ${MAX_REGRESS:-2.0}x of baseline, $j speedup points, obs overhead <= ${obs_max}% on $k hot paths, bounded run within budget with $summarized txns summarized, recovery replayed $replayed records / $recovered commits)"
