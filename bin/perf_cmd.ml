@@ -373,6 +373,45 @@ let recovery_probe ~quick =
     rv_horizon = horizon;
   }
 
+(* {1 Exploration probe}
+
+   The DPOR schedule explorer on the write-skew 4-cycle (full mode) or the
+   §4.7 5-chain (quick): wall-clock schedules/sec is the baseline-style
+   rate, while the executed count, distinct-outcome count and reduction
+   factor are simulated results — deterministic, identical on every run.
+   tools/check_bench.sh fails `@ci` if the reduction factor drops below 4
+   (the acceptance threshold; in practice it is orders of magnitude
+   higher). *)
+
+type explore_probe = {
+  xp_spec : string;
+  xp_executed : int;  (** deterministic: schedules executed *)
+  xp_bound : int;  (** multinomial brute-force count *)
+  xp_outcomes : int;  (** deterministic: distinct outcome digests *)
+  xp_reduction : float;  (** bound / executed *)
+  xp_wall : float;
+  xp_rate : float;  (** schedules per wall second *)
+}
+
+let explore_probe ~quick =
+  let spec_name, spec =
+    if quick then ("paper-4.7-5", Interleave.paper_spec_5)
+    else ("write-skew-4", Interleave.write_skew_spec_4)
+  in
+  let wall, (digests, st) =
+    time (fun () -> Explore.explore ~isolation:Core.Types.Serializable spec)
+  in
+  {
+    xp_spec = spec_name;
+    xp_executed = st.Explore.executed;
+    xp_bound = st.Explore.bound;
+    xp_outcomes = List.length digests;
+    xp_reduction =
+      float_of_int st.Explore.bound /. float_of_int (max 1 st.Explore.executed);
+    xp_wall = wall;
+    xp_rate = (if wall > 0.0 then float_of_int st.Explore.executed /. wall else 0.0);
+  }
+
 (* {1 End-to-end sweep: wall time and determinism across -j} *)
 
 type sweep_point = { sp_j : int; sp_wall : float; sp_speedup : float }
@@ -415,7 +454,7 @@ let sweep ~quick =
 
 (* One bench object per line, so the baseline comparison (here and in
    tools/check_bench.sh) can parse without a JSON library. *)
-let emit_json oc ~quick entries sweep_points ab_entries mp rv =
+let emit_json oc ~quick entries sweep_points ab_entries mp rv xp =
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"schema\": \"ssi-bench/1\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
@@ -461,9 +500,15 @@ let emit_json oc ~quick entries sweep_points ab_entries mp rv =
      (one line, same greppable convention). *)
   Printf.fprintf oc
     "  \"recovery\": {\"records\": %d, \"replay_s\": %.6f, \"us_per_record\": %.3f, \
-     \"checkpoint_us\": %.3f, \"committed\": %d, \"horizon\": %d}\n"
+     \"checkpoint_us\": %.3f, \"committed\": %d, \"horizon\": %d},\n"
     rv.rv_records rv.rv_replay_s rv.rv_us_per_record rv.rv_checkpoint_us rv.rv_committed
     rv.rv_horizon;
+  (* DPOR explorer line: executed/bound/outcomes are deterministic, the rate
+     is wall-clock (one line, same greppable convention). *)
+  Printf.fprintf oc
+    "  \"exploration\": {\"spec\": \"%s\", \"executed\": %d, \"bound\": %d, \"outcomes\": %d, \
+     \"reduction\": %.1f, \"wall_s\": %.6f, \"schedules_per_s\": %.1f}\n"
+    xp.xp_spec xp.xp_executed xp.xp_bound xp.xp_outcomes xp.xp_reduction xp.xp_wall xp.xp_rate;
   Printf.fprintf oc "}\n"
 
 (* Tiny substring scanners so the baseline loads without a JSON library. *)
@@ -571,8 +616,13 @@ let run quick out baseline max_regress =
     "    %d records in %.3fs (%.2f us/record)  checkpoint %.2f us  committed %d  horizon %d\n%!"
     rv.rv_records rv.rv_replay_s rv.rv_us_per_record rv.rv_checkpoint_us rv.rv_committed
     rv.rv_horizon;
+  print_endline "  exploration probe (DPOR vs multinomial bound, deterministic counts):";
+  let xp = explore_probe ~quick in
+  Printf.printf
+    "    %s: %d of %d schedules (%.1fx reduction)  %d outcomes  %.3fs  %.0f schedules/s\n%!"
+    xp.xp_spec xp.xp_executed xp.xp_bound xp.xp_reduction xp.xp_outcomes xp.xp_wall xp.xp_rate;
   let oc = open_out out in
-  emit_json oc ~quick entries sw ab mp rv;
+  emit_json oc ~quick entries sw ab mp rv xp;
   close_out oc;
   Printf.printf "  wrote %s\n" out;
   match baseline with

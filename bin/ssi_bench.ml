@@ -4,12 +4,14 @@
    - [run IDS..]    run experiments and print their tables
    - [sdg NAME]     static dependency graph analysis (§2.6/§2.8)
    - [interleave]   exhaustive interleaving sweeps (§4.7)
+   - [explore]      DPOR schedule exploration (same coverage, far fewer runs)
    - [fuzz]         differential history fuzzing with the MVSG oracle
 
    Examples:
      ssi_bench run fig6.1 fig6.8 --seeds 3 --duration 1.0
      ssi_bench sdg smallbank
      ssi_bench interleave --spec write-skew --isolation si
+     ssi_bench explore --spec write-skew-4 --isolation ssi --stats -j 4
      ssi_bench fuzz --cases 10000 --seed 1 --matrix full --shrink-anomalies
      ssi_bench fuzz --replay fuzz-001.repro *)
 
@@ -313,23 +315,37 @@ let sdg_cmd =
     (Cmd.info "sdg" ~doc:"Analyse a static dependency graph for dangerous structures")
     Term.(const run $ name_arg)
 
+(* Shared by [interleave] and [explore]. *)
+let spec_of_string = function
+  | "write-skew" -> Some Interleave.write_skew_spec
+  | "read-only-anomaly" -> Some Interleave.read_only_anomaly_spec
+  | "paper-4.7" -> Some Interleave.paper_spec
+  | "paper-4.7-4" -> Some Interleave.paper_spec_4
+  | "paper-4.7-5" -> Some Interleave.paper_spec_5
+  | "write-skew-3" -> Some Interleave.write_skew_spec_3
+  | "write-skew-4" -> Some Interleave.write_skew_spec_4
+  | "read-only-anomaly-4" -> Some Interleave.read_only_anomaly_spec_4
+  | _ -> None
+
+let spec_doc =
+  "write-skew | read-only-anomaly | paper-4.7 | paper-4.7-4 | paper-4.7-5 | write-skew-3 | \
+   write-skew-4 | read-only-anomaly-4"
+
 let interleave_cmd =
   let spec_arg =
     Arg.(
       value
       & opt string "write-skew"
-      & info [ "spec" ] ~doc:"Transaction set: write-skew | read-only-anomaly | paper-4.7")
+      & info [ "spec" ] ~doc:("Transaction set: " ^ spec_doc))
   in
   let iso_arg =
     Arg.(value & opt string "si" & info [ "isolation" ] ~doc:"si | ssi | s2pl | rc")
   in
   let run spec iso =
     let spec_txns =
-      match spec with
-      | "write-skew" -> Interleave.write_skew_spec
-      | "read-only-anomaly" -> Interleave.read_only_anomaly_spec
-      | "paper-4.7" -> Interleave.paper_spec
-      | _ ->
+      match spec_of_string spec with
+      | Some s -> s
+      | None ->
           prerr_endline ("unknown spec: " ^ spec);
           exit 1
     in
@@ -354,6 +370,111 @@ let interleave_cmd =
     (Cmd.info "interleave"
        ~doc:"Exhaustively execute all interleavings of a transaction set (§4.7)")
     Term.(const run $ spec_arg $ iso_arg)
+
+(* [explore]: the DPOR schedule explorer — same outcome coverage as a full
+   [interleave] sweep at a fraction of the executions. Output is sorted and
+   deterministic, byte-identical at any -j (bin/dune diffs -j1 vs -j4). *)
+let explore_cmd =
+  let spec_arg =
+    Arg.(
+      value
+      & opt string "write-skew"
+      & info [ "spec" ] ~doc:("Transaction set: " ^ spec_doc))
+  in
+  let iso_arg =
+    Arg.(value & opt string "ssi" & info [ "isolation" ] ~doc:"si | ssi | s2pl | rc")
+  in
+  let matrix_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "matrix" ] ~docv:"NAME"
+          ~doc:
+            "Explore once per configuration point of the named matrix (default | full) \
+             instead of the single test configuration")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print reduction metrics (backtracks, sleep hits, duplicate traces)")
+  in
+  let validate_arg =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Also run the full enumeration and fail unless its outcome-digest set matches \
+             (multinomial cost: small specs only)")
+  in
+  let run spec iso matrix stats validate jobs =
+    let spec_txns =
+      match spec_of_string spec with
+      | Some s -> s
+      | None ->
+          prerr_endline ("unknown spec: " ^ spec);
+          exit 1
+    in
+    let isolation =
+      match isolation_of_string iso with
+      | Some i -> i
+      | None ->
+          prerr_endline ("unknown isolation: " ^ iso);
+          exit 1
+    in
+    let points =
+      match matrix with
+      | None -> [ None ]
+      | Some name -> (
+          match Fuzzcase.matrix_of_string name with
+          | Some m -> List.map (fun p -> Some p) m
+          | None ->
+              prerr_endline ("unknown matrix: " ^ name);
+              exit 1)
+    in
+    let failed = ref false in
+    with_jobs jobs (fun pool ->
+        List.iter
+          (fun point ->
+            let config = Option.map Fuzzcase.config_of_point point in
+            let label =
+              match point with
+              | None -> "test"
+              | Some p -> Fuzzcase.point_to_string p
+            in
+            let digests, st = Explore.explore ?config ?pool ~isolation spec_txns in
+            Printf.printf "spec=%s isolation=%s config=%s\n" spec iso label;
+            Printf.printf "  schedules executed: %d of %d (%.1fx reduction)\n"
+              st.Explore.executed st.Explore.bound
+              (float_of_int st.Explore.bound /. float_of_int (max 1 st.Explore.executed));
+            Printf.printf "  distinct outcomes:  %d\n" (List.length digests);
+            if stats then begin
+              Printf.printf "  backtracks:         %d\n" st.Explore.backtracks;
+              Printf.printf "  sleep hits:         %d\n" st.Explore.sleep_hits;
+              Printf.printf "  sleep blocked:      %d\n" st.Explore.sleep_blocked;
+              Printf.printf "  duplicate traces:   %d\n" st.Explore.duplicates
+            end;
+            List.iter (fun d -> Printf.printf "  outcome %s\n" d) digests;
+            if validate then begin
+              let full = Explore.sweep_digests ?config ~isolation spec_txns in
+              if full = digests then
+                Printf.printf "  validate: OK (full enumeration agrees, %d outcomes)\n"
+                  (List.length full)
+              else begin
+                Printf.printf "  validate: MISMATCH (dpor %d outcomes, full %d)\n"
+                  (List.length digests) (List.length full);
+                failed := true
+              end
+            end)
+          points);
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "DPOR schedule explorer: exhaustively check a transaction set's outcomes while \
+          executing only race-distinct interleavings")
+    Term.(const run $ spec_arg $ iso_arg $ matrix_arg $ stats_arg $ validate_arg $ jobs_arg)
 
 let fuzz_cmd =
   let cases_arg =
@@ -918,6 +1039,7 @@ let () =
             report_cmd;
             sdg_cmd;
             interleave_cmd;
+            explore_cmd;
             fuzz_cmd;
             recover_cmd;
             Perf_cmd.cmd;

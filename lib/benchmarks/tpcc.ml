@@ -358,11 +358,26 @@ let latest_of db table key =
   | None -> None
   | Some chain -> ( match Mvstore.latest chain with Some { Mvstore.value; _ } -> value | None -> None)
 
+(* Count of live (not deleted) rows of [table] in the inclusive key range,
+   judged on the latest committed version of each chain. *)
+let count_live db table ~lo ~hi =
+  let n = ref 0 in
+  ignore
+    (Mvstore.scan_chains (Db.table_exn db table) ~lo ~hi (fun _ chain ->
+         match Mvstore.latest chain with
+         | Some { Mvstore.value = Some _; _ } -> incr n
+         | _ -> ()));
+  !n
+
 (* Verify structural invariants of the final database state:
    - every order id below a district's next_o_id exists, none at or above;
    - every new_order entry points at an existing, undelivered order;
    - every order has exactly ol_cnt order lines;
-   - delivered orders' lines are all marked delivered. *)
+   - delivered orders' lines are all marked delivered;
+   - table cardinalities agree (TPC-C clause 3.3.2.2-3.3.2.5 shapes): per
+     district, [orders] holds exactly next_o_id - 1 rows, [new_order]
+     exactly the undelivered ones, and [order_line] exactly the sum of the
+     orders' ol_cnt. *)
 let check_consistency db ~(scale : scale) =
   for w = 0 to scale.warehouses - 1 do
     for d = 0 to scale.districts - 1 do
@@ -371,6 +386,7 @@ let check_consistency db ~(scale : scale) =
         | Some v -> parse_district v
         | None -> raise (Inconsistent "missing district")
       in
+      let undelivered = ref 0 and lines_expected = ref 0 in
       for o = 1 to next_o - 1 do
         match latest_of db orders (okey w d o) with
         | None -> raise (Inconsistent (Printf.sprintf "missing order %s" (okey w d o)))
@@ -379,6 +395,8 @@ let check_consistency db ~(scale : scale) =
             let delivered = carrier > 0 in
             if delivered && latest_of db new_order (okey w d o) <> None then
               raise (Inconsistent "delivered order still in new_order");
+            if not delivered then incr undelivered;
+            lines_expected := !lines_expected + ol_cnt;
             for n = 1 to ol_cnt do
               match latest_of db order_line (olkey w d o n) with
               | None -> raise (Inconsistent (Printf.sprintf "missing order line %s" (olkey w d o n)))
@@ -389,6 +407,47 @@ let check_consistency db ~(scale : scale) =
             done
       done;
       if latest_of db orders (okey w d next_o) <> None then
-        raise (Inconsistent "order beyond next_o_id")
+        raise (Inconsistent "order beyond next_o_id");
+      let lo = okey w d 0 and hi = okey w d 99_999_999 in
+      let n_orders = count_live db orders ~lo ~hi in
+      if n_orders <> next_o - 1 then
+        raise
+          (Inconsistent
+             (Printf.sprintf "%s: %d orders, next_o_id %d" (dkey w d) n_orders next_o));
+      let n_new = count_live db new_order ~lo ~hi in
+      if n_new <> !undelivered then
+        raise
+          (Inconsistent
+             (Printf.sprintf "%s: %d new_order rows, %d undelivered orders" (dkey w d) n_new
+                !undelivered));
+      let n_lines = count_live db order_line ~lo:(olkey w d 0 0) ~hi:(olkey w d 99_999_999 99) in
+      if n_lines <> !lines_expected then
+        raise
+          (Inconsistent
+             (Printf.sprintf "%s: %d order lines, sum of ol_cnt %d" (dkey w d) n_lines
+                !lines_expected))
     done
+  done
+
+(* The money invariant (TPC-C clause 3.3.2.1): each warehouse's
+   year-to-date equals the sum of its districts' — Payment updates both in
+   one transaction, so any isolation level that prevents lost updates must
+   preserve the equality (under [skip_ytd] both sides stay zero). *)
+let check_ytd db ~(scale : scale) =
+  for w = 0 to scale.warehouses - 1 do
+    let wytd =
+      match latest_of db warehouse (wkey w) with
+      | Some v -> int_of_string v
+      | None -> raise (Inconsistent "missing warehouse")
+    in
+    let dytd = ref 0 in
+    for d = 0 to scale.districts - 1 do
+      match latest_of db district (dkey w d) with
+      | Some v -> dytd := !dytd + snd (parse_district v)
+      | None -> raise (Inconsistent "missing district")
+    done;
+    if wytd <> !dytd then
+      raise
+        (Inconsistent
+           (Printf.sprintf "%s: warehouse ytd %d <> sum of district ytds %d" (wkey w) wytd !dytd))
   done

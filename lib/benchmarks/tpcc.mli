@@ -123,5 +123,10 @@ exception Inconsistent of string
 
 (** TPC-C clause-3.3-style structural checks on the final state: order ids
     dense below each district counter, new_order entries undelivered, order
-    lines complete and delivery flags consistent. *)
+    lines complete and delivery flags consistent, and table cardinalities
+    matching (orders = next_o_id - 1 per district, new_order = undelivered
+    orders, order_line = sum of ol_cnt). *)
 val check_consistency : Db.t -> scale:scale -> unit
+
+(** Clause 3.3.2.1: warehouse year-to-date = sum of its districts'. *)
+val check_ytd : Db.t -> scale:scale -> unit

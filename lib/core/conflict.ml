@@ -56,6 +56,12 @@ let is_dangerous config t =
 let claim_victim ~self victim reason =
   if victim == self then raise (Abort reason)
   else if victim.state = Active && victim.doomed = None then begin
+    (* Footprint: dooming writes a flag only the victim reads (each of its
+       operations touches its own doom resource), so the explorer sees the
+       doomer and every victim operation as dependent. *)
+    (match self.db.on_touch with
+    | Some f -> f self.id true (doom_resource victim.id)
+    | None -> ());
     victim.doomed <- Some reason;
     let db = victim.db in
     Obs.record_doomed db.obs;

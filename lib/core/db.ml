@@ -45,11 +45,18 @@ let create ?(config = Config.test ()) sim =
     page_stamps = Hashtbl.create 4096;
     history = [];
     stats = Internal.new_stats ();
+    on_touch = None;
   }
 
 (* Attach an observability sink; shared with the lock manager, WAL and the
    simulated resources (CPU k-server, disk, kernel mutex) so lock-wait,
    flush and utilization/queue-depth samples land in the same trace. *)
+(* Install (or remove) the DPOR footprint hook on the engine and its lock
+   manager in one step; the explorer is the only caller. *)
+let set_on_touch (t : t) f =
+  t.Internal.on_touch <- f;
+  Lockmgr.set_on_touch t.Internal.locks f
+
 let set_obs (t : t) obs =
   t.Internal.obs <- obs;
   Lockmgr.set_obs t.Internal.locks obs;

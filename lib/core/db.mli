@@ -19,6 +19,15 @@ val create : ?config:Config.t -> Sim.t -> t
     cost a single branch. *)
 val set_obs : t -> Obs.t -> unit
 
+(** Install (or remove, with [None]) the DPOR footprint hook:
+    [f id is_write resource] fires on every shared-state access an operation
+    performs — lock-manager acquisitions (via {!Lockmgr.set_on_touch}),
+    version-chain reads, page-stamp reads/writes, doom flags, and
+    commit/rollback effects on held resources. Disabled by default (one
+    branch per site). Used by the schedule explorer to observe the
+    dependency relation between operations. *)
+val set_on_touch : t -> (int -> bool -> string -> unit) option -> unit
+
 val obs : t -> Obs.t
 
 val sim : t -> Sim.t

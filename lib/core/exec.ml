@@ -9,7 +9,9 @@
 open Types
 open Internal
 
-let check_doom t = match t.doomed with Some r -> raise (Abort r) | None -> ()
+let check_doom t =
+  touch_doom_read t;
+  match t.doomed with Some r -> raise (Abort r) | None -> ()
 
 (* Roll back an Active or Committing transaction: drop buffered writes,
    release every lock (including SIREAD entries) and forget the transaction.
@@ -43,6 +45,14 @@ let rollback_now t reason =
       end;
       t.db.n_siread_entries <- t.db.n_siread_entries - t.siread_count;
       t.siread_count <- 0;
+      (* Footprint: releasing locks changes state every waiter and later
+         acquirer of these resources observes. Read-strength touches are
+         enough: any waiter or conflicting acquirer touched the resource
+         with its own lock mode, and write-write conflicts (this rollback
+         against an X acquirer) were recorded when this transaction
+         acquired the lock. *)
+      if t.db.on_touch <> None then
+        List.iter (touch t) (Lockmgr.owned_resources t.db.locks t.id);
       Lockmgr.release_all t.db.locks t.id;
       Hashtbl.remove t.db.active t.id;
       Hashtbl.remove t.db.txn_by_id t.id;
@@ -62,6 +72,7 @@ let reject_ro t =
   if t.declared_ro then raise (Abort (Internal_error "write in a READ ONLY transaction"))
 
 let guard t f =
+  touch_doom_read t;
   (match t.doomed with
   | Some r ->
       rollback_now t r;
@@ -169,6 +180,7 @@ let siread_row t table_name key ~leaves =
    [source] tags the edge for the conflict-source counters (a gap resource
    passes [Obs.Gap]). *)
 let mark_x_holders ?(source = Obs.Siread_vs_x) t resource =
+  touch t resource;
   List.iter
     (fun (owner, mode) ->
       if mode = Lockmgr.X && owner <> t.id then
@@ -184,6 +196,7 @@ let mark_x_holders ?(source = Obs.Siread_vs_x) t resource =
    summary entry's max commit timestamp runs the same overlap test,
    conservatively (it is >= every folded reader's actual commit). *)
 let mark_siread_holders ?(source = Obs.Siread_vs_x) t resource =
+  touch t resource;
   let snap = snapshot_exn t in
   List.iter
     (fun (owner, mode) ->
@@ -208,6 +221,7 @@ let mark_siread_holders ?(source = Obs.Siread_vs_x) t resource =
    outgoing flag conservatively. *)
 let mark_newer_versions t table_name key chain snap =
   let resource = row_resource table_name key in
+  touch t resource;
   List.iter
     (fun (v : Mvstore.version) ->
       if v.creator <> t.id then
@@ -229,6 +243,7 @@ let mark_newer_versions t table_name key chain snap =
    so a page updated after our snapshot is an ignored newer version of
    everything on it (the false-positive source of §6.1.5). *)
 let mark_page_stamp t table_name page snap =
+  touch t (page_resource table_name page);
   match Hashtbl.find_opt t.db.page_stamps (table_name, page) with
   | Some (ts, writer_id) when ts > snap && writer_id <> t.id -> (
       let resource = page_resource table_name page in
@@ -355,6 +370,9 @@ let do_read t table_name key =
           charge_cpu db db.config.Config.cost.Config.c_read;
           charge_row_io db 1;
           check_doom t;
+          (* Footprint: every isolation level reads this key's version
+             chain, with or without locks (RC/SI take none). *)
+          touch t (row_resource table_name key);
           match t.isolation with
           | Read_committed ->
               let chain, access = Mvstore.find_chain_path table key in
@@ -419,6 +437,9 @@ let lock_for_write t table_name key ~will_write =
   let db = t.db in
   let table = table_exn db table_name in
   let config = db.config in
+  (* Footprint: the row's chain is read (first-committer-wins) and will gain
+     a version — at Page granularity no row lock reports it. *)
+  touch_w t (row_resource table_name key);
   (match config.Config.granularity with
   | Config.Row ->
       let r = row_resource table_name key in
@@ -582,6 +603,11 @@ let committed_successor table key =
 
 let lock_gap_for_write t table_name key =
   let db = t.db in
+  (* Footprint: an insert/delete changes what a scan of the surrounding gap
+     observes even when no gap lock is configured (SI/RC scans lock
+     nothing), so the gap name is always touched. *)
+  if db.on_touch <> None then
+    touch_w t (gap_of_successor table_name (committed_successor (table_exn db table_name) key));
   if db.config.Config.gap_locking && db.config.Config.granularity = Config.Row then begin
     let table = table_exn db table_name in
     (* Acquiring the gap lock can block behind another inserter into the
@@ -691,6 +717,30 @@ let do_scan ?lo ?hi ?limit t table_name =
             | None -> ())
       in
       let visited = List.rev !visited in
+      (* Footprint: a scan reads every visited chain and the gaps between
+         them regardless of isolation level (SI/RC scans take no locks); the
+         names are recorded before the locking loop below so they are
+         visible even if an acquisition blocks. *)
+      if db.on_touch <> None then begin
+        List.iter
+          (fun (key, _) ->
+            touch t (row_resource table_name key);
+            if config.Config.granularity = Config.Row then
+              touch t (gap_resource table_name key))
+          visited;
+        (match config.Config.granularity with
+        | Config.Page ->
+            List.iter
+              (fun p -> touch t (page_resource table_name p))
+              (access.Btree.path @ access.Btree.leaves)
+        | Config.Row ->
+            let stopped_early =
+              match limit with None -> false | Some n -> !visible_seen >= n
+            in
+            if not stopped_early then
+              let from = match hi with Some h -> h | None -> "\xff\xff(sup)" in
+              touch t (gap_of_successor table_name (committed_successor table from)))
+      end;
       touch_pages db table_name access;
       let n = List.length visited in
       charge_cpu db (float_of_int (max 1 n) *. config.Config.cost.Config.c_scan_row);
@@ -978,6 +1028,17 @@ let do_commit t =
         (config.Config.cost.Config.c_txn
         +. (float_of_int n_writes *. config.Config.cost.Config.c_commit_install));
       check_doom t;
+      (* Footprint: committing publishes every buffered version (writes of
+         the updated rows), retires the held locks and reads the conflict
+         flags other transactions set through those resources. Held locks
+         are read-strength touches: every conflicting peer (a writer of a
+         row this transaction SIREAD-holds, a waiter on an X entry) touched
+         the resource at write strength itself, while two readers' commits
+         must stay commuting. *)
+      if db.on_touch <> None then begin
+        List.iter (touch t) (Lockmgr.owned_resources db.locks t.id);
+        List.iter (fun (tbl, key) -> touch_w t (row_resource tbl key)) t.write_order
+      end;
       (* Fig 3.2 atomic block: dangerous-structure check, then mark committed
          so later conflicts treat us as such. *)
       if is_ssi t then Conflict.check_commit t;
@@ -1034,7 +1095,29 @@ let do_commit t =
       (* Atomic publication: install all versions and advance the snapshot
          horizon in one step, so snapshots are consistent. *)
       if n_writes > 0 then install_writes t commit_ts;
+      (* Footprint: pages stamped during install (Page granularity; includes
+         split-allocated siblings not known before install). *)
+      if db.on_touch <> None then
+        List.iter (fun (tbl, p) -> touch_w t (page_resource tbl p)) t.touched_pages;
       publish_commit_ts db commit_ts;
+      (* Footprint: publication advances what later snapshots observe, and
+         the overlap tests of Fig 3.5 compare this commit against other
+         transactions' begins. Both are per-resource facts, so the commit
+         writes a visibility shadow ["c/<resource>"] for everything it
+         published or held — a transaction whose read view covers one of
+         these resources reads the same shadow at its snapshot-pin turn
+         (the explorer adds those reads from the recorded footprint). A
+         single global clock resource would order every commit against
+         every begin and destroy the reduction. *)
+      if db.on_touch <> None then begin
+        List.iter (fun res -> touch_w t ("c/" ^ res)) (Lockmgr.owned_resources db.locks t.id);
+        List.iter
+          (fun (tbl, key) -> touch_w t ("c/" ^ row_resource tbl key))
+          t.write_order;
+        List.iter
+          (fun (tbl, p) -> touch_w t ("c/" ^ page_resource tbl p))
+          t.touched_pages
+      end;
       t.logged <- false;
       t.state <- Committed;
       db.stats.commits <- db.stats.commits + 1;

@@ -113,6 +113,11 @@ and db = {
       (* (table, page) -> (last commit ts, last writer id); page-level FCW *)
   mutable history : committed_record list; (* newest first *)
   stats : stats;
+  mutable on_touch : (int -> bool -> string -> unit) option;
+      (* DPOR footprint hook: [f id is_write resource] on every shared-state
+         access not already visible through the lock manager (version-chain
+         reads, page stamps, doom flags, commit/rollback effects). [None]
+         costs one branch per site. *)
 }
 
 and stats = {
@@ -182,6 +187,27 @@ let gap_supremum table = "g/" ^ table ^ "/\xff\xff(sup)"
 
 let page_resource table page = Printf.sprintf "p/%s/%d" table page
 
+(* Per-transaction doom flag, as a resource name for the DPOR footprint:
+   Conflict.claim_victim writes it, every check_doom reads its own. The "x/"
+   prefix is disjoint from the row/gap/page encodings above. *)
+let doom_resource id = "x/" ^ string_of_int id
+
+(* {1 DPOR footprint hook}
+
+   [touch t resource] records that the operation currently executing on
+   behalf of [t] read shared state named [resource] outside the lock manager
+   (which reports its own acquisitions); [touch_w] records a write. No-ops
+   (one branch) unless an explorer installed a hook via Db.set_on_touch. *)
+
+let touch t resource =
+  match t.db.on_touch with Some f -> f t.id false resource | None -> ()
+
+let touch_w t resource =
+  match t.db.on_touch with Some f -> f t.id true resource | None -> ()
+
+let touch_doom_read t =
+  match t.db.on_touch with Some f -> f t.id false (doom_resource t.id) | None -> ()
+
 (* {1 CPU and lock-manager cost accounting} *)
 
 let charge_cpu db cost = if cost > 0.0 then Resource.consume db.cpu cost
@@ -229,6 +255,12 @@ let ensure_snapshot t =
   match t.snapshot with
   | Some s -> s
   | None ->
+      (* Footprint: mark the turn that pins this transaction's read view.
+         The explorer rewrites the marker into per-resource visibility
+         reads ("c/<resource>" for the transaction's whole footprint), so
+         commits publishing anything this transaction observes are ordered
+         against the pin, not just against the later read turns. *)
+      touch t "clock";
       let s = t.db.last_commit_ts in
       t.snapshot <- Some s;
       Queue.add t t.db.snap_order;

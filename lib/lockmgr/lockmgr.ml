@@ -60,6 +60,10 @@ type t = {
   mutable deadlocks : int;
   mutable detector_running : bool;
   mutable obs : Obs.t; (* observability sink; Obs.disabled costs one branch *)
+  (* Footprint hook for the DPOR explorer: called on every acquisition with
+     the owner, whether the access is a write (X; S and SIREAD are reads)
+     and the resource. [None] (the default) costs one branch per request. *)
+  mutable on_touch : (int -> bool -> string -> unit) option;
 }
 
 let create ?(detection = Immediate) sim =
@@ -74,9 +78,19 @@ let create ?(detection = Immediate) sim =
     deadlocks = 0;
     detector_running = false;
     obs = Obs.disabled;
+    on_touch = None;
   }
 
 let set_obs t obs = t.obs <- obs
+
+let set_on_touch t f = t.on_touch <- f
+
+(* Every resource [owner] currently holds at least one mode on (sorted, so
+   callers iterating it stay deterministic). *)
+let owned_resources t owner =
+  match Hashtbl.find_opt t.owned owner with
+  | None -> []
+  | Some set -> List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) set [])
 
 let get_lock t resource =
   match Hashtbl.find_opt t.table resource with
@@ -359,6 +373,7 @@ let start_detector t =
 
 let acquire t ~owner ~mode resource =
   t.requests <- t.requests + 1;
+  (match t.on_touch with Some f -> f owner (mode = X) resource | None -> ());
   let l = get_lock t resource in
   let emit_granted () =
     if Obs.tracing t.obs then

@@ -38,6 +38,14 @@ val create : ?detection:detection -> Sim.t -> t
     deadlock events, lock-wait histogram). Default {!Obs.disabled}. *)
 val set_obs : t -> Obs.t -> unit
 
+(** Footprint hook for the DPOR explorer: [f owner is_write resource] is
+    called on every {!acquire} (X counts as a write; S and SIREAD are
+    reads), before the request can block. [None] (default) disables it. *)
+val set_on_touch : t -> (owner -> bool -> string -> unit) option -> unit
+
+(** Every resource [owner] currently holds at least one mode on, sorted. *)
+val owned_resources : t -> owner -> string list
+
 (** [acquire t ~owner ~mode resource] grants or blocks (process context).
     SIREAD never blocks. May raise {!Deadlock_victim}. *)
 val acquire : t -> owner:owner -> mode:mode -> string -> unit

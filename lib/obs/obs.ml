@@ -227,6 +227,10 @@ type metrics = {
   mutable m_budget_pressure : int; (* commits that triggered summarization *)
   mutable m_checkpoints : int; (* WAL checkpoint records hardened *)
   mutable m_replayed : int; (* log records replayed by recovery *)
+  mutable m_explored : int; (* schedules the DPOR explorer executed *)
+  mutable m_explore_bound : int; (* sum of the multinomial bounds *)
+  mutable m_backtracks : int; (* backtrack points added by race analysis *)
+  mutable m_sleep_hits : int; (* candidates suppressed by a sleep set *)
 }
 
 let metrics_create () =
@@ -254,6 +258,10 @@ let metrics_create () =
     m_budget_pressure = 0;
     m_checkpoints = 0;
     m_replayed = 0;
+    m_explored = 0;
+    m_explore_bound = 0;
+    m_backtracks = 0;
+    m_sleep_hits = 0;
   }
 
 let metrics_copy m =
@@ -290,7 +298,11 @@ let metrics_merge ~into m =
   if m.m_summary_hwm > into.m_summary_hwm then into.m_summary_hwm <- m.m_summary_hwm;
   into.m_budget_pressure <- into.m_budget_pressure + m.m_budget_pressure;
   into.m_checkpoints <- into.m_checkpoints + m.m_checkpoints;
-  into.m_replayed <- into.m_replayed + m.m_replayed
+  into.m_replayed <- into.m_replayed + m.m_replayed;
+  into.m_explored <- into.m_explored + m.m_explored;
+  into.m_explore_bound <- into.m_explore_bound + m.m_explore_bound;
+  into.m_backtracks <- into.m_backtracks + m.m_backtracks;
+  into.m_sleep_hits <- into.m_sleep_hits + m.m_sleep_hits
 
 let conflict_sources m =
   [
@@ -335,7 +347,11 @@ let pp_metrics fmt m =
       m.m_promotions m.m_summarized m.m_summary_hwm m.m_budget_pressure;
   if m.m_checkpoints + m.m_replayed > 0 then
     Format.fprintf fmt "durability:     checkpoints=%d replayed-records=%d@." m.m_checkpoints
-      m.m_replayed
+      m.m_replayed;
+  if m.m_explored > 0 then
+    Format.fprintf fmt
+      "exploration:    schedules=%d bound=%d backtracks=%d sleep-hits=%d@." m.m_explored
+      m.m_explore_bound m.m_backtracks m.m_sleep_hits
 
 (* {1 Events} *)
 
@@ -484,6 +500,16 @@ let record_summarized t ~txns =
 
 let note_summary t n =
   if t.t_metrics && n > t.t_m.m_summary_hwm then t.t_m.m_summary_hwm <- n
+
+let record_explored t ~schedules ~bound =
+  if t.t_metrics then begin
+    t.t_m.m_explored <- t.t_m.m_explored + schedules;
+    t.t_m.m_explore_bound <- t.t_m.m_explore_bound + bound
+  end
+
+let record_backtracks t ~n = if t.t_metrics then t.t_m.m_backtracks <- t.t_m.m_backtracks + n
+
+let record_sleep_hits t ~n = if t.t_metrics then t.t_m.m_sleep_hits <- t.t_m.m_sleep_hits + n
 
 let record_budget_pressure t =
   if t.t_metrics then t.t_m.m_budget_pressure <- t.t_m.m_budget_pressure + 1

@@ -161,6 +161,10 @@ type metrics = {
   mutable m_budget_pressure : int;  (** commits that triggered summarization *)
   mutable m_checkpoints : int;  (** WAL checkpoint records hardened *)
   mutable m_replayed : int;  (** log records replayed by recovery *)
+  mutable m_explored : int;  (** schedules the DPOR explorer executed *)
+  mutable m_explore_bound : int;  (** sum of the multinomial bounds *)
+  mutable m_backtracks : int;  (** backtrack points added by race analysis *)
+  mutable m_sleep_hits : int;  (** candidates suppressed by a sleep set *)
 }
 
 val metrics_create : unit -> metrics
@@ -311,6 +315,19 @@ val record_checkpoint : t -> unit
 
 (** Count [n] log records replayed by a recovery pass. *)
 val record_replayed : t -> n:int -> unit
+
+(** {2 Exploration recorders (the DPOR schedule explorer)} *)
+
+(** Count one exploration: [schedules] executed against a multinomial bound
+    of [bound]. *)
+val record_explored : t -> schedules:int -> bound:int -> unit
+
+(** Count [n] backtrack points added by race analysis. *)
+val record_backtracks : t -> n:int -> unit
+
+(** Count [n] sleep-set suppressions (a backtrack candidate whose subtree
+    was already covered elsewhere). *)
+val record_sleep_hits : t -> n:int -> unit
 
 (** {1 Chrome-trace export}
 

@@ -57,23 +57,50 @@ let default_init (specs : spec list) =
   List.map (fun k -> (k, "0")) (List.sort_uniq compare keys)
 
 (* All merges of the transactions' op sequences, each op tagged with its
-   transaction index. Count = multinomial coefficient; keep specs small. *)
-let interleavings (specs : spec list) : (int * op) list list =
-  let rec go (pending : (int * op list) list) =
-    if List.for_all (fun (_, ops) -> ops = []) pending then [ [] ]
+   transaction index, produced lazily in lexicographic transaction-index
+   order. Count = multinomial coefficient; memory is O(total ops) — one
+   path through the merge tree — however many interleavings there are, so
+   sweeps over 4-txn specs no longer materialize hundreds of thousands of
+   schedules up front. *)
+let interleavings_seq (specs : spec list) : (int * op) list Seq.t =
+  let rec go (pending : (int * op list) list) : (int * op) list Seq.t =
+    if List.for_all (fun (_, ops) -> ops = []) pending then Seq.return []
     else
-      List.concat_map
+      Seq.concat_map
         (fun (i, ops) ->
           match ops with
-          | [] -> []
+          | [] -> Seq.empty
           | op :: rest ->
               let pending' =
                 List.map (fun (j, ops') -> if j = i then (j, rest) else (j, ops')) pending
               in
-              List.map (fun tail -> (i, op) :: tail) (go pending'))
-        pending
+              Seq.map (fun tail -> (i, op) :: tail) (go pending'))
+        (List.to_seq pending)
   in
   go (List.mapi (fun i s -> (i, s)) specs)
+
+let interleavings (specs : spec list) : (int * op) list list =
+  List.of_seq (interleavings_seq specs)
+
+(* Multinomial schedule count (total ops)! / prod (len_i!), computed as a
+   product of binomials so intermediate values stay integral. *)
+let count_interleavings (specs : spec list) : int =
+  let choose n k =
+    let k = min k (n - k) in
+    let c = ref 1 in
+    for i = 1 to k do
+      c := !c * (n - k + i) / i
+    done;
+    !c
+  in
+  let _, count =
+    List.fold_left
+      (fun (total, acc) spec ->
+        let len = List.length spec in
+        (total + len, acc * choose (total + len) len))
+      (0, 1) specs
+  in
+  count
 
 (* A single random merge of the op sequences, for sampled sweeps where the
    full interleaving set is too large.
@@ -113,23 +140,37 @@ type result = {
   serializable : bool;
   crashed : bool; (* an armed Wal crash plan fired during the run *)
   db : Db.t; (* the engine the interleaving ran against *)
+  txn_ids : int list;
+      (* engine transaction id per spec index (-1 if never begun), so
+         outcome digests can rename schedule-dependent ids back to indices *)
 }
 
-(* Execute one interleaving at [isolation]. [init] rows are bulk-loaded
-   first (default: value "0" for every key named by a read/write/delete).
-   Each transaction commits right after its last operation; [ro] marks
-   transactions declared READ ONLY at begin (enabling the read-only
-   refinement when configured).
+(* Scheduler context handed to a driver (the scheduler process body):
+   [x_idle i] is true when transaction [i] can be granted a turn; [x_issue i]
+   grants one and returns when the operation settles (completes, aborts, or
+   parks in the lock manager); [x_unfinished ()] is true while any script has
+   ops (or its commit) left. *)
+type sched_ctx = {
+  x_n : int;
+  x_sim : Sim.t;
+  x_db : Db.t;
+  x_txn_ids : int array;
+  x_granted : int array;
+  x_idle : int -> bool;
+  x_issue : int -> unit;
+  x_unfinished : unit -> bool;
+}
 
-   The [order] list is a sequence of turns: each entry grants its
-   transaction permission to run its *next* pending operation (the op
-   component of the pair is advisory — execution always follows the
-   script). A turn offered to a transaction that is still blocked inside a
-   previous operation is skipped; leftover operations run in a round-robin
-   drain phase after the schedule is exhausted, so every transaction always
-   finishes (commit or abort) before the function returns. *)
-let run_interleaving ?config ?obs ?init ?ro ?db ?crash ~isolation (specs : spec list)
-    (order : (int * op) list) : result =
+(* Execute the scripts at [isolation] under a caller-supplied scheduler.
+   [init] rows are bulk-loaded first (default: value "0" for every key named
+   by a read/write/delete). Each transaction commits right after its last
+   operation; [ro] marks transactions declared READ ONLY at begin (enabling
+   the read-only refinement when configured). [driver] runs as the scheduler
+   process and decides which transaction each turn goes to;
+   [run_interleaving] drives it from an order list, [run_directed] from a
+   pick callback. *)
+let run_driven ?config ?obs ?init ?ro ?db ?crash ~isolation (specs : spec list)
+    ~(driver : sched_ctx -> unit) : result =
   let sim, db =
     match db with
     | Some db ->
@@ -231,21 +272,17 @@ let run_interleaving ?config ?obs ?init ?ro ?db ?crash ~isolation (specs : spec 
     done
   in
   Sim.spawn sim (fun () ->
-      List.iter (fun (i, _) -> if idle i then issue i) order;
-      (* Drain: run turns that were skipped while their transaction was
-         blocked. When every remaining transaction is mid-operation, advance
-         time so lock grants and the (possibly periodic) deadlock detector
-         can make progress. *)
-      while unfinished () do
-        let made = ref false in
-        for i = 0 to n - 1 do
-          if idle i then begin
-            made := true;
-            issue i
-          end
-        done;
-        if (not !made) && unfinished () then Sim.delay sim 0.01
-      done);
+      driver
+        {
+          x_n = n;
+          x_sim = sim;
+          x_db = db;
+          x_txn_ids = txn_ids;
+          x_granted = granted;
+          x_idle = idle;
+          x_issue = issue;
+          x_unfinished = unfinished;
+        });
   let crashed =
     (* An injected crash escapes the faulting transaction's process and
        aborts the whole simulated machine: the run ends here with whatever
@@ -273,7 +310,127 @@ let run_interleaving ?config ?obs ?init ?ro ?db ?crash ~isolation (specs : spec 
     serializable = Mvsg.is_serializable history;
     crashed;
     db;
+    txn_ids = Array.to_list txn_ids;
   }
+
+(* The canonical drain loop shared by both schedulers: grant leftover turns
+   in index order; when every remaining transaction is mid-operation,
+   advance time so lock grants and the (possibly periodic) deadlock
+   detector can make progress. [on_grant] fires just before each grant. *)
+let drain_loop ?(on_grant = fun _ -> ()) (c : sched_ctx) =
+  while c.x_unfinished () do
+    let made = ref false in
+    for i = 0 to c.x_n - 1 do
+      if c.x_idle i then begin
+        made := true;
+        on_grant i;
+        c.x_issue i
+      end
+    done;
+    if (not !made) && c.x_unfinished () then Sim.delay c.x_sim 0.01
+  done
+
+let run_interleaving ?config ?obs ?init ?ro ?db ?crash ~isolation (specs : spec list)
+    (order : (int * op) list) : result =
+  run_driven ?config ?obs ?init ?ro ?db ?crash ~isolation specs ~driver:(fun c ->
+      (* The [order] list is a sequence of turns: each entry grants its
+         transaction permission to run its *next* pending operation (the op
+         component of the pair is advisory — execution always follows the
+         script). A turn offered to a transaction that is still blocked
+         inside a previous operation is skipped (costing no simulated time);
+         leftover operations run in the drain phase, so every transaction
+         always finishes (commit or abort) before the function returns. *)
+      List.iter (fun (i, _) -> if c.x_idle i then c.x_issue i) order;
+      drain_loop c)
+
+(* {1 Directed execution with footprint capture (the DPOR explorer's engine
+   interface)} *)
+
+(* One scheduler turn of a directed run. [ds_free] distinguishes genuine
+   choice points from drain-phase grants: once every unfinished transaction
+   is simultaneously parked, any order list would consume its remaining
+   entries without advancing time and fall into the same canonical drain
+   loop, so drain grants are not schedule branch points — this is how the
+   skipped-turn/drain semantics fold into the happens-before relation.
+   Footprints are mutable because a parked operation keeps touching
+   resources when it resumes during later turns; readers of a trace must
+   only consume them after the run completes (or treat them as partial). *)
+type dstep = {
+  ds_txn : int; (* spec index granted this turn *)
+  ds_enabled : int list; (* spec indices grantable at that moment, ascending *)
+  ds_free : bool; (* true = free choice point; false = canonical drain *)
+  mutable ds_reads : string list; (* resources read by the op (unordered) *)
+  mutable ds_writes : string list; (* resources written by the op *)
+}
+
+(* Execute the scripts granting turns via [pick ~step ~enabled ~steps]:
+   [enabled] is the ascending list of grantable transactions, [steps] the
+   turns recorded so far (newest first, footprints partial for parked ops).
+   Once no transaction is grantable the run switches permanently to the
+   canonical drain loop (see {!dstep}). Returns the recorded schedule
+   alongside the result.
+
+   [begin_marker] makes every transaction's first turn write a shared "tid"
+   pseudo-resource: engine transaction ids are handed out in begin order, so
+   configurations whose behaviour depends on id *order* (Prefer_younger
+   victims, the periodic detector's kill-the-youngest rule) make any two
+   first turns non-commuting; the marker exposes that to the explorer's
+   dependency relation. *)
+let run_directed ?config ?obs ?init ?ro ?(begin_marker = false) ~isolation (specs : spec list)
+    ~(pick : step:int -> enabled:int list -> steps:dstep list -> int) :
+    result * dstep list =
+  let steps = ref [] in
+  let result =
+    run_driven ?config ?obs ?init ?ro ~isolation specs ~driver:(fun c ->
+        let cur = Array.make c.x_n None in
+        (* Footprint hook: attribute each touch to the owner's newest turn.
+           Unknown owners (the summarization sentinel, bulk load) have no
+           turn and are ignored. *)
+        Db.set_on_touch c.x_db
+          (Some
+             (fun id is_write resource ->
+               let rec find i =
+                 if i >= c.x_n then ()
+                 else if c.x_txn_ids.(i) = id then (
+                   match cur.(i) with
+                   | Some s ->
+                       if is_write then s.ds_writes <- resource :: s.ds_writes
+                       else s.ds_reads <- resource :: s.ds_reads
+                   | None -> ())
+                 else find (i + 1)
+               in
+               find 0));
+        let record i enabled free =
+          let s =
+            { ds_txn = i; ds_enabled = enabled; ds_free = free; ds_reads = []; ds_writes = [] }
+          in
+          if begin_marker && c.x_granted.(i) = 0 then s.ds_writes <- [ "tid" ];
+          steps := s :: !steps;
+          cur.(i) <- Some s
+        in
+        let stepno = ref 0 in
+        let free = ref true in
+        while c.x_unfinished () do
+          if !free then begin
+            let enabled = ref [] in
+            for i = c.x_n - 1 downto 0 do
+              if c.x_idle i then enabled := i :: !enabled
+            done;
+            match !enabled with
+            | [] -> free := false (* permanent: fall to the canonical drain *)
+            | enabled ->
+                let i = pick ~step:!stepno ~enabled ~steps:!steps in
+                if not (List.mem i enabled) then
+                  invalid_arg "run_directed: pick chose a non-enabled transaction";
+                incr stepno;
+                record i enabled true;
+                c.x_issue i
+          end
+          else drain_loop ~on_grant:(fun i -> record i [ i ] false) c
+        done;
+        Db.set_on_touch c.x_db None)
+  in
+  (result, List.rev !steps)
 
 type summary = {
   total : int;
@@ -283,10 +440,11 @@ type summary = {
   other_aborts : int;
 }
 
-(* Run every interleaving of [specs] at [isolation] and summarise. *)
+(* Run every interleaving of [specs] at [isolation] and summarise. Streams
+   the enumeration: memory stays constant in the number of schedules. *)
 let sweep ?config ~isolation specs =
-  let all = interleavings specs in
-  List.fold_left
+  let all = interleavings_seq specs in
+  Seq.fold_left
     (fun acc order ->
       let r = run_interleaving ?config ~isolation specs order in
       let committed_all = List.for_all (( = ) None) r.outcomes in
@@ -325,3 +483,39 @@ let write_skew_spec = [ [ R "x"; R "y"; W "x" ]; [ R "x"; R "y"; W "y" ] ]
    Tin: r(x) r(z). Some interleavings are genuinely non-serializable. *)
 let read_only_anomaly_spec =
   [ [ R "y"; W "x" ]; [ W "y"; W "z" ]; [ R "x"; R "z" ] ]
+
+(* {1 4–5-transaction variants}
+
+   Checked exhaustively through the DPOR explorer; their multinomial counts
+   (tens of thousands to hundreds of thousands of schedules) put full
+   enumeration beyond the CI budget. *)
+
+(* §4.7 family stretched to a 4-chain: T1 -> T2 -> T3 -> T4 in the
+   dependency graph — still a path, never a cycle, so every execution must
+   stay serializable while SSI sees two potential pivots (T2, T3).
+   6 ops: 6!/(1!·2!·2!·1!) = 180 interleavings. *)
+let paper_spec_4 = [ [ R "x" ]; [ R "y"; W "x" ]; [ R "z"; W "y" ]; [ W "z" ] ]
+
+(* §4.7 family as a 5-chain; 8 ops, 8!/(1!·2!·2!·2!·1!) = 5040. *)
+let paper_spec_5 =
+  [ [ R "v" ]; [ R "w"; W "v" ]; [ R "x"; W "w" ]; [ R "y"; W "x" ]; [ W "y" ] ]
+
+(* Write skew closed into a 3-cycle: each transaction reads its own and the
+   next key and writes its own. 9 ops, 9!/(3!)^3 = 1680 interleavings. *)
+let write_skew_spec_3 =
+  [ [ R "x"; R "y"; W "x" ]; [ R "y"; R "z"; W "y" ]; [ R "z"; R "x"; W "z" ] ]
+
+(* The 4-cycle of the same shape: 12 ops, 12!/(3!)^4 = 369600 interleavings
+   — far past what `sweep` can execute in CI, the explorer's showcase. *)
+let write_skew_spec_4 =
+  [
+    [ R "a"; R "b"; W "a" ];
+    [ R "b"; R "c"; W "b" ];
+    [ R "c"; R "d"; W "c" ];
+    [ R "d"; R "a"; W "d" ];
+  ]
+
+(* Read-only anomaly with a second independent observer transaction.
+   8 ops: 8!/(2!·2!·2!·2!) = 2520 interleavings. *)
+let read_only_anomaly_spec_4 =
+  [ [ R "y"; W "x" ]; [ W "y"; W "z" ]; [ R "x"; R "z" ]; [ R "z"; R "x" ] ]

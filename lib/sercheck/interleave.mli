@@ -36,9 +36,18 @@ val spec_to_string : spec -> string
     are excluded so inserts have fresh keys to create. *)
 val default_init : spec list -> (string * string) list
 
-(** All merges of the scripts' operation sequences (multinomial count —
-    keep the specs small), each op tagged with its transaction index. *)
+(** All merges of the scripts' operation sequences, produced lazily in
+    lexicographic transaction-index order; memory is O(total ops) however
+    many interleavings there are. *)
+val interleavings_seq : spec list -> (int * op) list Seq.t
+
+(** {!interleavings_seq} materialized (multinomial count — keep the specs
+    small). *)
 val interleavings : spec list -> (int * op) list list
+
+(** Multinomial schedule count [(Σ len_i)! / Π len_i!] — the brute-force
+    bound the explorer's reduction factor is measured against. *)
+val count_interleavings : spec list -> int
 
 (** One random merge, uniform over the multinomial interleaving set (the
     next transaction is weighted by its remaining-operation count). *)
@@ -50,6 +59,9 @@ type result = {
   serializable : bool;
   crashed : bool;  (** an armed [Wal] crash plan fired during the run *)
   db : Core.Db.t;  (** the engine the interleaving ran against *)
+  txn_ids : int list;
+      (** engine transaction id per spec index ([-1] if never begun), so
+          outcome digests can rename schedule-dependent ids to indices *)
 }
 
 (** Execute one interleaving at the given isolation. [init] overrides the
@@ -80,6 +92,42 @@ val run_interleaving :
   (int * op) list ->
   result
 
+(** One scheduler turn of a {!run_directed} run. [ds_free] distinguishes
+    genuine choice points from canonical drain-phase grants (once every
+    unfinished transaction is parked, any order list falls into the same
+    index-order drain — those grants are not schedule branch points).
+    Footprints are mutable: a parked operation keeps touching resources as
+    it resumes during later turns, so they are only complete once the run
+    has finished. *)
+type dstep = {
+  ds_txn : int;  (** spec index granted this turn *)
+  ds_enabled : int list;  (** grantable spec indices at that moment, ascending *)
+  ds_free : bool;  (** true = free choice point; false = canonical drain *)
+  mutable ds_reads : string list;  (** resources the op read (unordered) *)
+  mutable ds_writes : string list;  (** resources the op wrote *)
+}
+
+(** Execute the scripts granting turns via [pick ~step ~enabled ~steps]
+    ([enabled] ascending and non-empty, [steps] newest first with partial
+    footprints), recording each turn's observed read/write footprint via the
+    engine's [Db.set_on_touch] hook. Once no transaction is grantable the
+    run switches permanently to the canonical drain loop. [begin_marker]
+    makes every transaction's first turn write a shared ["tid"]
+    pseudo-resource, for configurations whose behaviour depends on
+    transaction-id order (Prefer_younger victims, the periodic detector's
+    kill-the-youngest rule). Raises [Invalid_argument] if [pick] returns a
+    transaction not in [enabled]. *)
+val run_directed :
+  ?config:Core.Config.t ->
+  ?obs:Obs.t ->
+  ?init:(string * string) list ->
+  ?ro:bool list ->
+  ?begin_marker:bool ->
+  isolation:Core.Types.isolation ->
+  spec list ->
+  pick:(step:int -> enabled:int list -> steps:dstep list -> int) ->
+  result * dstep list
+
 type summary = {
   total : int;
   all_committed : int;
@@ -101,3 +149,23 @@ val write_skew_spec : spec list
 (** Example 3 (read-only anomaly): some interleavings are genuinely
     non-serializable under SI. *)
 val read_only_anomaly_spec : spec list
+
+(** {1 4–5-transaction variants} — exhaustively checkable only through the
+    DPOR explorer (multinomial counts from thousands to hundreds of
+    thousands). *)
+
+(** §4.7 stretched to a dependency 4-chain (180 interleavings). *)
+val paper_spec_4 : spec list
+
+(** §4.7 stretched to a 5-chain (5040 interleavings). *)
+val paper_spec_5 : spec list
+
+(** Write skew closed into a 3-cycle (1680 interleavings). *)
+val write_skew_spec_3 : spec list
+
+(** Write skew as a 4-cycle (369600 interleavings — past the CI budget for
+    full enumeration; the explorer's showcase). *)
+val write_skew_spec_4 : spec list
+
+(** Read-only anomaly plus a second independent observer (2520). *)
+val read_only_anomaly_spec_4 : spec list

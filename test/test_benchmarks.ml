@@ -392,6 +392,57 @@ let test_tpcc_stock_level_mix () =
   Alcotest.(check bool) "SLEV dominates 10:1" true (slev > 4 * max 1 newo)
 
 
+let test_tpcc_invariants_all_levels () =
+  (* TPC-C clause-3.3 consistency conditions after concurrent runs (MPL 5)
+     under every isolation level: warehouse YTD = sum of district YTDs
+     (3.3.2.1) and the order / new_order / order_line cardinality
+     invariants (3.3.2.2-3.3.2.5). Even plain SI preserves these — every
+     invariant-coupled update (Payment's two YTD rows, New Order's
+     district counter + inserts) happens inside one transaction, and
+     first-committer-wins forbids lost updates; the violations SI does
+     admit are serializability anomalies, which the next test pins down. *)
+  List.iter
+    (fun isolation ->
+      for seed = 1 to 3 do
+        let db = run_tpcc_mixed ~isolation ~seed () in
+        (try Tpcc.check_consistency db ~scale:small_scale
+         with Tpcc.Inconsistent msg ->
+           Alcotest.failf "%s seed %d: %s" (Types.isolation_to_string isolation) seed msg);
+        try Tpcc.check_ytd db ~scale:small_scale
+        with Tpcc.Inconsistent msg ->
+          Alcotest.failf "%s seed %d: %s" (Types.isolation_to_string isolation) seed msg
+      done)
+    [ Types.Snapshot; Types.Serializable; Types.S2pl ]
+
+let test_tpcc_plain_si_anomaly_free () =
+  (* Fig 2.8 / §2.8.1: the plain TPC-C mix (no Credit Check) has no
+     dangerous structure in its SDG, so SI admits no non-serializable
+     execution of it — the motivating observation the TPC-C++ extension
+     (§5.3) was designed to break. Checked dynamically under the hottest
+     contention profile (one district, two customers), where the CCHECK
+     variant of this mix demonstrably does produce anomalies
+     ([test_tpcc_si_eventually_non_serializable]). *)
+  let plain_hot_mix =
+    [
+      Driver.program ~weight:3.0 "NEWO" (fun st t -> Tpcc.new_order_txn hot_scale st t);
+      Driver.program ~weight:3.0 "PAY" (fun st t -> Tpcc.payment_txn hot_scale st t);
+      Driver.program ~weight:1.0 "DLVY" (fun st t -> Tpcc.delivery_txn hot_scale st t);
+      Driver.program ~weight:1.0 ~read_only:true "OSTAT" (fun st t ->
+          Tpcc.order_status_txn hot_scale st t);
+      Driver.program ~weight:1.0 ~read_only:true "SLEV" (fun st t ->
+          Tpcc.stock_level_txn hot_scale st t);
+    ]
+  in
+  for seed = 1 to 12 do
+    let db =
+      run_tpcc_mixed ~scale:hot_scale ~mix:plain_hot_mix ~isolation:Types.Snapshot ~seed ()
+    in
+    if not (Mvsg.is_serializable (Db.history db)) then
+      Alcotest.failf "seed %d: plain TPC-C produced an SI anomaly" seed;
+    try Tpcc.check_ytd db ~scale:hot_scale
+    with Tpcc.Inconsistent msg -> Alcotest.failf "seed %d: %s" seed msg
+  done
+
 let test_tpcc_s2pl_consistent () =
   for seed = 1 to 3 do
     let db = run_tpcc_mixed ~isolation:Types.S2pl ~seed () in
@@ -550,6 +601,8 @@ let suite =
     ("tpcc driver smoke", `Slow, test_tpcc_driver_smoke);
     ("tpcc stock level mix", `Slow, test_tpcc_stock_level_mix);
     ("tpcc S2PL consistent", `Slow, test_tpcc_s2pl_consistent);
+    ("tpcc invariants at MPL 5, all levels", `Slow, test_tpcc_invariants_all_levels);
+    ("tpcc plain mix SI-anomaly-free (fig 2.8)", `Slow, test_tpcc_plain_si_anomaly_free);
     ("smallbank fixes prevent anomaly", `Quick, test_smallbank_fixes_prevent_anomaly_dynamically);
     ("tpcc order status and stock level", `Quick, test_tpcc_order_status_and_stock_level);
     ("tpcc payment updates balance", `Quick, test_tpcc_payment_updates_balance);

@@ -1,0 +1,204 @@
+(* Tests for the DPOR schedule explorer: cross-validation against full
+   enumeration (the soundness oracle), the reduction criterion, the
+   equivalence property over generated programs, streaming-enumeration
+   regressions, and the reduction-metrics plumbing. *)
+
+open Core
+
+let levels = [ Types.Serializable; Types.Snapshot; Types.S2pl ]
+
+let level_name = Types.isolation_to_string
+
+let canonical_specs =
+  [
+    ("paper", Interleave.paper_spec);
+    ("write-skew", Interleave.write_skew_spec);
+    ("read-only", Interleave.read_only_anomaly_spec);
+  ]
+
+(* {1 Cross-validation: canonical specs × prototype matrix × levels}
+
+   The explorer's whole claim: on every program small enough to enumerate,
+   the DPOR digest set equals the full-enumeration digest set, at every
+   isolation level and matrix point. *)
+
+let test_cross_validate_canonical () =
+  List.iter
+    (fun cfg ->
+      let config = Fuzzcase.config_of_point cfg in
+      List.iter
+        (fun (sname, spec) ->
+          List.iter
+            (fun iso ->
+              let v = Explore.cross_validate ~config ~isolation:iso spec in
+              let label =
+                Printf.sprintf "%s/%s/%s" (Fuzzcase.point_to_string cfg) sname (level_name iso)
+              in
+              Alcotest.(check (list string)) (label ^ " digest sets equal") v.Explore.v_full
+                v.Explore.v_dpor;
+              Alcotest.(check bool)
+                (Printf.sprintf "%s executed %d <= bound %d" label v.Explore.v_stats.Explore.executed
+                   v.Explore.v_stats.Explore.bound)
+                true
+                (v.Explore.v_stats.Explore.executed <= v.Explore.v_stats.Explore.bound))
+            levels)
+        canonical_specs)
+    Fuzzcase.matrix_default
+
+(* {1 Reduction criterion}
+
+   On the 5-transaction §4.7 chain the explorer must execute at most a
+   quarter of the multinomial bound (the acceptance threshold; in practice
+   it lands near 5%). *)
+
+let test_reduction_factor () =
+  let _, st = Explore.explore ~isolation:Types.Serializable Interleave.paper_spec_5 in
+  Alcotest.(check int) "bound is the multinomial count" 5040 st.Explore.bound;
+  Alcotest.(check bool)
+    (Printf.sprintf "executed %d <= bound/4 = %d" st.Explore.executed (st.Explore.bound / 4))
+    true
+    (st.Explore.executed <= st.Explore.bound / 4)
+
+(* {1 Explored schedules carry no MVSG violation}
+
+   Serializable-guaranteeing levels must stay anomaly-free on every
+   schedule the explorer actually runs — checked via the [on_run] oracle,
+   not just via digests. *)
+
+let test_no_mvsg_violations_explored () =
+  List.iter
+    (fun iso ->
+      List.iter
+        (fun (sname, spec) ->
+          let violations = ref 0 in
+          let _ =
+            Explore.explore ~isolation:iso
+              ~on_run:(fun r -> if not r.Interleave.serializable then incr violations)
+              spec
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s: MVSG violations among explored schedules" sname
+               (level_name iso))
+            0 !violations)
+        (("write-skew-3", Interleave.write_skew_spec_3) :: canonical_specs))
+    [ Types.Serializable; Types.S2pl ]
+
+(* {1 Equivalence property over generated programs}
+
+   A fixed-seed Fuzzgen stream of small (≤ 3 txns, ≤ 3 ops each) programs
+   across the granularity × variant matrix: for every case and level the
+   DPOR digest set must equal full enumeration. Inserts, deletes, scans and
+   user aborts are all in the generator's vocabulary, so this exercises gap
+   and page footprints, not just point reads/writes. *)
+
+let test_equivalence_property () =
+  let st = Random.State.make [| 0xD9_0E |] in
+  let profile = { Fuzzgen.p_max_txns = 3; p_max_ops = 3; p_max_keys = 4 } in
+  let points = Array.of_list Fuzzcase.matrix_default in
+  for i = 0 to 11 do
+    let cfg = points.(i mod Array.length points) in
+    let case = Fuzzgen.case ~profile st ~cfg in
+    let config = Fuzzcase.config_of_point cfg in
+    let iso = List.nth levels (i mod 3) in
+    let v =
+      Explore.cross_validate ~config ~init:case.Fuzzcase.init ~ro:case.Fuzzcase.ro
+        ~isolation:iso case.Fuzzcase.specs
+    in
+    let label =
+      Printf.sprintf "case %d [%s] %s under %s" i
+        (String.concat " | " (List.map Interleave.spec_to_string case.Fuzzcase.specs))
+        (Fuzzcase.point_to_string cfg) (level_name iso)
+    in
+    Alcotest.(check (list string)) (label ^ ": digest sets equal") v.Explore.v_full
+      v.Explore.v_dpor
+  done
+
+(* {1 Parallel frontier determinism} *)
+
+let test_parallel_determinism () =
+  let seq, st1 = Explore.explore ~isolation:Types.Serializable Interleave.read_only_anomaly_spec in
+  let par, st4 =
+    Par.with_pool ~j:4 (fun pool ->
+        Explore.explore ~pool ~isolation:Types.Serializable Interleave.read_only_anomaly_spec)
+  in
+  Alcotest.(check (list string)) "digests identical at -j 1 and -j 4" seq par;
+  Alcotest.(check int) "schedule counts identical" st1.Explore.executed st4.Explore.executed;
+  Alcotest.(check int) "backtracks identical" st1.Explore.backtracks st4.Explore.backtracks
+
+(* {1 Streaming enumeration regressions (satellite: sweep memory)}
+
+   [interleavings_seq] must enumerate lazily: taking a handful of schedules
+   of a 369600-schedule spec may not allocate anything near the
+   materialized list's footprint, and the streamed count must equal the
+   closed-form multinomial. *)
+
+let test_streaming_count () =
+  let n = Seq.fold_left (fun a _ -> a + 1) 0 (Interleave.interleavings_seq Interleave.paper_spec_5) in
+  Alcotest.(check int) "streamed count = multinomial" 5040 n;
+  Alcotest.(check int) "closed form agrees" 5040
+    (Interleave.count_interleavings Interleave.paper_spec_5);
+  Alcotest.(check int) "write-skew 4-cycle bound" 369600
+    (Interleave.count_interleavings Interleave.write_skew_spec_4)
+
+let test_streaming_is_lazy () =
+  (* A full materialization of write_skew_spec_4 is 369600 schedules × 12
+     ops ≈ hundreds of MB of list cells. Taking the first 10 must stay
+     under a loose 8 MB ceiling (one path through the merge tree plus
+     per-element overhead). *)
+  let before = Gc.allocated_bytes () in
+  let taken = ref 0 in
+  let seq = ref (Interleave.interleavings_seq Interleave.write_skew_spec_4) in
+  (try
+     for _ = 1 to 10 do
+       match !seq () with
+       | Seq.Nil -> raise Exit
+       | Seq.Cons (sched, rest) ->
+           assert (List.length sched = 12);
+           incr taken;
+           seq := rest
+     done
+   with Exit -> ());
+  let allocated = Gc.allocated_bytes () -. before in
+  Alcotest.(check int) "took 10 schedules" 10 !taken;
+  Alcotest.(check bool)
+    (Printf.sprintf "allocated %.0f bytes for 10 of 369600 schedules" allocated)
+    true
+    (allocated < 8_000_000.)
+
+(* {1 Reduction metrics through Obs} *)
+
+let test_obs_metrics () =
+  let obs = Obs.create () in
+  let _, st = Explore.explore ~obs ~isolation:Types.Snapshot Interleave.write_skew_spec in
+  let m = Obs.metrics obs in
+  Alcotest.(check int) "m_explored = executed" st.Explore.executed m.Obs.m_explored;
+  Alcotest.(check int) "m_explore_bound = bound" st.Explore.bound m.Obs.m_explore_bound;
+  Alcotest.(check int) "m_backtracks = backtracks" st.Explore.backtracks m.Obs.m_backtracks;
+  Alcotest.(check int) "m_sleep_hits = sleep hits" st.Explore.sleep_hits m.Obs.m_sleep_hits;
+  let rendered = Fmt.str "%a" Obs.pp_metrics m in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "pp_metrics shows the exploration line" true
+    (contains rendered "exploration:")
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "dpor",
+        [
+          ("cross-validate canonical specs x matrix", `Slow, test_cross_validate_canonical);
+          ("reduction factor on the 5-chain", `Quick, test_reduction_factor);
+          ("no MVSG violations among explored schedules", `Slow, test_no_mvsg_violations_explored);
+          ("equivalence property on generated programs", `Slow, test_equivalence_property);
+          ("parallel frontier determinism", `Quick, test_parallel_determinism);
+        ] );
+      ( "streaming",
+        [
+          ("streamed enumeration count", `Quick, test_streaming_count);
+          ("enumeration is lazy", `Quick, test_streaming_is_lazy);
+        ] );
+      ("metrics", [ ("reduction metrics through Obs", `Quick, test_obs_metrics) ]);
+    ]

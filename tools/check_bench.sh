@@ -98,4 +98,24 @@ if [ -z "$replayed" ] || [ "$replayed" -eq 0 ]; then
   exit 1
 fi
 
-echo "check_bench: OK ($n benches within ${MAX_REGRESS:-2.0}x of baseline, $j speedup points, obs overhead <= ${obs_max}% on $k hot paths, bounded run within budget with $summarized txns summarized, recovery replayed $replayed records / $recovered commits)"
+# Exploration gate: the DPOR probe must be present, must beat brute-force
+# enumeration by at least 4x (the acceptance threshold; in practice the
+# reduction is an order of magnitude larger), and must report a positive
+# schedules/sec rate. executed/bound/outcomes are deterministic, so a
+# reduction regression here means the race analysis got weaker, not that
+# the machine was slow.
+grep -q '"exploration": {' "$out" || { echo "check_bench: missing exploration section" >&2; exit 1; }
+reduction=$(sed -n 's/.*"reduction": \([0-9.][0-9.]*\).*/\1/p' "$out")
+[ -n "$reduction" ] || { echo "check_bench: exploration section has no reduction factor" >&2; exit 1; }
+if awk -v r="$reduction" 'BEGIN { exit !(r < 4.0) }'; then
+  echo "check_bench: DPOR reduction factor ${reduction}x below the 4x threshold" >&2
+  exit 1
+fi
+schedrate=$(sed -n 's/.*"schedules_per_s": \([0-9.][0-9.]*\).*/\1/p' "$out")
+[ -n "$schedrate" ] || { echo "check_bench: exploration section has no schedules_per_s" >&2; exit 1; }
+if awk -v r="$schedrate" 'BEGIN { exit !(r <= 0.0) }'; then
+  echo "check_bench: exploration rate ${schedrate} schedules/s is not positive" >&2
+  exit 1
+fi
+
+echo "check_bench: OK ($n benches within ${MAX_REGRESS:-2.0}x of baseline, $j speedup points, obs overhead <= ${obs_max}% on $k hot paths, bounded run within budget with $summarized txns summarized, recovery replayed $replayed records / $recovered commits, DPOR reduction ${reduction}x at ${schedrate} schedules/s)"
