@@ -192,6 +192,44 @@ let micros ~quick =
     ("mvsg-check", 50 * s, bench_mvsg);
   ]
 
+(* Timeline-build arm: both sides run the same traced commit-path workload;
+   the B side additionally builds the windowed timeline (64 windows), runs
+   change-point detection and renders the CSV from the captured buffer. The
+   delta therefore bounds the cost of the timeline layer itself on top of a
+   traced run — a single post-hoc pass over the event list, far off the
+   simulation's own cost — and is gated by the same OBS_OVERHEAD_MAX as the
+   disabled-sink arms. *)
+let bench_timeline_path ?(null_sink = false) runs () =
+  let sim = Sim.create () in
+  let db = Core.Db.create ~config:(Core.Config.bdb ()) sim in
+  let obs = Obs.create ~trace:true ~provenance:true () in
+  Core.Db.set_obs db obs;
+  let rows = List.init 256 (fun i -> (Printf.sprintf "k%03d" i, "0")) in
+  ignore (Core.Db.create_table db "t");
+  Core.Db.load db "t" rows;
+  Sim.spawn sim (fun () ->
+      for i = 0 to runs - 1 do
+        let key = Printf.sprintf "k%03d" (i mod 256) in
+        match
+          Core.Db.run db Core.Types.Serializable (fun t ->
+              let v = Core.Txn.read_exn t "t" key in
+              Core.Txn.write t "t" key (string_of_int (String.length v)))
+        with
+        | Ok () -> ()
+        | Error _ -> ()
+      done);
+  Sim.run sim;
+  let commits = float_of_int (Core.Db.stats db).Core.Internal.commits in
+  if not null_sink then commits
+  else
+    match Timeline.of_obs ~window:(Sim.now sim /. 64.0) ~horizon:(Sim.now sim) obs with
+    | None -> commits
+    | Some tl ->
+        let buf = Buffer.create 4096 in
+        Timeline.to_csv buf tl;
+        ignore (Timeline.change_points tl ~series:"throughput");
+        commits
+
 (* {1 Observability-overhead guard}
 
    "Zero cost when no sink is installed": every hot-path observability call
@@ -249,7 +287,78 @@ let obs_overhead ~quick =
   [
     measure "commit-path" (1000 * s) bench_commit_path;
     measure "lock-acquire-release" (5000 * s) bench_lock_path;
+    measure "timeline-build" (1000 * s) bench_timeline_path;
   ]
+
+(* {1 Timeline probe}
+
+   Deterministic checks for the windowed-telemetry layer, same contract as
+   the memory/recovery probes: a contended traced run whose commit count,
+   wasted-work total and window count are simulated results (identical on
+   every host), plus the wall-clock cost of one timeline build+CSV render
+   and the ledger conservation verdict. tools/check_bench.sh fails `@ci`
+   unless [conserved] — a false here means a commit or abort path skipped
+   its work-banking hook. *)
+
+type timeline_probe = {
+  tp_commits : int;  (** deterministic *)
+  tp_aborts : int;  (** deterministic: error aborts in the timeline *)
+  tp_windows : int;  (** deterministic *)
+  tp_wasted : float;  (** deterministic: total wasted sim-time work *)
+  tp_conserved : bool;  (** ledger conservation at end of run *)
+  tp_build_s : float;  (** median wall seconds per build+CSV render *)
+}
+
+let timeline_probe ~quick =
+  let clients = 8 in
+  let per_client = (if quick then 4000 else 16_000) / clients in
+  let keys = 64 in
+  let sim = Sim.create () in
+  let db = Core.Db.create ~config:(Core.Config.bdb ()) sim in
+  let obs = Obs.create ~trace:true ~provenance:true () in
+  Core.Db.set_obs db obs;
+  ignore (Core.Db.create_table db "t");
+  Core.Db.load db "t" (List.init keys (fun i -> (Printf.sprintf "k%03d" i, "0")));
+  (* Contended read+write mix so the trace carries real aborts and the
+     wasted-work side of the ledger is exercised, not just commits. *)
+  for client = 1 to clients do
+    Sim.spawn sim (fun () ->
+        let st = Random.State.make [| 7; client |] in
+        for _ = 1 to per_client do
+          let r = Printf.sprintf "k%03d" (Random.State.int st keys) in
+          let w = Printf.sprintf "k%03d" (Random.State.int st keys) in
+          match
+            Core.Db.run db Core.Types.Serializable (fun t ->
+                ignore (Core.Txn.read t "t" r);
+                Core.Txn.write t "t" w "1")
+          with
+          | Ok () | Error _ -> ()
+        done)
+  done;
+  Sim.run sim;
+  let conserved = Core.Db.work_conserved db in
+  let wp = Core.Db.work_profile db in
+  let horizon = Sim.now sim in
+  let build () =
+    match Timeline.of_obs ~window:(horizon /. 64.0) ~horizon obs with
+    | None -> assert false
+    | Some tl ->
+        let buf = Buffer.create 4096 in
+        Timeline.to_csv buf tl;
+        ignore (Timeline.change_points tl ~series:"throughput");
+        tl
+  in
+  let walls = List.init 5 (fun _ -> fst (time (fun () -> ignore (build ()); 0.0))) in
+  let tl = build () in
+  let tt = Timeline.totals tl in
+  {
+    tp_commits = tt.Timeline.tt_commits;
+    tp_aborts = tt.Timeline.tt_aborts;
+    tp_windows = Array.length tl.Timeline.tl_windows;
+    tp_wasted = wp.Core.Db.wp_wasted;
+    tp_conserved = conserved;
+    tp_build_s = median walls;
+  }
 
 (* {1 Bounded-memory probe}
 
@@ -454,7 +563,7 @@ let sweep ~quick =
 
 (* One bench object per line, so the baseline comparison (here and in
    tools/check_bench.sh) can parse without a JSON library. *)
-let emit_json oc ~quick entries sweep_points ab_entries mp rv xp =
+let emit_json oc ~quick entries sweep_points ab_entries tp mp rv xp =
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"schema\": \"ssi-bench/1\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
@@ -489,6 +598,13 @@ let emit_json oc ~quick entries sweep_points ab_entries mp rv xp =
         (if i = k - 1 then "" else ","))
     ab_entries;
   Printf.fprintf oc "  ],\n";
+  (* Timeline probe: deterministic commit/abort/window/wasted-work checks
+     plus the conservation verdict and the wall cost of one build (one
+     line, same greppable convention). *)
+  Printf.fprintf oc
+    "  \"timeline\": {\"commits\": %d, \"aborts\": %d, \"windows\": %d, \"wasted_s\": %.6f, \
+     \"conserved\": %b, \"build_s\": %.6f},\n"
+    tp.tp_commits tp.tp_aborts tp.tp_windows tp.tp_wasted tp.tp_conserved tp.tp_build_s;
   (* Deterministic bounded-memory columns (one line, greppable without a JSON
      library — same convention as the bench lines above). *)
   Printf.fprintf oc
@@ -600,6 +716,16 @@ let run quick out baseline max_regress =
       Printf.printf "    %-22s %8.3fs vs %8.3fs  delta %+.2f%%\n%!" a.ab_name a.ab_off a.ab_null
         a.ab_delta_pct)
     ab;
+  print_endline "  timeline probe (traced contended run, deterministic checks):";
+  let tp = timeline_probe ~quick in
+  Printf.printf
+    "    %d commits  %d aborts  %d windows  wasted %.4fs  build %.4fs  %s\n%!" tp.tp_commits
+    tp.tp_aborts tp.tp_windows tp.tp_wasted tp.tp_build_s
+    (if tp.tp_conserved then "CONSERVED" else "LEDGER VIOLATION");
+  if not tp.tp_conserved then begin
+    Printf.eprintf "FATAL: wasted-work ledger violated conservation\n";
+    exit 2
+  end;
   print_endline "  bounded-memory probe (10k commits under budget 64, deterministic):";
   let mp = memory_probe () in
   Printf.printf "    max pressure %d/%d  summarized %d  promotions %d  summary hwm %d  %s\n%!"
@@ -622,7 +748,7 @@ let run quick out baseline max_regress =
     "    %s: %d of %d schedules (%.1fx reduction)  %d outcomes  %.3fs  %.0f schedules/s\n%!"
     xp.xp_spec xp.xp_executed xp.xp_bound xp.xp_reduction xp.xp_outcomes xp.xp_wall xp.xp_rate;
   let oc = open_out out in
-  emit_json oc ~quick entries sw ab mp rv xp;
+  emit_json oc ~quick entries sw ab tp mp rv xp;
   close_out oc;
   Printf.printf "  wrote %s\n" out;
   match baseline with

@@ -271,6 +271,241 @@ let bench_cmd =
       const run $ workload_arg $ mpl_arg $ duration_arg $ warmup_arg $ seed_arg $ iso_arg
       $ trace_arg $ metrics_arg $ bench_seeds_arg $ memb_arg $ jobs_arg)
 
+(* Windowed sim-time telemetry: run a workload under a tracing sink, build
+   a Timeline (lib/obs/timeline.ml) per seed, merge, and export. Stdout is
+   byte-identical at any -j (per-seed worlds are independent; the merge is
+   order-insensitive), which the dune rules diff to enforce. *)
+let timeline_cmd =
+  let workload_arg =
+    Arg.(
+      value
+      & opt string "sibench"
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:
+            "Workload: smallbank | sibench | retention (bounded-memory loop with a pinned \
+             snapshot released at 60% of the horizon; ignores --isolation)")
+  in
+  let mpl_arg = Arg.(value & opt int 10 & info [ "mpl" ] ~doc:"Number of concurrent clients") in
+  let duration_arg =
+    Arg.(value & opt float 0.5 & info [ "duration" ] ~doc:"Measured simulated seconds")
+  in
+  let warmup_arg =
+    Arg.(value & opt float 0.1 & info [ "warmup" ] ~doc:"Warmup simulated seconds")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base random seed") in
+  let iso_arg =
+    Arg.(value & opt string "ssi" & info [ "isolation" ] ~doc:"si | ssi | s2pl | rc")
+  in
+  let tl_seeds_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Merge timelines over $(docv) seeds (base, base+1, ...); pairs with -j")
+  in
+  let window_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "window" ] ~docv:"SECONDS" ~doc:"Window width in simulated seconds")
+  in
+  let series_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "series" ] ~docv:"NAMES"
+          ~doc:"Comma-separated series to export (default: all; see the CSV header)")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write the CSV to $(docv) instead of stdout")
+  in
+  let ndjson_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ndjson" ] ~docv:"FILE" ~doc:"Also write one JSON object per window to $(docv)")
+  in
+  let slo_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slo" ] ~docv:"RATE,P95"
+          ~doc:
+            "Evaluate per-class SLOs: max error aborts per completed transaction and max p95 \
+             response (simulated seconds), e.g. 0.2,0.01")
+  in
+  let annotate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "annotate" ] ~docv:"SERIES"
+          ~doc:"Detect regime shifts (Page-Hinkley) on $(docv) and print the marks")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write one Chrome-trace file combining lifecycle spans, resource counters and the \
+             timeline series as counter tracks (requires --seeds 1)")
+  in
+  let memb_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "memory-budget" ] ~docv:"N"
+          ~doc:"Bound SIREAD/retained-transaction memory to $(docv) entries (0 = unbounded)")
+  in
+  let run workload mpl duration warmup seed iso nseeds window series_sel csv ndjson slo annotate
+      trace mem_budget jobs =
+    if window <= 0.0 then begin
+      prerr_endline "--window must be positive";
+      exit 1
+    end;
+    if trace <> None && nseeds > 1 then begin
+      prerr_endline "--trace requires --seeds 1 (a trace captures one run)";
+      exit 1
+    end;
+    let columns =
+      match series_sel with
+      | None -> None
+      | Some s ->
+          let cols = String.split_on_char ',' s |> List.filter (fun c -> c <> "") in
+          List.iter
+            (fun c ->
+              if not (List.mem c Timeline.series_names) then begin
+                prerr_endline
+                  ("unknown series: " ^ c ^ " (known: "
+                  ^ String.concat ", " Timeline.series_names
+                  ^ ")");
+                exit 1
+              end)
+            cols;
+          Some cols
+    in
+    let horizon = warmup +. duration in
+    let memory_budget = if mem_budget > 0 then Some mem_budget else None in
+    let run_seed s : Timeline.t * Obs.t =
+      if workload = "retention" then begin
+        let obs, hz =
+          Experiments.retention_timeline_run ?memory_budget ~mpl ~warmup ~duration ~seed:s ()
+        in
+        (Option.get (Timeline.of_obs ~window ~horizon:hz obs), obs)
+      end
+      else begin
+        let isolation =
+          match isolation_of_string iso with
+          | Some i -> i
+          | None ->
+              prerr_endline ("unknown isolation: " ^ iso);
+              exit 1
+        in
+        let tweak c =
+          if mem_budget > 0 then { c with Core.Config.memory_budget = Some mem_budget } else c
+        in
+        let make_db, mix =
+          match workload_of_string ~tweak workload with
+          | Some w -> w
+          | None ->
+              prerr_endline ("unknown workload: " ^ workload);
+              exit 1
+        in
+        let obs = Obs.create ~trace:true ~provenance:true ~metrics:true () in
+        let cfg =
+          { Driver.default_config with Driver.isolation; mpl; warmup; duration; seed = s }
+        in
+        ignore (Driver.run_once ~obs ~make_db ~mix cfg);
+        (Option.get (Timeline.of_obs ~window ~horizon obs), obs)
+      end
+    in
+    let seeds = List.init nseeds (fun i -> seed + i) in
+    let per_seed = with_jobs jobs (fun pool -> Par.map ?pool run_seed seeds) in
+    let tl = Timeline.merge (List.map fst per_seed) in
+    Printf.printf "timeline workload=%s isolation=%s mpl=%d seeds=%d..%d window=%.4fs windows=%d\n"
+      workload
+      (if workload = "retention" then "ssi" else iso)
+      mpl seed
+      (seed + nseeds - 1)
+      tl.Timeline.tl_width
+      (Array.length tl.Timeline.tl_windows);
+    let tt = Timeline.totals tl in
+    Printf.printf
+      "totals: commits=%d aborts=%d user-aborts=%d work-committed=%.6fs work-wasted=%.6fs\n"
+      tt.Timeline.tt_commits tt.Timeline.tt_aborts tt.Timeline.tt_user
+      tt.Timeline.tt_work_committed tt.Timeline.tt_work_wasted;
+    let csv_buf = Buffer.create 4096 in
+    Timeline.to_csv ?columns csv_buf tl;
+    (match csv with
+    | None -> print_string (Buffer.contents csv_buf)
+    | Some file ->
+        write_file file (Buffer.contents csv_buf);
+        Printf.eprintf "csv: %d windows written to %s\n%!" (Array.length tl.Timeline.tl_windows)
+          file);
+    (match ndjson with
+    | None -> ()
+    | Some file ->
+        let buf = Buffer.create 4096 in
+        Timeline.to_ndjson buf tl;
+        write_file file (Buffer.contents buf);
+        Printf.eprintf "ndjson: %d windows written to %s\n%!"
+          (Array.length tl.Timeline.tl_windows) file);
+    (match slo with
+    | None -> ()
+    | Some spec ->
+        let slo =
+          match String.split_on_char ',' spec with
+          | [ a; p ] -> (
+              match (float_of_string_opt a, float_of_string_opt p) with
+              | Some slo_abort_rate, Some slo_p95 -> { Timeline.slo_abort_rate; slo_p95 }
+              | _ ->
+                  prerr_endline ("bad --slo (want RATE,P95): " ^ spec);
+                  exit 1)
+          | _ ->
+              prerr_endline ("bad --slo (want RATE,P95): " ^ spec);
+              exit 1
+        in
+        List.iter
+          (fun sr ->
+            Printf.printf
+              "slo class=%s active=%d violations=%d (abort-rate=%d p95=%d) \
+               time-in-violation=%.4fs worst-abort-rate=%.4g worst-p95=%.4gs\n"
+              sr.Timeline.sr_class sr.Timeline.sr_active sr.Timeline.sr_violations
+              sr.Timeline.sr_abort_viol sr.Timeline.sr_p95_viol sr.Timeline.sr_time_in_violation
+              sr.Timeline.sr_worst_abort_rate sr.Timeline.sr_worst_p95)
+          (Timeline.slo_eval tl slo));
+    (match annotate with
+    | None -> ()
+    | Some name ->
+        if not (List.mem name Timeline.series_names) then begin
+          prerr_endline ("unknown series: " ^ name);
+          exit 1
+        end;
+        let marks = Timeline.change_points tl ~series:name in
+        Printf.printf "regime-shifts series=%s count=%d\n" name (List.length marks);
+        List.iter
+          (fun mk ->
+            Printf.printf "mark series=%s window=%d t0=%.4fs direction=%s\n" mk.Timeline.mk_series
+              mk.Timeline.mk_window mk.Timeline.mk_ts
+              (match mk.Timeline.mk_direction with `Up -> "up" | `Down -> "down"))
+          marks);
+    match (trace, per_seed) with
+    | Some file, (_, o) :: _ ->
+        Obs.write_trace_file ~extra:(Timeline.counter_records ?columns tl) file o;
+        Printf.eprintf "trace: %d events + timeline counters written to %s\n%!"
+          (Obs.event_count o) file
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Windowed sim-time telemetry: throughput, abort taxonomy, latency percentiles, \
+          retention gauges, wasted work, per-class SLOs and regime-shift marks")
+    Term.(
+      const run $ workload_arg $ mpl_arg $ duration_arg $ warmup_arg $ seed_arg $ iso_arg
+      $ tl_seeds_arg $ window_arg $ series_arg $ csv_arg $ ndjson_arg $ slo_arg $ annotate_arg
+      $ trace_arg $ memb_arg $ jobs_arg)
+
 let sdg_cmd =
   let name_arg =
     Arg.(
@@ -1036,6 +1271,7 @@ let () =
             list_cmd;
             run_cmd;
             bench_cmd;
+            timeline_cmd;
             report_cmd;
             sdg_cmd;
             interleave_cmd;

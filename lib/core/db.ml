@@ -46,6 +46,9 @@ let create ?(config = Config.test ()) sim =
     history = [];
     stats = Internal.new_stats ();
     on_touch = None;
+    work_committed = 0.0;
+    work_wasted = 0.0;
+    work_ledger = 0.0;
   }
 
 (* Attach an observability sink; shared with the lock manager, WAL and the
@@ -110,6 +113,7 @@ let begin_txn ?(read_only = false) (t : t) isolation =
   in
   Hashtbl.replace t.txn_by_id txn.id txn;
   Hashtbl.replace t.active txn.id txn;
+  t.work_ledger <- t.work_ledger -. txn.start_time;
   if Obs.tracing t.obs then begin
     Obs.emit t.obs ~ts:(Sim.now t.sim)
       (Obs.Txn_begin
@@ -407,4 +411,45 @@ let reset_stats (t : t) =
   Lockmgr.reset_stats t.Internal.locks;
   Wal.reset_stats t.Internal.wal;
   Resource.reset_stats t.Internal.cpu;
-  match t.Internal.lock_mutex with Some m -> Resource.reset_stats m | None -> ()
+  (match t.Internal.lock_mutex with Some m -> Resource.reset_stats m | None -> ());
+  (* Wasted-work ledger: zero the banked sums and REBASE the ledger so the
+     conservation invariant keeps holding for transactions already in
+     flight — their spans will be banked against the post-reset epoch. A
+     plain zero here would leave the ledger owing the in-flight start
+     times and every later conservation check would fail. *)
+  t.Internal.work_committed <- 0.0;
+  t.Internal.work_wasted <- 0.0;
+  t.Internal.work_ledger <-
+    Hashtbl.fold
+      (fun _ txn acc -> acc -. txn.Internal.start_time)
+      t.Internal.active 0.0
+
+(* {1 Wasted-work accounting} *)
+
+type work_profile = { wp_committed : float; wp_wasted : float; wp_in_flight : float }
+
+let work_profile (t : t) =
+  let now = Sim.now t.Internal.sim in
+  let in_flight =
+    Hashtbl.fold
+      (fun _ txn acc -> acc +. (now -. txn.Internal.start_time))
+      t.Internal.active 0.0
+  in
+  {
+    wp_committed = t.Internal.work_committed;
+    wp_wasted = t.Internal.work_wasted;
+    wp_in_flight = in_flight;
+  }
+
+(* Conservation: the incrementally-maintained ledger must agree with an
+   independent scan of the active table. [eps] absorbs float rounding on
+   long runs (sums of many ~1e3-magnitude sim times). *)
+let work_conserved ?(eps = 1e-6) (t : t) =
+  let starts =
+    Hashtbl.fold
+      (fun _ txn acc -> acc +. txn.Internal.start_time)
+      t.Internal.active 0.0
+  in
+  let lhs = t.Internal.work_ledger +. starts in
+  let rhs = t.Internal.work_committed +. t.Internal.work_wasted in
+  Float.abs (lhs -. rhs) <= eps *. Float.max 1.0 (Float.max (Float.abs lhs) (Float.abs rhs))

@@ -178,4 +178,32 @@ val gc : t -> int
     (nodes sorted by id, edges deduplicated). *)
 val dot_snapshot : t -> string
 
+(** Zero the counters above (plus the lock manager's, the WAL's and the CPU
+    resource's) and the wasted-work sums. The work ledger is rebased over
+    the transactions currently in flight, so {!work_conserved} keeps
+    holding across a mid-run reset. *)
 val reset_stats : t -> unit
+
+(** {1 Wasted-work accounting}
+
+    Sim-time spent inside transactions, split by outcome (after "A Critique
+    of Snapshot Isolation"-style wasted-work arguments): a transaction's
+    begin→outcome span is banked as committed or wasted work at the moment
+    it resolves. Application rollbacks ([User_abort]) count as wasted at
+    this level — the engine ran them to no committed effect; the driver
+    separates them in its own accounting. Always on: three float adds per
+    transaction lifecycle. *)
+
+type work_profile = {
+  wp_committed : float;  (** spans of committed transactions, sim seconds *)
+  wp_wasted : float;  (** spans of aborted transactions, any reason *)
+  wp_in_flight : float;  (** partial spans of still-active transactions *)
+}
+
+val work_profile : t -> work_profile
+
+(** Conservation check: the incrementally-maintained ledger equals an
+    independent scan of the active table, i.e. total elapsed transaction
+    time = committed + wasted + in-flight. [eps] is a relative tolerance
+    (default [1e-6]) for float rounding on long runs. *)
+val work_conserved : ?eps:float -> t -> bool

@@ -57,6 +57,9 @@ let rollback_now t reason =
       Hashtbl.remove t.db.active t.id;
       Hashtbl.remove t.db.txn_by_id t.id;
       count_abort t.db.stats reason;
+      let abort_now = Sim.now t.db.sim in
+      t.db.work_wasted <- t.db.work_wasted +. (abort_now -. t.start_time);
+      t.db.work_ledger <- t.db.work_ledger +. abort_now;
       let obs = t.db.obs in
       if Obs.metrics_on obs then
         Obs.record_abort obs ~latency:(Sim.now t.db.sim -. t.start_time);
@@ -1121,6 +1124,9 @@ let do_commit t =
       t.logged <- false;
       t.state <- Committed;
       db.stats.commits <- db.stats.commits + 1;
+      let commit_now = Sim.now db.sim in
+      db.work_committed <- db.work_committed +. (commit_now -. t.start_time);
+      db.work_ledger <- db.work_ledger +. commit_now;
       record_history t;
       Hashtbl.remove db.active t.id;
       (* Retention (§3.3, §4.8): every committed transaction's record (its
@@ -1173,6 +1179,18 @@ let do_commit t =
                      retained = Queue.length db.suspended;
                    })
           end);
+      (* Retention gauges for the timeline: sample after watermark cleanup
+         and budget enforcement, so the point reflects the state actually
+         left in force by this commit. Trace-only, like the other events. *)
+      if Obs.tracing obs then
+        Obs.emit obs ~ts:(Sim.now db.sim)
+          (Obs.Mem_sample
+             {
+               siread = db.n_siread_entries;
+               retained_siread = db.n_retained_siread;
+               retained_record = db.n_retained_record;
+               summary = Hashtbl.length db.summary;
+             });
       (* Periodic checkpoint: every [checkpoint_interval] commits, harden
          the open WAL batch together with a checkpoint record carrying the
          oldest-active-snapshot watermark and the commit-ts allocator. In

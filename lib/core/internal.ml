@@ -113,6 +113,15 @@ and db = {
       (* (table, page) -> (last commit ts, last writer id); page-level FCW *)
   mutable history : committed_record list; (* newest first *)
   stats : stats;
+  (* Wasted-work ledger (sim-time seconds; always on — three float adds per
+     txn lifecycle). At any instant
+       work_ledger + sum(start_i over active txns) = work_committed + work_wasted
+     because begin subtracts the start time, and outcome adds the outcome
+     time and banks the span on one side. Db.work_conserved checks the
+     invariant against an independent scan of the active table. *)
+  mutable work_committed : float; (* begin->commit spans of committed txns *)
+  mutable work_wasted : float; (* begin->abort spans, any abort reason *)
+  mutable work_ledger : float;
   mutable on_touch : (int -> bool -> string -> unit) option;
       (* DPOR footprint hook: [f id is_write resource] on every shared-state
          access not already visible through the lock manager (version-chain

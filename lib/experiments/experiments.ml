@@ -678,6 +678,61 @@ let ablation_retention (budget : budget) =
       [ ("unbounded", bounded_point None); ("budget=256", bounded_point (Some 256)) ];
   }
 
+(* Timeline variant of the retention experiment: the same bounded-memory
+   loop, but the pinned read-only snapshot RELEASES at 60% of the horizon
+   and the run carries a tracing+provenance sink. The timeline's retention
+   gauges then show the §4.8 mechanism as a time series instead of a single
+   high-water mark: SIREAD/retained ramp monotonically while the pin holds
+   the oldest-active-snapshot watermark back, then fall after the release
+   drains the suspended queue. Returns the sink and the horizon (pass both
+   to [Timeline.of_obs ~horizon] so trailing quiet windows materialise). *)
+let retention_timeline_run ?memory_budget ~mpl ~warmup ~duration ~seed () =
+  let keys = 256 in
+  let key i = Printf.sprintf "k%03d" i in
+  let sim = Sim.create () in
+  let config =
+    {
+      (Config.innodb ~wal_mode:Wal.No_flush ()) with
+      Config.lock_mutex = false;
+      memory_budget;
+      promote_threshold = 4;
+    }
+  in
+  let db = Db.create ~config sim in
+  let obs = Obs.create ~trace:true ~provenance:true ~metrics:true () in
+  Db.set_obs db obs;
+  ignore (Db.create_table db "t");
+  Db.load db "t" (List.init keys (fun i -> (key i, "0")));
+  let horizon = warmup +. duration in
+  let pin_release = warmup +. (0.6 *. duration) in
+  Sim.spawn sim (fun () ->
+      ignore
+        (Db.run db Types.Serializable (fun t ->
+             for i = 0 to 7 do
+               ignore (Txn.read t "t" (key i))
+             done;
+             Sim.delay sim (pin_release -. Sim.now sim))));
+  for client = 1 to mpl do
+    Sim.spawn sim (fun () ->
+        let st = Random.State.make [| seed; client |] in
+        let rec loop () =
+          if Sim.now sim < horizon then begin
+            let r = key (Random.State.int st keys) in
+            let w = key (Random.State.int st keys) in
+            ignore
+              (Db.run db Types.Serializable (fun t ->
+                   ignore (Txn.read t "t" r);
+                   Txn.write t "t" w "1"));
+            loop ()
+          end
+        in
+        loop ())
+  done;
+  Sim.run ~until:horizon sim;
+  if not (Db.work_conserved db) then
+    failwith "retention_timeline_run: wasted-work conservation violated";
+  (obs, horizon)
+
 (* Real LRU buffer pool vs the probabilistic read_miss model on the
    I/O-bound TPC-C++ configuration of Fig 6.13 — validating the DESIGN.md
    substitution. *)

@@ -30,6 +30,14 @@ let spark_char ~vmax v =
 let sparkline ~vmax values =
   String.init (Array.length values) (fun i -> spark_char ~vmax values.(i))
 
+(* Float variant, self-normalising to the series max. *)
+let sparkline_f values =
+  let vmax = Array.fold_left Float.max 0.0 values in
+  String.init (Array.length values) (fun i ->
+      let v = values.(i) in
+      if v <= 0.0 || vmax <= 0.0 then ramp.[0]
+      else ramp.[max 1 (min 8 (int_of_float (Float.ceil (v /. vmax *. 8.0))))])
+
 (* Bin a chronological step series [(ts, v)] into [bins] buckets over
    [t0, t1]: each bucket keeps the max of the values in force during it
    (samples are state changes; the value holds until the next sample). *)
@@ -141,6 +149,8 @@ let bench_md buf ~bins (b : bench_section) =
     m.Obs.m_conflict_unknown;
   bpf buf "| doomed victims | %d |\n" m.Obs.m_doomed;
   bpf buf "| siread / retained HWM | %d / %d |\n" m.Obs.m_siread_hwm m.Obs.m_retained_hwm;
+  bpf buf "| work committed / wasted | %.4f / %.4f s |\n" r.Driver.work_committed
+    r.Driver.work_wasted;
   (match span_counts b.b_obs with
   | [] -> ()
   | spans ->
@@ -172,6 +182,57 @@ let bench_md buf ~bins (b : bench_section) =
       series;
     bpf buf "```\n"
   end;
+  (* Windowed timeline sparklines: the same data the `timeline` subcommand
+     exports as CSV, rendered inline. One window per bin over the whole run
+     (warmup included, unlike the resource timelines above), each series
+     self-normalised; `^` marks are Page–Hinkley regime shifts detected on
+     the throughput series. *)
+  (match Timeline.of_obs ~window:(b.b_t1 /. float_of_int bins) ~horizon:b.b_t1 b.b_obs with
+  | None -> ()
+  | Some tl ->
+      let pick =
+        [ "throughput"; "abort-rate"; "p95-response"; "siread"; "retained"; "work-wasted" ]
+      in
+      bpf buf
+        "\nTimeline over 0–%.2fs (%d windows of %.4fs, `%s` = min→max per series):\n\n```\n"
+        b.b_t1 (Array.length tl.Timeline.tl_windows) tl.Timeline.tl_width ramp;
+      let width = List.fold_left (fun w n -> max w (String.length n)) 0 pick in
+      List.iter
+        (fun name ->
+          let xs = Timeline.series tl name in
+          let vmax = Array.fold_left Float.max 0.0 xs in
+          bpf buf "%-*s |%s| max %.4g\n" width name (sparkline_f xs) vmax)
+        pick;
+      (* A stiffer lambda than the change_points default (2x the series mean
+         instead of 0.5x): at 64 fine-grained windows ordinary
+         window-to-window oscillation would otherwise alarm constantly, and
+         the report should only flag sustained shifts. *)
+      let tput = Timeline.series tl "throughput" in
+      let mean =
+        if Array.length tput = 0 then 0.0
+        else Array.fold_left ( +. ) 0.0 tput /. float_of_int (Array.length tput)
+      in
+      (match
+         (if mean > 0.0 then Timeline.change_points ~lambda:(2.0 *. mean) tl ~series:"throughput"
+          else Timeline.change_points tl ~series:"throughput")
+       with
+      | [] -> ()
+      | marks ->
+          let line = Bytes.make (Array.length tl.Timeline.tl_windows) ' ' in
+          List.iter
+            (fun mk ->
+              if mk.Timeline.mk_window < Bytes.length line then
+                Bytes.set line mk.Timeline.mk_window '^')
+            marks;
+          bpf buf "%-*s |%s| %s\n" width "regime" (Bytes.to_string line)
+            (String.concat ", "
+               (List.map
+                  (fun mk ->
+                    Printf.sprintf "%s@%.2fs"
+                      (match mk.Timeline.mk_direction with `Up -> "up" | `Down -> "down")
+                      mk.Timeline.mk_ts)
+                  marks)));
+      bpf buf "```\n");
   bpf buf "\n"
 
 (* {1 Abort-provenance section} *)

@@ -170,8 +170,14 @@ let hist_mean h = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_cou
 
 let hist_max h = h.h_max
 
-(* Upper edge of the bucket where the cumulative count first reaches
-   [p * count]; a conservative (over-)estimate of the p-quantile. *)
+(* p-quantile estimate with within-bucket linear interpolation. The target
+   rank lands in some bucket [i] covering [lo, hi) ns (lo = 0 for bucket 0,
+   since sub-ns values clamp there); assuming ranks spread uniformly across
+   the bucket, the estimate is lo + frac * (hi - lo) where frac is the
+   target's position among the bucket's own samples. Always clamped to
+   [h_max], so n=1 and p=1.0 return the exact maximum instead of a bucket
+   edge. The previous version returned the upper bucket edge outright — a
+   conservative over-estimate by up to 2x. *)
 let hist_percentile h p =
   if h.h_count = 0 then 0.0
   else begin
@@ -183,9 +189,13 @@ let hist_percentile h p =
     let result = ref h.h_max in
     (try
        for i = 0 to hist_buckets - 1 do
+         let before = !cum in
          cum := !cum + h.h_b.(i);
          if !cum >= target then begin
-           result := min h.h_max (1e-9 *. Float.pow 2.0 (float_of_int (i + 1)));
+           let lo = if i = 0 then 0.0 else Float.ldexp 1.0 i in
+           let hi = Float.ldexp 1.0 (i + 1) in
+           let frac = float_of_int (target - before) /. float_of_int h.h_b.(i) in
+           result := min h.h_max (1e-9 *. (lo +. (frac *. (hi -. lo))));
            raise Exit
          end
        done
@@ -364,7 +374,7 @@ type event =
   | Lock_grant of { owner : int; mode : string; resource : string; waited : float }
   | Lock_release_all of { owner : int; kept_siread : bool }
   | Deadlock of { victim : int; resource : string }
-  | Wal_flush of { epoch : int; latency : float }
+  | Wal_flush of { epoch : int; latency : float; queued : int }
   | Conflict_edge of { reader : int; writer : int; source : conflict_source }
   | Victim_doomed of { victim : int; by : int; reason : string }
   | Cleanup of { released : int; retained : int }
@@ -388,6 +398,16 @@ type event =
      resources on every acquire/release state change: servers busy and
      queue depth at simulated time ts (Chrome-trace "C" counter events). *)
   | Res_sample of { res : string; in_use : int; queued : int }
+  (* Memory-pressure sample, emitted by the engine at each commit when
+     tracing: live SIREAD lock-table entries, retained committed txns (by
+     kind) and summary-table size. The timeline layer turns these into
+     per-window retention-growth series the PR 5 high-water marks hide. *)
+  | Mem_sample of { siread : int; retained_siread : int; retained_record : int; summary : int }
+  (* Workload-driver outcome of one transaction attempt: the program
+     (transaction class) name, the outcome ("commit", "user-abort", or an
+     abort-reason string) and the attempt's response time. Feeds per-class
+     SLO accounting in the timeline layer. *)
+  | Class_outcome of { cls : string; outcome : string; latency : float }
 
 type t = {
   t_tracing : bool;
@@ -660,9 +680,9 @@ let event_to_buf buf (ts, e) =
   | Deadlock { victim; resource } ->
       trace_record buf ~name:"deadlock" ~cat:"lock" ~ph:"i" ~ts ~tid:victim
         [ ("resource", str resource) ]
-  | Wal_flush { epoch; latency } ->
+  | Wal_flush { epoch; latency; queued } ->
       trace_record buf ~name:"flush" ~cat:"wal" ~ph:"X" ~ts:(ts -. latency) ~dur:latency ~tid:0
-        [ ("epoch", string_of_int epoch) ]
+        [ ("epoch", string_of_int epoch); ("queued", string_of_int queued) ]
   | Conflict_edge { reader; writer; source } ->
       trace_record buf ~name:"rw-edge" ~cat:"ssi" ~ph:"i" ~ts ~tid:reader
         [ ("writer", string_of_int writer); ("source", str (conflict_source_to_string source)) ]
@@ -694,22 +714,42 @@ let event_to_buf buf (ts, e) =
   | Res_sample { res; in_use; queued } ->
       trace_record buf ~name:res ~cat:"resource" ~ph:"C" ~ts ~tid:0
         [ ("in_use", string_of_int in_use); ("queued", string_of_int queued) ]
+  | Mem_sample { siread; retained_siread; retained_record; summary } ->
+      trace_record buf ~name:"memory" ~cat:"memory" ~ph:"C" ~ts ~tid:0
+        [ ("siread", string_of_int siread);
+          ("retained_siread", string_of_int retained_siread);
+          ("retained_record", string_of_int retained_record);
+          ("summary", string_of_int summary) ]
+  | Class_outcome { cls; outcome; latency } ->
+      trace_record buf ~name:("class:" ^ cls) ~cat:"driver" ~ph:"i" ~ts ~tid:0
+        [ ("outcome", str outcome); ("latency", Printf.sprintf "%.9f" latency) ]
 
-let write_trace oc t =
+(* Render one Chrome-trace counter ("C") record — the form the timeline
+   layer uses to append its per-window series to a trace file, so spans,
+   resource occupancy and timeline series land in a single viewer. *)
+let trace_counter buf ~name ~ts args = trace_record buf ~name ~cat:"timeline" ~ph:"C" ~ts ~tid:0 args
+
+let write_trace ?(extra = []) oc t =
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "[";
   let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_string buf ",\n" in
   List.iter
     (fun ev ->
-      if !first then first := false else Buffer.add_string buf ",\n";
+      sep ();
       event_to_buf buf ev)
     (events t);
+  List.iter
+    (fun record ->
+      sep ();
+      Buffer.add_string buf record)
+    extra;
   Buffer.add_string buf "]\n";
   Buffer.output_buffer oc buf
 
-let write_trace_file path t =
+let write_trace_file ?extra path t =
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_trace oc t)
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_trace ?extra oc t)
 
 (* {1 Certificate JSON}
 

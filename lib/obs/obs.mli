@@ -125,7 +125,9 @@ val hist_mean : hist -> float
 
 val hist_max : hist -> float
 
-(** Conservative p-quantile estimate (upper bucket edge). *)
+(** p-quantile estimate, linearly interpolated within the target bucket
+    (assuming a uniform spread of ranks across the bucket) and clamped to
+    {!hist_max} — so a one-sample histogram returns the exact value. *)
 val hist_percentile : hist -> float -> float
 
 val hist_copy : hist -> hist
@@ -190,7 +192,9 @@ type event =
   | Lock_grant of { owner : int; mode : string; resource : string; waited : float }
   | Lock_release_all of { owner : int; kept_siread : bool }
   | Deadlock of { victim : int; resource : string }
-  | Wal_flush of { epoch : int; latency : float }
+  | Wal_flush of { epoch : int; latency : float; queued : int }
+      (** group-commit flush completion; [queued] is the number of records
+          still pending (later epochs) when the flush hardened *)
   | Conflict_edge of { reader : int; writer : int; source : conflict_source }
   | Victim_doomed of { victim : int; by : int; reason : string }
   | Cleanup of { released : int; retained : int }
@@ -214,6 +218,13 @@ type event =
   | Res_sample of { res : string; in_use : int; queued : int }
       (** k-server resource state at a state change: busy servers and queue
           depth (exported as Chrome-trace ["C"] counter events). *)
+  | Mem_sample of { siread : int; retained_siread : int; retained_record : int; summary : int }
+      (** per-commit memory-pressure sample: live SIREAD lock-table entries,
+          retained committed txns by kind, summary-table size *)
+  | Class_outcome of { cls : string; outcome : string; latency : float }
+      (** workload-driver outcome of one transaction attempt: program
+          (class) name, outcome (["commit"], ["user-abort"], or an
+          abort-reason string) and response time *)
 
 (** {1 The sink} *)
 
@@ -335,9 +346,17 @@ val record_sleep_hits : t -> n:int -> unit
     chrome://tracing and ui.perfetto.dev). Simulated seconds map to trace
     microseconds; [tid] is the transaction (or lock owner) id. *)
 
-val write_trace : out_channel -> t -> unit
+(** [extra] is a list of pre-rendered trace records (e.g. from
+    {!trace_counter}) appended after the event records, inside the same
+    JSON array. *)
+val write_trace : ?extra:string list -> out_channel -> t -> unit
 
-val write_trace_file : string -> t -> unit
+val write_trace_file : ?extra:string list -> string -> t -> unit
+
+(** Render one Chrome-trace counter (["C"]) record into [buf] — how the
+    timeline layer appends its per-window series to a trace file. [args]
+    values are raw JSON fragments (typically numbers). *)
+val trace_counter : Buffer.t -> name:string -> ts:float -> (string * string) list -> unit
 
 (** {1 Resource series}
 

@@ -115,17 +115,21 @@ let signal t c =
 let run ?(until = infinity) t =
   let continue_ = ref true in
   while !continue_ do
-    match Pqueue.pop t.events with
+    match Pqueue.peek t.events with
     | None -> continue_ := false
-    | Some (time, thunk) ->
+    | Some (time, _) ->
         if time > until then begin
-          (* Leave the clock at the horizon; remaining events stay queued. *)
+          (* Leave the clock at the horizon; remaining events stay queued
+             (peek, don't pop: a later [run] must be able to resume). *)
           t.now <- until;
           continue_ := false
         end
         else begin
-          t.now <- time;
-          thunk ()
+          (match Pqueue.pop t.events with
+          | Some (time', thunk) ->
+              t.now <- time';
+              thunk ()
+          | None -> continue_ := false)
         end
   done
 

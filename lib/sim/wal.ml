@@ -327,7 +327,8 @@ let rec ensure_flushed t ~latency ~upto =
     harden_upto t target;
     Obs.record_wal_flush t.obs;
     if Obs.tracing t.obs then
-      Obs.emit t.obs ~ts:(Sim.now t.sim) (Obs.Wal_flush { epoch = target; latency });
+      Obs.emit t.obs ~ts:(Sim.now t.sim)
+        (Obs.Wal_flush { epoch = target; latency; queued = List.length t.pending });
     t.flusher_active <- false;
     Sim.broadcast t.sim t.flushed_cond;
     ensure_flushed t ~latency ~upto

@@ -57,6 +57,9 @@ type result = {
   metrics : Obs.metrics; (* engine metrics (zeros unless [obs] was passed) *)
   end_lock_table : int; (* lock-table entries when the window closed *)
   end_retained : int; (* committed transaction records still retained *)
+  work_committed : float; (* engine ledger: begin->commit spans, sim s *)
+  work_wasted : float; (* begin->abort spans (any reason), sim s *)
+  work_in_flight : float; (* partial spans still open at the horizon *)
 }
 
 type config = {
@@ -184,15 +187,31 @@ let run_once ?obs ~make_db ~mix (cfg : config) : result =
               | _ -> ()
             in
             span `B;
+            (* Class-outcome event for the timeline: one per transaction
+               attempt outcome, tagged with the program (class) name. Not
+               gated by the measurement window — the timeline covers the
+               whole run, warmup included. *)
+            let class_emit outcome latency =
+              match obs with
+              | Some o when Obs.tracing o ->
+                  Obs.emit o ~ts:(Sim.now sim)
+                    (Obs.Class_outcome { cls = prog.p_name; outcome; latency })
+              | _ -> ()
+            in
             let rec attempt retries =
+              let attempt_start = Sim.now sim in
               match Db.run ~read_only:prog.p_read_only db cfg.isolation (prog.p_body st) with
-              | Ok () -> count_commit prog.p_name started
+              | Ok () ->
+                  class_emit "commit" (Sim.now sim -. started);
+                  count_commit prog.p_name started
               | Error Types.User_abort ->
                   (* Application rollback (e.g. SmallBank insufficient
                      funds): completed work, not an error — but counted
                      apart so abort accounting stays honest. *)
+                  class_emit "user-abort" (Sim.now sim -. started);
                   count_commit ~user_abort:true prog.p_name started
               | Error reason ->
+                  class_emit (Types.abort_reason_to_string reason) (Sim.now sim -. attempt_start);
                   count_abort prog.p_name reason;
                   if retries < cfg.max_retries && Sim.now sim < horizon then attempt (retries + 1)
             in
@@ -205,6 +224,13 @@ let run_once ?obs ~make_db ~mix (cfg : config) : result =
         session ())
   done;
   Sim.run ~until:horizon sim;
+  (* Wasted-work conservation: the engine's incrementally-maintained ledger
+     must agree with an independent scan of the active table on every run —
+     a violation means an abort or commit path skipped its banking hook, so
+     fail loudly rather than report silently-wrong wasted-work numbers. *)
+  if not (Db.work_conserved db) then
+    failwith "Driver.run_once: wasted-work conservation violated (ledger out of balance)";
+  let wp = Db.work_profile db in
   let programs =
     Hashtbl.fold (fun _ ps acc -> ps :: acc) c.by_program []
     |> List.sort (fun a b -> compare a.ps_name b.ps_name)
@@ -212,6 +238,9 @@ let run_once ?obs ~make_db ~mix (cfg : config) : result =
   {
     end_lock_table = Db.lock_table_size db;
     end_retained = Db.retained_count db;
+    work_committed = wp.Db.wp_committed;
+    work_wasted = wp.Db.wp_wasted;
+    work_in_flight = wp.Db.wp_in_flight;
     mpl = cfg.mpl;
     seed = cfg.seed;
     elapsed = cfg.duration;

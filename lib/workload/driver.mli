@@ -47,6 +47,11 @@ type result = {
       (** engine metrics snapshot (all zero unless [obs] was passed) *)
   end_lock_table : int;  (** lock-table entries when the window closed *)
   end_retained : int;  (** committed transaction records still retained *)
+  work_committed : float;
+      (** engine wasted-work ledger: begin→commit spans, simulated seconds
+          (whole run, not just the measurement window) *)
+  work_wasted : float;  (** begin→abort spans, any abort reason *)
+  work_in_flight : float;  (** partial spans still open at the horizon *)
 }
 
 type config = {

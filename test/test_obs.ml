@@ -400,6 +400,54 @@ let test_hist_add_boundary_via_seconds () =
   Alcotest.(check int) "boundary latency in one bucket" 1 h.Obs.h_b.(10);
   Alcotest.(check int) "and only that bucket" 0 h.Obs.h_b.(9)
 
+(* {1 Percentile interpolation, pinned}
+
+   hist_percentile interpolates linearly inside the target bucket and clamps
+   to hist_max. Every expectation below is an exact float: samples sit on
+   power-of-two bucket boundaries, so lo/hi/frac are all exact dyadics and
+   the estimate is reproducible bit for bit. *)
+let feq = Alcotest.float 1e-12
+
+let test_hist_percentile_interpolated () =
+  (* two samples in bucket 10 ([1024, 2048) ns), two in bucket 12
+     ([4096, 8192) ns) *)
+  let h = Obs.hist_create () in
+  List.iter (Obs.hist_add h) [ 1.024e-6; 1.024e-6; 4.096e-6; 4.096e-6 ];
+  (* p25 -> rank 1 of 2 in bucket 10: 1024 + 1/2 * 1024 = 1536 ns *)
+  Alcotest.check feq "p25 interpolates mid-bucket" 1.536e-6 (Obs.hist_percentile h 0.25);
+  (* p50 -> rank 2 of 2 in bucket 10: the upper edge, 2048 ns *)
+  Alcotest.check feq "p50 reaches the bucket edge" 2.048e-6 (Obs.hist_percentile h 0.50);
+  (* p100 -> rank 2 of 2 in bucket 12: 8192 ns, clamped to the true max *)
+  Alcotest.check feq "p100 clamps to hist_max" 4.096e-6 (Obs.hist_percentile h 1.0)
+
+let test_hist_percentile_single_sample () =
+  (* n=1: every percentile is the sample itself (edge estimate clamped to
+     hist_max) *)
+  let h = Obs.hist_create () in
+  Obs.hist_add h 5e-7;
+  List.iter
+    (fun p ->
+      Alcotest.check feq
+        (Printf.sprintf "p%.0f of singleton" (100.0 *. p))
+        5e-7 (Obs.hist_percentile h p))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
+let test_hist_percentile_inf_nan () =
+  (* inf lands in the last bucket; its interpolated edge is 2^64 ns, which
+     is finite, so the estimate stays finite even though hist_max is inf *)
+  let h = Obs.hist_create () in
+  Obs.hist_add h Float.infinity;
+  Alcotest.check feq "inf sample pins to 2^64 ns"
+    (1e-9 *. Float.ldexp 1.0 64)
+    (Obs.hist_percentile h 1.0);
+  (* nan clamps into bucket 0 and never becomes hist_max, so the clamp
+     yields exactly 0 *)
+  let h2 = Obs.hist_create () in
+  Obs.hist_add h2 Float.nan;
+  Alcotest.check feq "nan sample clamps to 0" 0.0 (Obs.hist_percentile h2 1.0);
+  (* empty histogram is 0 by definition *)
+  Alcotest.check feq "empty hist" 0.0 (Obs.hist_percentile (Obs.hist_create ()) 0.5)
+
 (* {1 Retention is linear (the Queue fix)} *)
 
 (* 10k commits while a long-running reader pins the cleanup horizon: every
@@ -531,6 +579,9 @@ let () =
         [
           ("bucket boundaries pinned", `Quick, test_hist_bucket_pinned);
           ("boundary latency via hist_add", `Quick, test_hist_add_boundary_via_seconds);
+          ("percentile interpolation pinned", `Quick, test_hist_percentile_interpolated);
+          ("percentile of a single sample", `Quick, test_hist_percentile_single_sample);
+          ("percentile inf/nan/empty", `Quick, test_hist_percentile_inf_nan);
         ] );
       ( "retention",
         [

@@ -63,6 +63,21 @@ let test_run_until () =
   Alcotest.(check int) "ticks until horizon" 10 !count;
   Alcotest.(check (float 0.0)) "clock stops at horizon" 10.5 (Sim.now sim)
 
+(* Stopping at a horizon must not consume the first event beyond it: a
+   later [run] picks up exactly where the clock stopped. *)
+let test_run_until_resumes () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  List.iter
+    (fun d -> Sim.spawn sim (fun () -> Sim.delay sim d; fired := d :: !fired))
+    [ 0.25; 0.75; 1.25 ];
+  Sim.run ~until:0.5 sim;
+  Alcotest.(check (list (float 0.0))) "only pre-horizon events" [ 0.25 ] (List.rev !fired);
+  Sim.run sim;
+  Alcotest.(check (list (float 0.0)))
+    "post-horizon events survive the pause" [ 0.25; 0.75; 1.25 ] (List.rev !fired);
+  Alcotest.(check (float 0.0)) "clock at last event" 1.25 (Sim.now sim)
+
 let test_cond_broadcast () =
   let sim = Sim.create () in
   let c = Sim.cond () in
@@ -301,6 +316,7 @@ let suite =
     ("pqueue random heap property", `Quick, test_pqueue_random_heap_property);
     ("delay ordering", `Quick, test_delay_ordering);
     ("run until horizon", `Quick, test_run_until);
+    ("run resumes past horizon", `Quick, test_run_until_resumes);
     ("cond broadcast", `Quick, test_cond_broadcast);
     ("cond signal fifo", `Quick, test_cond_signal_fifo);
     ("kill raises in process", `Quick, test_kill_raises);

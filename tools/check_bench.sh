@@ -64,8 +64,21 @@ for d in $deltas; do
     exit 1
   fi
 done
-if [ "$k" -lt 2 ]; then
-  echo "check_bench: expected >= 2 obs_overhead entries, found $k" >&2
+if [ "$k" -lt 3 ]; then
+  echo "check_bench: expected >= 3 obs_overhead entries (commit path, lock manager, timeline build), found $k" >&2
+  exit 1
+fi
+
+# Timeline gate: the windowed-telemetry probe must be present, must have
+# bucketed a non-trivial run into windows, and the wasted-work ledger must
+# balance (committed + wasted + in-flight covers every begin->outcome span).
+# `perf` itself exits 2 on a ledger violation; the greps also protect
+# against the probe being silently dropped from the report.
+grep -q '"timeline": {' "$out" || { echo "check_bench: missing timeline section" >&2; exit 1; }
+grep -q '"timeline": {[^}]*"conserved": true' "$out" || { echo "check_bench: timeline probe reports a wasted-work ledger violation" >&2; exit 1; }
+tlwin=$(sed -n 's/.*"timeline": {[^}]*"windows": \([0-9][0-9]*\).*/\1/p' "$out")
+if [ -z "$tlwin" ] || [ "$tlwin" -eq 0 ]; then
+  echo "check_bench: timeline probe produced no windows" >&2
   exit 1
 fi
 
@@ -118,4 +131,4 @@ if awk -v r="$schedrate" 'BEGIN { exit !(r <= 0.0) }'; then
   exit 1
 fi
 
-echo "check_bench: OK ($n benches within ${MAX_REGRESS:-2.0}x of baseline, $j speedup points, obs overhead <= ${obs_max}% on $k hot paths, bounded run within budget with $summarized txns summarized, recovery replayed $replayed records / $recovered commits, DPOR reduction ${reduction}x at ${schedrate} schedules/s)"
+echo "check_bench: OK ($n benches within ${MAX_REGRESS:-2.0}x of baseline, $j speedup points, obs overhead <= ${obs_max}% on $k hot paths, bounded run within budget with $summarized txns summarized, recovery replayed $replayed records / $recovered commits, DPOR reduction ${reduction}x at ${schedrate} schedules/s, timeline ledger conserved over $tlwin windows)"
