@@ -230,6 +230,32 @@ let bench_timeline_path ?(null_sink = false) runs () =
         ignore (Timeline.change_points tl ~series:"throughput");
         commits
 
+(* Sketch arm: the B side attaches a sink with *only* the attribution
+   sketch on, so the measured delta bounds the cost of the per-resource
+   heavy-hitter updates (one hash probe + counter bump per conflict edge,
+   SIREAD grant or lock wait) in the live commit path. Gated by the same
+   OBS_OVERHEAD_MAX as the channels-off arms. *)
+let bench_commit_path_sketch ?(null_sink = false) runs () =
+  let sim = Sim.create () in
+  let db = Core.Db.create ~config:(Core.Config.bdb ()) sim in
+  if null_sink then Core.Db.set_obs db (Obs.create ~trace:false ~metrics:false ~sketch:256 ());
+  let rows = List.init 256 (fun i -> (Printf.sprintf "k%03d" i, "0")) in
+  ignore (Core.Db.create_table db "t");
+  Core.Db.load db "t" rows;
+  Sim.spawn sim (fun () ->
+      for i = 0 to runs - 1 do
+        let key = Printf.sprintf "k%03d" (i mod 256) in
+        match
+          Core.Db.run db Core.Types.Serializable (fun t ->
+              let v = Core.Txn.read_exn t "t" key in
+              Core.Txn.write t "t" key (string_of_int (String.length v)))
+        with
+        | Ok () -> ()
+        | Error _ -> ()
+      done);
+  Sim.run sim;
+  float_of_int (Core.Db.stats db).Core.Internal.commits
+
 (* {1 Observability-overhead guard}
 
    "Zero cost when no sink is installed": every hot-path observability call
@@ -288,6 +314,7 @@ let obs_overhead ~quick =
     measure "commit-path" (1000 * s) bench_commit_path;
     measure "lock-acquire-release" (5000 * s) bench_lock_path;
     measure "timeline-build" (1000 * s) bench_timeline_path;
+    measure "commit-path-sketch" (1000 * s) bench_commit_path_sketch;
   ]
 
 (* {1 Timeline probe}
@@ -521,6 +548,81 @@ let explore_probe ~quick =
     xp_rate = (if wall > 0.0 then float_of_int st.Explore.executed /. wall else 0.0);
   }
 
+(* {1 Attribution probe}
+
+   The per-resource contention sketch (PR 10): the deterministic side runs
+   the timeline probe's contended workload with a sketch-carrying sink and
+   reports the update count, tracked cardinality, worst per-entry overcount
+   and total certificate blame — all simulated results, identical on every
+   host. The wall side is a pure sketch microbench (capacity 256 under a
+   4096-key LCG stream, so evictions fire constantly) reported as ns per
+   update. tools/check_bench.sh fails `@ci` if the deterministic side
+   recorded nothing or the overcount breaks the N/capacity bound. *)
+
+type attrib_probe = {
+  at_updates : int;  (** deterministic: sketch updates in the traced run *)
+  at_tracked : int;  (** deterministic: resources tracked at end of run *)
+  at_error_bound : int;  (** deterministic: max per-entry overcount *)
+  at_blame : int;  (** deterministic: blame counters after the cert fold *)
+  at_update_ns : float;  (** median wall ns per sketch update *)
+}
+
+let attrib_probe ~quick =
+  let clients = 8 in
+  let per_client = (if quick then 4000 else 16_000) / clients in
+  let keys = 64 in
+  let sim = Sim.create () in
+  let db = Core.Db.create ~config:(Core.Config.bdb ()) sim in
+  let obs = Obs.create ~trace:false ~metrics:false ~provenance:true ~sketch:256 () in
+  Core.Db.set_obs db obs;
+  ignore (Core.Db.create_table db "t");
+  Core.Db.load db "t" (List.init keys (fun i -> (Printf.sprintf "k%03d" i, "0")));
+  for client = 1 to clients do
+    Sim.spawn sim (fun () ->
+        let st = Random.State.make [| 7; client |] in
+        for _ = 1 to per_client do
+          let r = Printf.sprintf "k%03d" (Random.State.int st keys) in
+          let w = Printf.sprintf "k%03d" (Random.State.int st keys) in
+          match
+            Core.Db.run db Core.Types.Serializable (fun t ->
+                ignore (Core.Txn.read t "t" r);
+                Core.Txn.write t "t" w "1")
+          with
+          | Ok () | Error _ -> ()
+        done)
+  done;
+  Sim.run sim;
+  let sk = Option.get (Obs.sketch obs) in
+  Attrib.blame sk (Obs.certs obs);
+  let blame =
+    List.fold_left
+      (fun acc (_, s) ->
+        acc + s.Sketch.st_blame_in + s.Sketch.st_blame_out + s.Sketch.st_blame_fcw)
+      0 (Sketch.entries sk)
+  in
+  (* Pure update cost: precomputed keys so the measurement is the sketch
+     probe + bump, not string formatting. *)
+  let pool = Array.init 4096 (Printf.sprintf "r/t/k%04d") in
+  let n = (if quick then 200_000 else 1_000_000) in
+  let bench () =
+    let s = Sketch.create ~capacity:256 in
+    let x = ref 12345 in
+    for _ = 1 to n do
+      x := ((!x * 1103515245) + 12345) land 0xFFF;
+      let st = Sketch.touch s pool.(!x) in
+      st.Sketch.st_conflicts <- st.Sketch.st_conflicts + 1
+    done;
+    0.0
+  in
+  let walls = List.init 5 (fun _ -> fst (time bench)) in
+  {
+    at_updates = Sketch.total sk;
+    at_tracked = Sketch.cardinality sk;
+    at_error_bound = Sketch.error_bound sk;
+    at_blame = blame;
+    at_update_ns = median walls /. float_of_int n *. 1e9;
+  }
+
 (* {1 End-to-end sweep: wall time and determinism across -j} *)
 
 type sweep_point = { sp_j : int; sp_wall : float; sp_speedup : float }
@@ -563,7 +665,7 @@ let sweep ~quick =
 
 (* One bench object per line, so the baseline comparison (here and in
    tools/check_bench.sh) can parse without a JSON library. *)
-let emit_json oc ~quick entries sweep_points ab_entries tp mp rv xp =
+let emit_json oc ~quick entries sweep_points ab_entries tp mp rv xp ap =
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"schema\": \"ssi-bench/1\",\n";
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
@@ -623,8 +725,16 @@ let emit_json oc ~quick entries sweep_points ab_entries tp mp rv xp =
      is wall-clock (one line, same greppable convention). *)
   Printf.fprintf oc
     "  \"exploration\": {\"spec\": \"%s\", \"executed\": %d, \"bound\": %d, \"outcomes\": %d, \
-     \"reduction\": %.1f, \"wall_s\": %.6f, \"schedules_per_s\": %.1f}\n"
+     \"reduction\": %.1f, \"wall_s\": %.6f, \"schedules_per_s\": %.1f},\n"
     xp.xp_spec xp.xp_executed xp.xp_bound xp.xp_outcomes xp.xp_reduction xp.xp_wall xp.xp_rate;
+  (* Attribution sketch: deterministic update/cardinality/overcount/blame
+     checks plus the sketch-update wall cost (one line, same greppable
+     convention; deliberately no "name"/"rate" pair, which would make
+     [parse_baseline] read it as a bench line). *)
+  Printf.fprintf oc
+    "  \"attribution\": {\"updates\": %d, \"tracked\": %d, \"error_bound\": %d, \"blame\": %d, \
+     \"sketch_update_ns\": %.2f}\n"
+    ap.at_updates ap.at_tracked ap.at_error_bound ap.at_blame ap.at_update_ns;
   Printf.fprintf oc "}\n"
 
 (* Tiny substring scanners so the baseline loads without a JSON library. *)
@@ -747,8 +857,12 @@ let run quick out baseline max_regress =
   Printf.printf
     "    %s: %d of %d schedules (%.1fx reduction)  %d outcomes  %.3fs  %.0f schedules/s\n%!"
     xp.xp_spec xp.xp_executed xp.xp_bound xp.xp_reduction xp.xp_outcomes xp.xp_wall xp.xp_rate;
+  print_endline "  attribution probe (contention sketch, deterministic checks):";
+  let ap = attrib_probe ~quick in
+  Printf.printf "    %d updates  %d tracked  overcount<=%d  blame %d  %.1f ns/update\n%!"
+    ap.at_updates ap.at_tracked ap.at_error_bound ap.at_blame ap.at_update_ns;
   let oc = open_out out in
-  emit_json oc ~quick entries sw ab tp mp rv xp;
+  emit_json oc ~quick entries sw ab tp mp rv xp ap;
   close_out oc;
   Printf.printf "  wrote %s\n" out;
   match baseline with

@@ -506,6 +506,204 @@ let timeline_cmd =
       $ tl_seeds_arg $ window_arg $ series_arg $ csv_arg $ ndjson_arg $ slo_arg $ annotate_arg
       $ trace_arg $ memb_arg $ jobs_arg)
 
+let attribute_cmd =
+  let workload_arg =
+    Arg.(
+      value
+      & opt string "sibench"
+      & info [ "workload" ] ~docv:"NAME" ~doc:"Workload: smallbank | sibench")
+  in
+  let mpl_arg = Arg.(value & opt int 10 & info [ "mpl" ] ~doc:"Number of concurrent clients") in
+  let duration_arg =
+    Arg.(value & opt float 0.5 & info [ "duration" ] ~doc:"Measured simulated seconds")
+  in
+  let warmup_arg =
+    Arg.(value & opt float 0.1 & info [ "warmup" ] ~doc:"Warmup simulated seconds")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base random seed") in
+  let iso_arg =
+    Arg.(value & opt string "ssi" & info [ "isolation" ] ~doc:"si | ssi | s2pl | rc")
+  in
+  let at_seeds_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Merge sketches over $(docv) seeds (base, base+1, ...); pairs with -j")
+  in
+  let window_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "window" ] ~docv:"SECONDS"
+          ~doc:"Window width for the per-window blame series, simulated seconds")
+  in
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"Rows in the contention table")
+  in
+  let sketch_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "sketch" ] ~docv:"CAP"
+          ~doc:"Space-saving sketch capacity (distinct resources tracked; bounds the error)")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write the per-window blame series as CSV to $(docv)")
+  in
+  let ndjson_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ndjson" ] ~docv:"FILE"
+          ~doc:"Write the per-window blame series as one JSON object per line to $(docv)")
+  in
+  let flightrec_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "flightrec" ] ~docv:"CAP"
+          ~doc:
+            "Attach a flight recorder with a $(docv)-event ring to the base seed's run (0 = \
+             off); pairs with --trigger and --bundle")
+  in
+  let trigger_arg =
+    Arg.(
+      value
+      & opt string "abort_rate:0.5"
+      & info [ "trigger" ] ~docv:"SPEC"
+          ~doc:"Trigger: abort_rate:X | slo | slo:RATE:P95 | regime | regime:SERIES")
+  in
+  let bundle_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bundle" ] ~docv:"FILE"
+          ~doc:"Write the post-mortem bundle to $(docv) when the trigger fires")
+  in
+  let memb_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "memory-budget" ] ~docv:"N"
+          ~doc:"Bound SIREAD/retained-transaction memory to $(docv) entries (0 = unbounded)")
+  in
+  let run workload mpl duration warmup seed iso nseeds window top sketch_cap csv ndjson
+      flightrec trigger bundle mem_budget jobs =
+    if window <= 0.0 then begin
+      prerr_endline "--window must be positive";
+      exit 1
+    end;
+    if sketch_cap < 1 then begin
+      prerr_endline "--sketch must be at least 1";
+      exit 1
+    end;
+    if top < 1 then begin
+      prerr_endline "--top must be at least 1";
+      exit 1
+    end;
+    let trig =
+      if flightrec = 0 then None
+      else
+        match Flightrec.trigger_of_string trigger with
+        | Ok t -> Some t
+        | Error e ->
+            prerr_endline ("bad --trigger: " ^ e);
+            exit 1
+    in
+    let isolation =
+      match isolation_of_string iso with
+      | Some i -> i
+      | None ->
+          prerr_endline ("unknown isolation: " ^ iso);
+          exit 1
+    in
+    let tweak c =
+      if mem_budget > 0 then { c with Core.Config.memory_budget = Some mem_budget } else c
+    in
+    let make_db, mix =
+      match workload_of_string ~tweak workload with
+      | Some w -> w
+      | None ->
+          prerr_endline ("unknown workload: " ^ workload);
+          exit 1
+    in
+    let horizon = warmup +. duration in
+    let run_seed s : Obs.t =
+      let obs = Obs.create ~trace:true ~provenance:true ~metrics:true ~sketch:sketch_cap () in
+      let cfg =
+        { Driver.default_config with Driver.isolation; mpl; warmup; duration; seed = s }
+      in
+      ignore (Driver.run_once ~obs ~make_db ~mix cfg);
+      obs
+    in
+    let seeds = List.init nseeds (fun i -> seed + i) in
+    let per_seed = with_jobs jobs (fun pool -> Par.map ?pool run_seed seeds) in
+    (* Merge per-seed sketches and fold certificate blame, both in seed
+       order — Par.map already returns in input order, so the result is
+       byte-identical at any -j. *)
+    let sk = Sketch.create ~capacity:sketch_cap in
+    List.iter (fun o -> Sketch.merge ~into:sk (Option.get (Obs.sketch o))) per_seed;
+    let all_certs = List.concat_map Obs.certs per_seed in
+    Attrib.blame sk all_certs;
+    Printf.printf
+      "attribution workload=%s isolation=%s mpl=%d seeds=%d..%d window=%.4fs sketch-capacity=%d\n"
+      workload iso mpl seed
+      (seed + nseeds - 1)
+      window sketch_cap;
+    let buf = Buffer.create 4096 in
+    Attrib.render_summary buf sk;
+    Attrib.render_table buf ~top sk;
+    print_string (Buffer.contents buf);
+    (match csv with
+    | None -> ()
+    | Some file ->
+        let rows = Attrib.blame_windows ~window ~horizon all_certs in
+        let b = Buffer.create 4096 in
+        Attrib.windows_csv b rows;
+        write_file file (Buffer.contents b);
+        Printf.eprintf "csv: %d blame rows written to %s\n%!" (List.length rows) file);
+    (match ndjson with
+    | None -> ()
+    | Some file ->
+        let rows = Attrib.blame_windows ~window ~horizon all_certs in
+        let b = Buffer.create 4096 in
+        Attrib.windows_ndjson b rows;
+        write_file file (Buffer.contents b);
+        Printf.eprintf "ndjson: %d blame rows written to %s\n%!" (List.length rows) file);
+    match (trig, per_seed) with
+    | Some trigger, o :: _ ->
+        let events = Obs.events o and certs = Obs.certs o in
+        let recorder, incident =
+          Flightrec.run ~capacity:flightrec ~window ~horizon ~trigger events certs
+        in
+        (match incident with
+        | None ->
+            Printf.printf "flight-recorder: no incident (trigger %s; ring %d/%d, %d dropped)\n"
+              (Flightrec.trigger_to_string trigger)
+              (Flightrec.length recorder) (Flightrec.capacity recorder)
+              (Flightrec.drops recorder)
+        | Some inc ->
+            Printf.printf "flight-recorder: incident window=%d t=%.4fs %s\n"
+              inc.Flightrec.in_window inc.Flightrec.in_ts inc.Flightrec.in_detail;
+            let b = Buffer.create 4096 in
+            Flightrec.write_bundle b ~recorder ~incident:inc ~sk ~top ~certs;
+            (match bundle with
+            | Some file ->
+                write_file file (Buffer.contents b);
+                Printf.eprintf "bundle: %d bytes written to %s\n%!" (Buffer.length b) file
+            | None -> print_string (Buffer.contents b)))
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "attribute"
+       ~doc:
+         "Root-cause attribution: per-resource contention profile (space-saving sketch over \
+          conflict edges, lock waits, SIREAD grants and FCW blocks, with abort blame split by \
+          certificate edge role) plus an anomaly-triggered flight recorder")
+    Term.(
+      const run $ workload_arg $ mpl_arg $ duration_arg $ warmup_arg $ seed_arg $ iso_arg
+      $ at_seeds_arg $ window_arg $ top_arg $ sketch_arg $ csv_arg $ ndjson_arg $ flightrec_arg
+      $ trigger_arg $ bundle_arg $ memb_arg $ jobs_arg)
+
 let sdg_cmd =
   let name_arg =
     Arg.(
@@ -1167,9 +1365,11 @@ let report_cmd =
         in
         let figs = with_jobs jobs (fun pool -> Experiments.eval_plans ?pool plans) in
         (* Profiled run: trace on (lifecycle spans + resource samples),
-           metrics on. Tracing is out-of-band, so the measured numbers are
-           identical to an untraced run. *)
-        let obs = Obs.create ~trace:true () in
+           metrics on, plus the contention sketch and certificates feeding
+           the report's hot-resources and incidents sections. Tracing is
+           out-of-band, so the measured numbers are identical to an
+           untraced run. *)
+        let obs = Obs.create ~trace:true ~provenance:true ~sketch:256 () in
         let cfg =
           {
             Driver.default_config with
@@ -1272,6 +1472,7 @@ let () =
             run_cmd;
             bench_cmd;
             timeline_cmd;
+            attribute_cmd;
             report_cmd;
             sdg_cmd;
             interleave_cmd;

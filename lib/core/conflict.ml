@@ -88,9 +88,10 @@ let set_in t other =
 
 (* Record an rw-edge for observability: counter split by detection source
    (§6.1.5's false-positive analysis) and an optional trace event. *)
-let observe_edge ~self ~reader ~writer source =
+let observe_edge ~self ~reader ~writer ~resource source =
   let db = self.db in
   Obs.record_conflict db.obs source;
+  Obs.attrib_conflict db.obs resource;
   if Obs.tracing db.obs then
     Obs.emit db.obs ~ts:(Sim.now db.sim)
       (Obs.Conflict_edge { reader = reader.id; writer = writer.id; source })
@@ -174,7 +175,7 @@ let mark ~source ~resource ~self ~reader ~writer =
         else begin
           set_out reader writer;
           set_in writer reader;
-          observe_edge ~self ~reader ~writer source;
+          observe_edge ~self ~reader ~writer ~resource source;
           abort_early_check ()
         end
     | Config.Precise ->
@@ -194,7 +195,7 @@ let mark ~source ~resource ~self ~reader ~writer =
         else begin
           set_out reader writer;
           set_in writer reader;
-          observe_edge ~self ~reader ~writer source;
+          observe_edge ~self ~reader ~writer ~resource source;
           abort_early_check ()
         end
   end
@@ -209,6 +210,7 @@ let mark_unknown_writer ~resource ~self reader =
     let db = reader.db in
     Provenance.record_unknown_edge ~reader ~resource;
     Obs.record_conflict db.obs Obs.Unknown_writer;
+    Obs.attrib_conflict db.obs resource;
     if Obs.tracing db.obs then
       Obs.emit db.obs ~ts:(Sim.now db.sim)
         (Obs.Conflict_edge { reader = reader.id; writer = 0; source = Obs.Unknown_writer });
@@ -250,6 +252,7 @@ let mark_summarized_reader ~source ~resource ~self ~sm_in =
     let config = db.config in
     Provenance.record_summary_edge ~self ~source ~resource ~incoming:true;
     Obs.record_conflict db.obs source;
+    Obs.attrib_conflict db.obs resource;
     if Obs.tracing db.obs then
       Obs.emit db.obs ~ts:(Sim.now db.sim)
         (Obs.Conflict_edge { reader = summary_owner; writer = self.id; source });
@@ -285,6 +288,7 @@ let mark_summarized_writer ~source ~resource ~self ~sm_out reader =
       let db = reader.db in
       Provenance.record_summary_edge ~self:reader ~source ~resource ~incoming:false;
       Obs.record_conflict db.obs source;
+      Obs.attrib_conflict db.obs resource;
       if Obs.tracing db.obs then
         Obs.emit db.obs ~ts:(Sim.now db.sim)
           (Obs.Conflict_edge { reader = reader.id; writer = summary_owner; source });

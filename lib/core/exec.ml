@@ -116,7 +116,8 @@ let acquire_siread ?(charge = true) t resource =
     t.siread_count <- t.siread_count + 1;
     t.db.n_siread_entries <- t.db.n_siread_entries + 1;
     Obs.note_siread t.db.obs t.siread_count;
-    Obs.note_siread_live t.db.obs t.db.n_siread_entries
+    Obs.note_siread_live t.db.obs t.db.n_siread_entries;
+    Obs.attrib_siread t.db.obs resource
   end
 
 (* {1 Granularity promotion (bounded-memory mode)}
@@ -147,6 +148,7 @@ let promote_page t table_name page pr =
   acquire_siread ~charge:false t (page_resource table_name page);
   db.n_promotions <- db.n_promotions + 1;
   Obs.record_promotion db.obs;
+  Obs.attrib_promotion db.obs (page_resource table_name page);
   if Obs.tracing db.obs then
     Obs.emit db.obs ~ts:(Sim.now db.sim)
       (Obs.Promotion { txn = t.id; table = table_name; page; rows = pr.pr_count })
@@ -940,6 +942,7 @@ let summarize_oldest db =
          entry; a fresh sentinel entry keeps the count unchanged. *)
       if merged then db.n_siread_entries <- db.n_siread_entries - 1;
       summary_add db resource ~commit_ts ~in_conflict ~out_conflict;
+      Obs.attrib_summarized db.obs resource;
       incr entries)
     moved;
   if out_conflict then begin

@@ -107,7 +107,10 @@ let dot_snapshot ?victim ?pivot db =
               (Printf.sprintf "  t%d -> t%d [label=\"rw:%s\\n%s\"];\n" e.Obs.ce_reader
                  e.Obs.ce_writer
                  (Obs.conflict_source_to_string e.Obs.ce_source)
-                 (Obs.dot_escape e.Obs.ce_resource))
+                 (* res_id_escape output is dot_escape-invariant, so the one
+                    canonical escaping serves every exporter (satellite: one
+                    shared resource-id escape). *)
+                 (Obs.res_id_escape e.Obs.ce_resource))
           end)
         (List.rev t.out_edges))
     txns;
@@ -179,6 +182,9 @@ let emit_ssi ~(victim : txn) ~policy ~(pivot : txn) ~t_in ~t_out =
    page stamp) committed after its snapshot on [resource]. *)
 let emit_fcw (t : txn) ~resource ~blocking_commit ~blocking_writer =
   let db = t.db in
+  (* FCW blame feeds the sketch live (unlike pivot blame, which needs the
+     certificate's edge roles) so it works with provenance off. *)
+  Obs.attrib_fcw db.obs resource;
   if on db then
     Obs.add_cert db.obs
       {

@@ -233,6 +233,49 @@ let bench_md buf ~bins (b : bench_section) =
                       mk.Timeline.mk_ts)
                   marks)));
       bpf buf "```\n");
+  (* Hot resources: the top of the per-resource contention sketch, with
+     certificate blame folded in, when the profiled run carried one. *)
+  (match Obs.sketch b.b_obs with
+  | None -> ()
+  | Some sk ->
+      Attrib.blame sk (Obs.certs b.b_obs);
+      let rows = Attrib.table ~top:5 sk in
+      if rows <> [] then begin
+        let summary = Buffer.create 96 in
+        Attrib.render_summary summary sk;
+        bpf buf "\nHot resources (top %d of the contention sketch; %s):\n\n" (List.length rows)
+          (String.trim (Buffer.contents summary));
+        bpf buf "| resource | count | conflicts | blame in/out/fcw | lock-wait s | siread |\n";
+        bpf buf "|---|---|---|---|---|---|\n";
+        List.iter
+          (fun (r, s) ->
+            bpf buf "| `%s` | %d | %d | %d/%d/%d | %.9g | %d |\n" (Obs.res_id_escape r)
+              s.Sketch.st_count s.Sketch.st_conflicts s.Sketch.st_blame_in s.Sketch.st_blame_out
+              s.Sketch.st_blame_fcw s.Sketch.st_lock_wait s.Sketch.st_siread)
+          rows
+      end);
+  (* Incidents: replay the run through an abort-storm flight recorder on
+     the sparkline window grid; report the firing (or its absence) so a
+     quiet run still shows the trigger that was armed. *)
+  (if Obs.tracing b.b_obs then begin
+     let window = b.b_t1 /. 64.0 in
+     let trigger = Flightrec.Abort_storm 0.3 in
+     let recorder, incident =
+       Flightrec.run ~capacity:64 ~window ~horizon:b.b_t1 ~trigger (Obs.events b.b_obs)
+         (Obs.certs b.b_obs)
+     in
+     match incident with
+     | None ->
+         bpf buf "\nIncidents: none (flight recorder armed with trigger `%s`, ring %d/%d).\n"
+           (Flightrec.trigger_to_string trigger)
+           (Flightrec.length recorder) (Flightrec.capacity recorder)
+     | Some inc ->
+         bpf buf "\nIncidents: trigger `%s` fired at window %d (t=%.4fs): %s; frozen ring %d/%d \
+                  (%d dropped).\n"
+           inc.Flightrec.in_trigger inc.Flightrec.in_window inc.Flightrec.in_ts
+           inc.Flightrec.in_detail (Flightrec.length recorder) (Flightrec.capacity recorder)
+           (Flightrec.drops recorder)
+   end);
   bpf buf "\n"
 
 (* {1 Abort-provenance section} *)

@@ -480,6 +480,7 @@ let acquire t ~owner ~mode resource =
     (* When woken normally the grant was already performed by grant_waiters. *)
     let waited = Sim.now t.sim -. blocked_at in
     Obs.record_lock_wait t.obs waited;
+    Obs.attrib_lock_wait t.obs resource waited;
     if Obs.tracing t.obs then begin
       Obs.emit t.obs ~ts:(Sim.now t.sim)
         (Obs.Span_e { tid = owner; name = "lock-wait"; cat = "lock" });

@@ -1,0 +1,91 @@
+(** Always-on flight recorder: a fixed-capacity ring of recent events with
+    anomaly triggers that freeze the ring and dump a self-contained
+    post-mortem bundle.
+
+    The ring is O(capacity) memory whatever the run length: a push over a
+    full ring drops the oldest entry and counts it ({!drops}), so an
+    operator can keep a recorder attached without retaining the full trace.
+    Triggers fire at window boundaries while the event stream is consumed;
+    the first firing freezes the ring (trigger-once) — later pushes are
+    ignored and the frozen contents are exactly the events up to the end of
+    the triggering window.
+
+    Deterministic end to end: consumption is a pure fold over the stream
+    (no clock, no RNG), and the bundle renders with fixed formats — the
+    same seed yields byte-identical bundles anywhere. *)
+
+type t
+
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+val length : t -> int
+
+(** Oldest entries overwritten so far. *)
+val drops : t -> int
+
+val frozen : t -> bool
+
+(** Append one event; drop-oldest over a full ring; no-op once frozen. *)
+val push : t -> float -> Obs.event -> unit
+
+val freeze : t -> unit
+
+(** Ring contents, oldest first. *)
+val contents : t -> (float * Obs.event) list
+
+(** {1 Triggers} *)
+
+type trigger =
+  | Abort_storm of float
+      (** per-window error-abort rate (aborts / (commits + aborts), the
+          timeline's definition) at or above the threshold *)
+  | Slo_violation of Timeline.slo
+      (** any transaction class violating either target in a window *)
+  | Regime of string
+      (** first Page–Hinkley change point on the named timeline series
+          (default parameters of {!Timeline.change_points}) *)
+
+(** Accepted forms: ["abort_rate:X"], ["slo"] (defaults: abort rate 0.5,
+    p95 0.1 s), ["slo:RATE:P95"], ["regime"] (series ["throughput"]),
+    ["regime:SERIES"]. *)
+val trigger_of_string : string -> (trigger, string) result
+
+val trigger_to_string : trigger -> string
+
+type incident = {
+  in_trigger : string;  (** {!trigger_to_string} of the firing trigger *)
+  in_window : int;  (** window index that fired *)
+  in_ts : float;  (** end of the firing window, simulated seconds *)
+  in_detail : string;  (** human-readable evidence, fixed format *)
+}
+
+(** Stream chronological [events] through a fresh recorder, evaluating
+    [trigger] at every window boundary (and once at end of stream); freeze
+    on the first firing. [horizon] bounds the window grid for the [Regime]
+    timeline build. Returns the recorder and the incident, if any — with no
+    incident the ring simply holds the last [capacity] events. *)
+val run :
+  capacity:int ->
+  window:float ->
+  ?horizon:float ->
+  trigger:trigger ->
+  (float * Obs.event) list ->
+  Obs.certificate list ->
+  t * incident option
+
+(** Render the self-contained post-mortem bundle: trigger + incident
+    header, the frozen ring (one {!Obs.event_json} line per event, drop
+    counter included), the current top-[top] contention table with its
+    sketch summary, and the DOT snapshot of the last certificate at or
+    before the firing instant (["none"] when there is no such
+    snapshot). *)
+val write_bundle :
+  Buffer.t ->
+  recorder:t ->
+  incident:incident ->
+  sk:Sketch.t ->
+  top:int ->
+  certs:Obs.certificate list ->
+  unit

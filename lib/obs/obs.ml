@@ -413,6 +413,7 @@ type t = {
   t_tracing : bool;
   t_metrics : bool;
   t_prov : bool;
+  t_sketch : Sketch.t option; (* per-resource attribution sketch *)
   mutable t_events : (float * event) list; (* newest first *)
   mutable t_event_count : int;
   mutable t_certs : certificate list; (* newest first *)
@@ -420,11 +421,15 @@ type t = {
   t_m : metrics;
 }
 
-let create ?(trace = false) ?(metrics = true) ?(provenance = false) () =
+let create ?(trace = false) ?(metrics = true) ?(provenance = false) ?sketch () =
   {
     t_tracing = trace;
     t_metrics = metrics;
     t_prov = provenance;
+    t_sketch =
+      (match sketch with
+      | Some cap when cap > 0 -> Some (Sketch.create ~capacity:cap)
+      | _ -> None);
     t_events = [];
     t_event_count = 0;
     t_certs = [];
@@ -440,7 +445,11 @@ let metrics_on t = t.t_metrics [@@inline]
 
 let provenance_on t = t.t_prov [@@inline]
 
-let enabled t = t.t_tracing || t.t_metrics || t.t_prov
+let sketch t = t.t_sketch [@@inline]
+
+let sketch_on t = t.t_sketch <> None [@@inline]
+
+let enabled t = t.t_tracing || t.t_metrics || t.t_prov || t.t_sketch <> None
 
 let add_cert t c =
   if t.t_prov then begin
@@ -538,6 +547,60 @@ let record_checkpoint t = if t.t_metrics then t.t_m.m_checkpoints <- t.t_m.m_che
 
 let record_replayed t ~n = if t.t_metrics then t.t_m.m_replayed <- t.t_m.m_replayed + n
 
+(* {2 Attribution recorders} — feed the per-resource space-saving sketch.
+   Each is one branch when no sketch is installed; with one installed the
+   cost is a hash lookup plus a counter bump (the eviction scan runs only
+   when the sketch is full AND the key untracked). Like every recorder,
+   these derive only from resource names and sim-time values already in the
+   caller's hands, so the engine's behaviour is byte-identical with the
+   sketch on or off. *)
+
+let attrib_conflict t resource =
+  match t.t_sketch with
+  | None -> ()
+  | Some sk ->
+      let s = Sketch.touch sk resource in
+      s.Sketch.st_conflicts <- s.Sketch.st_conflicts + 1
+
+let attrib_lock_wait t resource waited =
+  match t.t_sketch with
+  | None -> ()
+  | Some sk ->
+      let s = Sketch.touch sk resource in
+      s.Sketch.st_lock_waits <- s.Sketch.st_lock_waits + 1;
+      s.Sketch.st_lock_wait <- s.Sketch.st_lock_wait +. waited
+
+let attrib_siread t resource =
+  match t.t_sketch with
+  | None -> ()
+  | Some sk ->
+      let s = Sketch.touch sk resource in
+      s.Sketch.st_siread <- s.Sketch.st_siread + 1
+
+(* First-committer-wins blocks are blamed live (the blocking resource is in
+   hand at the abort site and needs no certificate), unlike the pivot
+   in/out-edge blame which Attrib folds from certificates post-run. *)
+let attrib_fcw t resource =
+  match t.t_sketch with
+  | None -> ()
+  | Some sk ->
+      let s = Sketch.touch sk resource in
+      s.Sketch.st_blame_fcw <- s.Sketch.st_blame_fcw + 1
+
+let attrib_promotion t resource =
+  match t.t_sketch with
+  | None -> ()
+  | Some sk ->
+      let s = Sketch.touch sk resource in
+      s.Sketch.st_promotions <- s.Sketch.st_promotions + 1
+
+let attrib_summarized t resource =
+  match t.t_sketch with
+  | None -> ()
+  | Some sk ->
+      let s = Sketch.touch sk resource in
+      s.Sketch.st_summarized <- s.Sketch.st_summarized + 1
+
 (* {1 Chrome-trace export}
 
    One JSON array of trace events (the "JSON array format" accepted by
@@ -580,6 +643,25 @@ let trace_record buf ~name ~cat ~ph ~ts ?dur ~tid args =
   Buffer.add_char buf '}'
 
 let str v = "\"" ^ json_escape v ^ "\""
+
+(* Canonical exporter-safe form of a resource id. Bytes outside printable
+   ASCII — notably the gap supremum's 0xff pair — plus the characters that
+   are structural in some exporter ('%' itself, the CSV comma, the JSON/DOT
+   quote and backslash) become lowercase %HH. The result contains only
+   printable ASCII with no separators or escapes left, so every exporter
+   (CSV cells, ndjson strings, DOT labels, Chrome-trace names) can embed it
+   verbatim: one escaping rule instead of four. *)
+let res_id_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' | ',' | '"' | '\\' -> Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
+      | c when Char.code c < 0x21 || Char.code c >= 0x7f ->
+          Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
 
 (* Escape a string for use inside a double-quoted Graphviz DOT label:
    quotes and backslashes are escaped, non-printable bytes become a literal
@@ -666,20 +748,20 @@ let event_to_buf buf (ts, e) =
         [ ("outcome", str "abort"); ("reason", str reason) ]
   | Lock_acquire { owner; mode; resource } ->
       trace_record buf ~name:"acquire" ~cat:"lock" ~ph:"i" ~ts ~tid:owner
-        [ ("mode", str mode); ("resource", str resource) ]
+        [ ("mode", str mode); ("resource", str (res_id_escape resource)) ]
   | Lock_block { owner; mode; resource } ->
       trace_record buf ~name:"block" ~cat:"lock" ~ph:"i" ~ts ~tid:owner
-        [ ("mode", str mode); ("resource", str resource) ]
+        [ ("mode", str mode); ("resource", str (res_id_escape resource)) ]
   | Lock_grant { owner; mode; resource; waited } ->
       trace_record buf ~name:"lock-wait" ~cat:"lock" ~ph:"X" ~ts:(ts -. waited) ~dur:waited
         ~tid:owner
-        [ ("mode", str mode); ("resource", str resource) ]
+        [ ("mode", str mode); ("resource", str (res_id_escape resource)) ]
   | Lock_release_all { owner; kept_siread } ->
       trace_record buf ~name:"release-all" ~cat:"lock" ~ph:"i" ~ts ~tid:owner
         [ ("kept_siread", bool_ kept_siread) ]
   | Deadlock { victim; resource } ->
       trace_record buf ~name:"deadlock" ~cat:"lock" ~ph:"i" ~ts ~tid:victim
-        [ ("resource", str resource) ]
+        [ ("resource", str (res_id_escape resource)) ]
   | Wal_flush { epoch; latency; queued } ->
       trace_record buf ~name:"flush" ~cat:"wal" ~ph:"X" ~ts:(ts -. latency) ~dur:latency ~tid:0
         [ ("epoch", string_of_int epoch); ("queued", string_of_int queued) ]
@@ -712,7 +794,7 @@ let event_to_buf buf (ts, e) =
   | Span_b { tid; name; cat } -> trace_record buf ~name ~cat ~ph:"B" ~ts ~tid []
   | Span_e { tid; name; cat } -> trace_record buf ~name ~cat ~ph:"E" ~ts ~tid []
   | Res_sample { res; in_use; queued } ->
-      trace_record buf ~name:res ~cat:"resource" ~ph:"C" ~ts ~tid:0
+      trace_record buf ~name:(res_id_escape res) ~cat:"resource" ~ph:"C" ~ts ~tid:0
         [ ("in_use", string_of_int in_use); ("queued", string_of_int queued) ]
   | Mem_sample { siread; retained_siread; retained_record; summary } ->
       trace_record buf ~name:"memory" ~cat:"memory" ~ph:"C" ~ts ~tid:0
@@ -728,6 +810,13 @@ let event_to_buf buf (ts, e) =
    layer uses to append its per-window series to a trace file, so spans,
    resource occupancy and timeline series land in a single viewer. *)
 let trace_counter buf ~name ~ts args = trace_record buf ~name ~cat:"timeline" ~ph:"C" ~ts ~tid:0 args
+
+(* One event as its standalone trace-record JSON object — the line format
+   of the flight recorder's ring dump. *)
+let event_json ev =
+  let buf = Buffer.create 96 in
+  event_to_buf buf ev;
+  Buffer.contents buf
 
 let write_trace ?(extra = []) oc t =
   let buf = Buffer.create 65536 in
@@ -760,7 +849,7 @@ let write_trace_file ?extra path t =
 let edge_to_json e =
   Printf.sprintf {|{"reader":%d,"writer":%d,"source":%s,"resource":%s}|} e.ce_reader e.ce_writer
     (str (conflict_source_to_string e.ce_source))
-    (str e.ce_resource)
+    (str (res_id_escape e.ce_resource))
 
 let opt_int = function Some i -> string_of_int i | None -> "null"
 
@@ -782,12 +871,12 @@ let cert_to_json c =
           (String.concat "," (List.map string_of_int d.dc_cycle))
           (String.concat ","
              (List.map
-                (fun (o, r) -> Printf.sprintf {|{"owner":%d,"resource":%s}|} o (str r))
+                (fun (o, r) -> Printf.sprintf {|{"owner":%d,"resource":%s}|} o (str (res_id_escape r)))
                 d.dc_waits))
     | Fcw_block f ->
         Printf.sprintf
           {|"kind":"fcw","txn":%d,"resource":%s,"blocking_commit":%d,"blocking_writer":%s,"snapshot":%d|}
-          f.fb_txn (str f.fb_resource) f.fb_blocking_commit
+          f.fb_txn (str (res_id_escape f.fb_resource)) f.fb_blocking_commit
           (if f.fb_blocking_writer < 0 then "null" else string_of_int f.fb_blocking_writer)
           f.fb_snapshot
   in

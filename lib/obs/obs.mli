@@ -230,12 +230,14 @@ type event =
 
 type t
 
-(** [create ~trace ~metrics ~provenance ()]: [trace] buffers structured
-    events for {!write_trace}; [metrics] enables the counters/histograms;
-    [provenance] makes the engine record per-edge conflict detail and attach
-    a {!certificate} to every abort. Defaults: trace off, metrics on,
-    provenance off. *)
-val create : ?trace:bool -> ?metrics:bool -> ?provenance:bool -> unit -> t
+(** [create ~trace ~metrics ~provenance ~sketch ()]: [trace] buffers
+    structured events for {!write_trace}; [metrics] enables the
+    counters/histograms; [provenance] makes the engine record per-edge
+    conflict detail and attach a {!certificate} to every abort; [sketch]
+    (a capacity, 0 or absent = off) installs a per-resource attribution
+    {!Sketch.t} fed by the [attrib_*] recorders. Defaults: trace off,
+    metrics on, provenance off, sketch off. *)
+val create : ?trace:bool -> ?metrics:bool -> ?provenance:bool -> ?sketch:int -> unit -> t
 
 (** A shared, permanently-off sink; the default carried by a database. *)
 val disabled : t
@@ -245,6 +247,11 @@ val tracing : t -> bool
 val metrics_on : t -> bool
 
 val provenance_on : t -> bool
+
+(** The attribution sketch, when one was installed at {!create}. *)
+val sketch : t -> Sketch.t option
+
+val sketch_on : t -> bool
 
 val enabled : t -> bool
 
@@ -340,6 +347,34 @@ val record_backtracks : t -> n:int -> unit
     was already covered elsewhere). *)
 val record_sleep_hits : t -> n:int -> unit
 
+(** {2 Attribution recorders} — each feeds the per-resource space-saving
+    sketch and is a single branch unless one was installed ([?sketch] at
+    {!create}). Resource ids are the canonical encodings
+    (["r|p|g/<table>/<key>"]). Recording derives only from values already in
+    the caller's hands, so engine behaviour is identical with the sketch on
+    or off. *)
+
+(** One rw-antidependency edge detected on the resource. *)
+val attrib_conflict : t -> string -> unit
+
+(** One blocking lock acquisition on the resource that waited [float]
+    simulated seconds. *)
+val attrib_lock_wait : t -> string -> float -> unit
+
+(** One SIREAD grant on the resource (residency proxy). *)
+val attrib_siread : t -> string -> unit
+
+(** One first-committer-wins abort blocked by a version/stamp on the
+    resource. Blamed live at the abort site — the pivot in/out-edge blame,
+    by contrast, is folded from certificates by {!Attrib.blame}. *)
+val attrib_fcw : t -> string -> unit
+
+(** One row→page SIREAD promotion landing on the (page) resource. *)
+val attrib_promotion : t -> string -> unit
+
+(** One summarization fold touching the resource's summary entry. *)
+val attrib_summarized : t -> string -> unit
+
 (** {1 Chrome-trace export}
 
     One JSON array of trace events (the array format accepted by
@@ -357,6 +392,17 @@ val write_trace_file : ?extra:string list -> string -> t -> unit
     timeline layer appends its per-window series to a trace file. [args]
     values are raw JSON fragments (typically numbers). *)
 val trace_counter : Buffer.t -> name:string -> ts:float -> (string * string) list -> unit
+
+(** One event as its standalone trace-record JSON object (no trailing
+    newline) — the flight recorder's ring-dump line format. *)
+val event_json : float * event -> string
+
+(** Canonical exporter-safe form of a resource id: bytes outside printable
+    ASCII (the gap supremum's 0xff pair included) plus ['%'], [','], ['"']
+    and ['\\'] become lowercase [%HH]. The result embeds verbatim in CSV
+    cells, ndjson strings, DOT labels and Chrome-trace names — one shared
+    escaping rule across all exporters. *)
+val res_id_escape : string -> string
 
 (** {1 Resource series}
 

@@ -1,0 +1,139 @@
+(* Space-saving heavy-hitter sketch over canonical resource ids (see
+   sketch.mli and DESIGN.md "Attribution & flight recorder").
+
+   The stream-summary structure of the original paper keeps buckets of
+   equal-count entries for O(1) eviction; at the capacities used here
+   (hundreds of entries) a plain hash table with an O(capacity) minimum
+   scan on eviction is simpler and fast enough — the scan only runs when
+   the table is full AND the key is untracked, which on a skewed workload
+   is the rare case by construction. *)
+
+type stats = {
+  mutable st_count : int;
+  mutable st_err : int;
+  mutable st_conflicts : int;
+  mutable st_blame_in : int;
+  mutable st_blame_out : int;
+  mutable st_blame_fcw : int;
+  mutable st_lock_waits : int;
+  mutable st_lock_wait : float;
+  mutable st_siread : int;
+  mutable st_promotions : int;
+  mutable st_summarized : int;
+}
+
+type t = {
+  sk_capacity : int;
+  sk_tbl : (string, stats) Hashtbl.t;
+  mutable sk_total : int;
+}
+
+let stats_create ~count ~err =
+  {
+    st_count = count;
+    st_err = err;
+    st_conflicts = 0;
+    st_blame_in = 0;
+    st_blame_out = 0;
+    st_blame_fcw = 0;
+    st_lock_waits = 0;
+    st_lock_wait = 0.0;
+    st_siread = 0;
+    st_promotions = 0;
+    st_summarized = 0;
+  }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Sketch.create: capacity must be >= 1";
+  { sk_capacity = capacity; sk_tbl = Hashtbl.create capacity; sk_total = 0 }
+
+let capacity t = t.sk_capacity
+
+let total t = t.sk_total
+
+let cardinality t = Hashtbl.length t.sk_tbl
+
+let error_bound t = Hashtbl.fold (fun _ s acc -> max acc s.st_err) t.sk_tbl 0
+
+(* Minimum-count entry, smallest key on ties. The full fold makes the
+   choice independent of hash-table iteration order. *)
+let victim t =
+  Hashtbl.fold
+    (fun k s acc ->
+      match acc with
+      | Some (k', s')
+        when s'.st_count < s.st_count || (s'.st_count = s.st_count && k' < k) ->
+          acc
+      | _ -> Some (k, s))
+    t.sk_tbl None
+
+(* Insert [key] carrying [add] occurrences (and [err] pre-existing
+   overcount), evicting per the space-saving rule when full. Shared by
+   [touch] (add = 1) and [merge]. *)
+let insert t key ~add ~err =
+  if Hashtbl.length t.sk_tbl < t.sk_capacity then begin
+    let s = stats_create ~count:add ~err in
+    Hashtbl.add t.sk_tbl key s;
+    s
+  end
+  else
+    match victim t with
+    | None -> assert false (* capacity >= 1 and the table is full *)
+    | Some (vk, vs) ->
+        Hashtbl.remove t.sk_tbl vk;
+        (* Takeover: the newcomer inherits the evicted minimum count, which
+           becomes (part of) its overcount bound. *)
+        let s = stats_create ~count:(vs.st_count + add) ~err:(vs.st_count + err) in
+        Hashtbl.add t.sk_tbl key s;
+        s
+
+let touch t key =
+  t.sk_total <- t.sk_total + 1;
+  match Hashtbl.find_opt t.sk_tbl key with
+  | Some s ->
+      s.st_count <- s.st_count + 1;
+      s
+  | None -> insert t key ~add:1 ~err:0
+
+let find t key = Hashtbl.find_opt t.sk_tbl key
+
+let entries t =
+  Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.sk_tbl []
+  |> List.sort (fun (ka, sa) (kb, sb) ->
+         if sa.st_count <> sb.st_count then compare sb.st_count sa.st_count
+         else compare ka kb)
+
+let top t k = List.filteri (fun i _ -> i < k) (entries t)
+
+let add_into dst src =
+  dst.st_count <- dst.st_count + src.st_count;
+  dst.st_err <- dst.st_err + src.st_err;
+  dst.st_conflicts <- dst.st_conflicts + src.st_conflicts;
+  dst.st_blame_in <- dst.st_blame_in + src.st_blame_in;
+  dst.st_blame_out <- dst.st_blame_out + src.st_blame_out;
+  dst.st_blame_fcw <- dst.st_blame_fcw + src.st_blame_fcw;
+  dst.st_lock_waits <- dst.st_lock_waits + src.st_lock_waits;
+  dst.st_lock_wait <- dst.st_lock_wait +. src.st_lock_wait;
+  dst.st_siread <- dst.st_siread + src.st_siread;
+  dst.st_promotions <- dst.st_promotions + src.st_promotions;
+  dst.st_summarized <- dst.st_summarized + src.st_summarized
+
+let merge ~into src =
+  into.sk_total <- into.sk_total + src.sk_total;
+  List.iter
+    (fun (key, s) ->
+      match Hashtbl.find_opt into.sk_tbl key with
+      | Some dst -> add_into dst s
+      | None ->
+          let dst = insert into key ~add:s.st_count ~err:s.st_err in
+          (* [insert] seeded count and err; copy the payload on top. *)
+          dst.st_conflicts <- s.st_conflicts;
+          dst.st_blame_in <- s.st_blame_in;
+          dst.st_blame_out <- s.st_blame_out;
+          dst.st_blame_fcw <- s.st_blame_fcw;
+          dst.st_lock_waits <- s.st_lock_waits;
+          dst.st_lock_wait <- s.st_lock_wait;
+          dst.st_siread <- s.st_siread;
+          dst.st_promotions <- s.st_promotions;
+          dst.st_summarized <- s.st_summarized)
+    (entries src)

@@ -1,0 +1,75 @@
+(** Bounded heavy-hitter tracking for canonical resource ids.
+
+    A space-saving sketch (Metwally, Agrawal & El Abbadi, "Efficient
+    computation of frequent and top-k elements in data streams"): at most
+    [capacity] tracked entries, each update either increments an existing
+    entry or evicts the minimum-count entry and inherits its count. The
+    classic guarantees follow: every entry overcounts by at most its
+    recorded [st_err], [st_err <= N / capacity] (N = total updates), and any
+    key whose true frequency exceeds [N / capacity] is guaranteed to be
+    tracked — the top-k list is a superset of the exact heavy hitters above
+    that threshold.
+
+    Each entry carries per-resource attribution counters alongside the
+    ordering count. Payload counters reset when an entry is recycled by an
+    eviction, so they are exact for keys never evicted and conservative
+    (undercounting) otherwise; only [st_count] carries the overcount bound.
+
+    Purely deterministic: eviction ties break on the lexicographically
+    smallest key, and {!entries} orders by (count desc, key asc), so equal
+    update sequences yield byte-identical tables on any host or [-j]. *)
+
+type stats = {
+  mutable st_count : int;  (** space-saving counter (all touches) *)
+  mutable st_err : int;  (** overcount bound inherited at takeover *)
+  mutable st_conflicts : int;  (** rw-antidependency edges detected here *)
+  mutable st_blame_in : int;  (** unsafe aborts blamed via the pivot in-edge *)
+  mutable st_blame_out : int;  (** unsafe aborts blamed via the pivot out-edge *)
+  mutable st_blame_fcw : int;  (** first-committer-wins aborts blocked here *)
+  mutable st_lock_waits : int;  (** blocking lock acquisitions *)
+  mutable st_lock_wait : float;  (** cumulative blocking sim-time, seconds *)
+  mutable st_siread : int;  (** SIREAD grants (residency proxy) *)
+  mutable st_promotions : int;  (** row→page promotions landing on this id *)
+  mutable st_summarized : int;  (** summary-table folds touching this id *)
+}
+
+type t
+
+(** [create ~capacity] with [capacity >= 1] (raises [Invalid_argument]
+    otherwise). *)
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+(** Total updates ever applied (N), including evicted ones. *)
+val total : t -> int
+
+(** Currently tracked keys (<= capacity). *)
+val cardinality : t -> int
+
+(** Largest per-entry overcount currently tracked; always
+    [<= total t / capacity t]. *)
+val error_bound : t -> int
+
+(** [touch t key] counts one occurrence and returns the (possibly fresh)
+    stats cell so the caller can bump one attribution field. When the sketch
+    is full and [key] untracked, the minimum-count entry is evicted
+    (smallest key on ties) and its count inherited as the new entry's
+    error. *)
+val touch : t -> string -> stats
+
+val find : t -> string -> stats option
+
+(** All tracked entries, ordered by (count desc, key asc). *)
+val entries : t -> (string * stats) list
+
+(** First [k] of {!entries}. *)
+val top : t -> int -> (string * stats) list
+
+(** Fold [src] into [into] (capacities may differ; [into]'s is kept).
+    Shared keys add all counters ([st_err] adds too — overcount bounds
+    compose additively); fresh keys insert, evicting per the space-saving
+    rule when full. Deterministic: [src] is absorbed in {!entries} order.
+    Merging per-seed sketches in a fixed seed order therefore yields the
+    same table on every run. *)
+val merge : into:t -> t -> unit

@@ -20,6 +20,7 @@ type window = {
   mutable w_commits : int;
   w_aborts : reason_counts;
   w_unsafe_src : int array;
+  w_unsafe_gran : int array;
   w_response : Obs.hist;
   w_lock_wait : Obs.hist;
   mutable w_wal_flushes : int;
@@ -44,6 +45,20 @@ let src_index = function
   | Obs.Gap -> 3
   | Obs.Unknown_writer -> 4
 
+(* Second attribution axis over the same certificates: the granularity of
+   the blamed resource, read off the canonical id prefix ("r|p|g/..."). The
+   last slot again absorbs whatever no certificate edge could attribute. *)
+let unsafe_gran_names = [| "row"; "page"; "gap"; "unattributed" |]
+
+let gran_index resource =
+  if String.length resource = 0 then None
+  else
+    match resource.[0] with
+    | 'r' -> Some 0
+    | 'p' -> Some 1
+    | 'g' -> Some 2
+    | _ -> None
+
 type class_window = {
   mutable cw_commits : int;
   mutable cw_aborts : int;
@@ -61,6 +76,7 @@ let window_create () =
     w_commits = 0;
     w_aborts = { rc_deadlock = 0; rc_fcw = 0; rc_unsafe = 0; rc_user = 0; rc_other = 0 };
     w_unsafe_src = Array.make (Array.length unsafe_src_names) 0;
+    w_unsafe_gran = Array.make (Array.length unsafe_gran_names) 0;
     w_response = Obs.hist_create ();
     w_lock_wait = Obs.hist_create ();
     w_wal_flushes = 0;
@@ -150,31 +166,48 @@ let of_events ~window ?horizon events certs =
           | _ -> cw.cw_aborts <- cw.cw_aborts + 1)
       | _ -> ())
     events;
-  (* Unsafe-by-source: each unsafe certificate attributes one abort to the
-     detection source of its pivot edge (outgoing edge preferred — it is
-     the edge that completed the dangerous structure). *)
+  (* Unsafe-abort attribution, two axes over the same certificates: the
+     detection source of the pivot edge (outgoing edge preferred — it is
+     the edge that completed the dangerous structure) and the granularity
+     of the blamed resource (row/page/gap from the canonical id prefix).
+     The granularity axis falls back to the other edge's resource when the
+     preferred edge's id has no recognisable prefix, so fewer aborts land
+     in its unattributed slot. *)
   List.iter
     (fun c ->
       if c.Obs.c_reason = "unsafe" then
         match c.Obs.c_cert with
         | Obs.Ssi_pivot { sp_out_edge; sp_in_edge; _ } -> (
             match (sp_out_edge, sp_in_edge) with
-            | Some e, _ | None, Some e ->
+            | Some e, other | (None as other), Some e ->
                 let b = w.(idx c.Obs.c_ts) in
                 let s = src_index e.Obs.ce_source in
-                b.w_unsafe_src.(s) <- b.w_unsafe_src.(s) + 1
+                b.w_unsafe_src.(s) <- b.w_unsafe_src.(s) + 1;
+                let gran =
+                  match gran_index e.Obs.ce_resource with
+                  | Some g -> Some g
+                  | None -> Option.bind other (fun o -> gran_index o.Obs.ce_resource)
+                in
+                Option.iter
+                  (fun g -> b.w_unsafe_gran.(g) <- b.w_unsafe_gran.(g) + 1)
+                  gran
             | None, None -> ())
         | _ -> ())
     certs;
   (* Whatever the certificates could not attribute stays visible as its own
-     slot instead of silently vanishing from the split. *)
+     slot instead of silently vanishing from either split. *)
   Array.iter
     (fun b ->
       let attributed = ref 0 in
       for s = 0 to 4 do
         attributed := !attributed + b.w_unsafe_src.(s)
       done;
-      b.w_unsafe_src.(5) <- max 0 (b.w_aborts.rc_unsafe - !attributed))
+      b.w_unsafe_src.(5) <- max 0 (b.w_aborts.rc_unsafe - !attributed);
+      let gran_attributed = ref 0 in
+      for g = 0 to 2 do
+        gran_attributed := !gran_attributed + b.w_unsafe_gran.(g)
+      done;
+      b.w_unsafe_gran.(3) <- max 0 (b.w_aborts.rc_unsafe - !gran_attributed))
     w;
   (* Densify the retention gauges: a window with no commit (hence no
      Mem_sample) carries the previous window's state forward, so the series
@@ -223,6 +256,9 @@ let merge = function
               Array.iteri
                 (fun s v -> dst.w_unsafe_src.(s) <- dst.w_unsafe_src.(s) + v)
                 src.w_unsafe_src;
+              Array.iteri
+                (fun g v -> dst.w_unsafe_gran.(g) <- dst.w_unsafe_gran.(g) + v)
+                src.w_unsafe_gran;
               Obs.hist_merge ~into:dst.w_response src.w_response;
               Obs.hist_merge ~into:dst.w_lock_wait src.w_lock_wait;
               dst.w_wal_flushes <- dst.w_wal_flushes + src.w_wal_flushes;
@@ -283,6 +319,10 @@ let series_names =
     "unsafe-gap";
     "unsafe-unknown-writer";
     "unsafe-unattributed";
+    "unsafe-res-row";
+    "unsafe-res-page";
+    "unsafe-res-gap";
+    "unsafe-res-unattributed";
     "mean-response";
     "p95-response";
     "lock-waits";
@@ -321,6 +361,10 @@ let series tl name =
     | "unsafe-gap" -> fun b -> float_of_int b.w_unsafe_src.(3)
     | "unsafe-unknown-writer" -> fun b -> float_of_int b.w_unsafe_src.(4)
     | "unsafe-unattributed" -> fun b -> float_of_int b.w_unsafe_src.(5)
+    | "unsafe-res-row" -> fun b -> float_of_int b.w_unsafe_gran.(0)
+    | "unsafe-res-page" -> fun b -> float_of_int b.w_unsafe_gran.(1)
+    | "unsafe-res-gap" -> fun b -> float_of_int b.w_unsafe_gran.(2)
+    | "unsafe-res-unattributed" -> fun b -> float_of_int b.w_unsafe_gran.(3)
     | "mean-response" -> fun b -> Obs.hist_mean b.w_response
     | "p95-response" ->
         fun b -> if Obs.hist_count b.w_response = 0 then 0.0 else Obs.hist_percentile b.w_response 0.95

@@ -35,6 +35,12 @@ type window = {
       (** unsafe aborts by certificate edge source — indices follow
           {!unsafe_src_names}; the last slot is "unattributed" (no
           certificate, e.g. provenance off) *)
+  w_unsafe_gran : int array;
+      (** the same unsafe aborts by blamed-resource granularity
+          (row/page/gap from the canonical id prefix, falling back to the
+          other pivot edge when the preferred one has no recognisable
+          prefix) — indices follow {!unsafe_gran_names}; both splits sum
+          with their unattributed slot to [rc_unsafe] per window *)
   w_response : Obs.hist;  (** begin→commit latency of commits in the window *)
   w_lock_wait : Obs.hist;  (** blocking lock waits granted in the window *)
   mutable w_wal_flushes : int;
@@ -50,6 +56,8 @@ type window = {
 }
 
 val unsafe_src_names : string array
+
+val unsafe_gran_names : string array
 
 (** Per-class (workload program) per-window state, from [Class_outcome]
     events. [cw_commits] includes application rollbacks (completed work);

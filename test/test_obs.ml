@@ -116,7 +116,9 @@ let test_trace_escapes_gap_supremum () =
     let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
     go 0
   in
-  Alcotest.(check bool) "supremum gap resource escaped" true (contains_sub s "\\u00ff\\u00ff(sup)")
+  (* Resource ids render through the shared [Obs.res_id_escape] (canonical
+     %HH form) in every exporter, the Chrome trace included. *)
+  Alcotest.(check bool) "supremum gap resource escaped" true (contains_sub s "%ff%ff(sup)")
 
 let test_metrics_populated () =
   let obs = Obs.create () in

@@ -96,6 +96,74 @@ let test_reason_taxonomy_and_work () =
   Alcotest.(check int) "total user aborts" 1 tt.Timeline.tt_user;
   Alcotest.check feq "total wasted" 1.15 tt.Timeline.tt_work_wasted
 
+(* {1 Unsafe-abort granularity split} *)
+
+let gedge resource =
+  { Obs.ce_reader = 1; ce_writer = 2; ce_source = Obs.Siread_vs_x; ce_resource = resource }
+
+let gcert ~ts ?in_edge ?out_edge () =
+  {
+    Obs.c_ts = ts;
+    c_reason = "unsafe";
+    c_cert =
+      Obs.Ssi_pivot
+        {
+          sp_victim = 3;
+          sp_policy = "prefer-pivot";
+          sp_pivot = 3;
+          sp_t_in = Some 1;
+          sp_in_state = Obs.Ep_committed;
+          sp_t_out = Some 2;
+          sp_out_state = Obs.Ep_committed;
+          sp_in_edge = in_edge;
+          sp_out_edge = out_edge;
+        };
+    c_dot = "";
+  }
+
+(* Certificates split each window's unsafe aborts by blamed-resource
+   granularity (canonical id prefix, out-edge preferred, falling back to
+   the in-edge), and both attribution axes must sum with their
+   unattributed slot back to rc_unsafe — nothing vanishes from a split. *)
+let test_unsafe_granularity_split () =
+  let w = 0.25 in
+  let events =
+    [
+      abort ~ts:0.1 ~start:0.0 "unsafe";
+      abort ~ts:0.15 ~start:0.0 "unsafe";
+      abort ~ts:0.2 ~start:0.0 "unsafe";
+      (* no certificate: must land in the unattributed slot *)
+      abort ~ts:0.3 ~start:0.0 "unsafe";
+    ]
+  in
+  let certs =
+    [
+      gcert ~ts:0.1 ~out_edge:(gedge "r/t/k1") ();
+      (* unrecognisable out-edge prefix: granularity falls back to the
+         in-edge (a page id) *)
+      gcert ~ts:0.15 ~out_edge:(gedge "x?bogus") ~in_edge:(gedge "p/t/3") ();
+      gcert ~ts:0.3 ~out_edge:(gedge "g/t/k9") ();
+    ]
+  in
+  let tl = Timeline.of_events ~window:w ~horizon:0.5 events certs in
+  let b0 = tl.Timeline.tl_windows.(0) and b1 = tl.Timeline.tl_windows.(1) in
+  Alcotest.(check (array int))
+    "w0 row/page/gap/unattributed" [| 1; 1; 0; 1 |] b0.Timeline.w_unsafe_gran;
+  Alcotest.(check (array int))
+    "w1 row/page/gap/unattributed" [| 0; 0; 1; 0 |] b1.Timeline.w_unsafe_gran;
+  let gran = Timeline.series tl "unsafe-res-page" in
+  Alcotest.(check (array (float 0.0))) "series view" [| 1.0; 0.0 |] gran;
+  Array.iter
+    (fun b ->
+      let sum = Array.fold_left ( + ) 0 in
+      Alcotest.(check int)
+        "granularity split conserves rc_unsafe" b.Timeline.w_aborts.Timeline.rc_unsafe
+        (sum b.Timeline.w_unsafe_gran);
+      Alcotest.(check int)
+        "source split conserves rc_unsafe" b.Timeline.w_aborts.Timeline.rc_unsafe
+        (sum b.Timeline.w_unsafe_src))
+    tl.Timeline.tl_windows
+
 (* {1 Gauge densification} *)
 
 (* A window with no Mem_sample carries the previous window's gauge forward;
@@ -399,6 +467,7 @@ let () =
           ("boundary exactness", `Quick, test_window_boundaries);
           ("minimum window count", `Quick, test_window_count_minimum);
           ("reason taxonomy and work", `Quick, test_reason_taxonomy_and_work);
+          ("unsafe granularity split", `Quick, test_unsafe_granularity_split);
           ("gauge densification", `Quick, test_gauge_densification);
         ] );
       ("slo", [ ("per-class arithmetic", `Quick, test_slo_eval) ]);

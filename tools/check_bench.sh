@@ -64,8 +64,8 @@ for d in $deltas; do
     exit 1
   fi
 done
-if [ "$k" -lt 3 ]; then
-  echo "check_bench: expected >= 3 obs_overhead entries (commit path, lock manager, timeline build), found $k" >&2
+if [ "$k" -lt 4 ]; then
+  echo "check_bench: expected >= 4 obs_overhead entries (commit path, lock manager, timeline build, sketch-on commit path), found $k" >&2
   exit 1
 fi
 
@@ -131,4 +131,22 @@ if awk -v r="$schedrate" 'BEGIN { exit !(r <= 0.0) }'; then
   exit 1
 fi
 
-echo "check_bench: OK ($n benches within ${MAX_REGRESS:-2.0}x of baseline, $j speedup points, obs overhead <= ${obs_max}% on $k hot paths, bounded run within budget with $summarized txns summarized, recovery replayed $replayed records / $recovered commits, DPOR reduction ${reduction}x at ${schedrate} schedules/s, timeline ledger conserved over $tlwin windows)"
+# Attribution gate: the contention-sketch probe must be present, must have
+# recorded updates from the contended run (an engine hook that silently
+# stopped feeding the sketch shows up as updates=0 here), and the measured
+# sketch-update cost must be a positive number. updates/tracked/
+# error_bound/blame are deterministic simulated results.
+grep -q '"attribution": {' "$out" || { echo "check_bench: missing attribution section" >&2; exit 1; }
+atupd=$(sed -n 's/.*"attribution": {"updates": \([0-9][0-9]*\).*/\1/p' "$out")
+if [ -z "$atupd" ] || [ "$atupd" -eq 0 ]; then
+  echo "check_bench: attribution sketch recorded no updates" >&2
+  exit 1
+fi
+atns=$(sed -n 's/.*"sketch_update_ns": \([0-9.][0-9.]*\).*/\1/p' "$out")
+[ -n "$atns" ] || { echo "check_bench: attribution section has no sketch_update_ns" >&2; exit 1; }
+if awk -v r="$atns" 'BEGIN { exit !(r <= 0.0) }'; then
+  echo "check_bench: sketch update cost ${atns} ns is not positive" >&2
+  exit 1
+fi
+
+echo "check_bench: OK ($n benches within ${MAX_REGRESS:-2.0}x of baseline, $j speedup points, obs overhead <= ${obs_max}% on $k hot paths, bounded run within budget with $summarized txns summarized, recovery replayed $replayed records / $recovered commits, DPOR reduction ${reduction}x at ${schedrate} schedules/s, timeline ledger conserved over $tlwin windows, attribution sketch $atupd updates at ${atns} ns/update)"
